@@ -1,0 +1,86 @@
+// Command microbench runs one synchrobench-style integer-set benchmark and
+// prints a single CSV row, mirroring the micro-benchmark of the paper's
+// §5.2–5.4. Example:
+//
+//	microbench -tree sf-opt -threads 8 -update 20 -duration 2s -range 8192
+//	microbench -tree rb -mode elastic -update 10
+//	microbench -tree nr -biased -update 20
+//
+// Trees: sf, sf-opt, rb, avl, nr. Modes: ctl, etl, elastic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/stm"
+	"repro/internal/trees"
+)
+
+func main() {
+	tree := flag.String("tree", "sf", "tree kind: sf|sf-opt|rb|avl|nr")
+	mode := flag.String("mode", "ctl", "TM algorithm: ctl|etl|elastic")
+	threads := flag.Int("threads", 1, "worker goroutines")
+	update := flag.Int("update", 10, "attempted update percentage")
+	movePct := flag.Int("move", 0, "move-operation percentage (within updates)")
+	keyRange := flag.Uint64("range", 1<<13, "key range (expected size = range/2)")
+	duration := flag.Duration("duration", time.Second, "measurement duration")
+	biased := flag.Bool("biased", false, "biased workload (insert-high/delete-low)")
+	attempted := flag.Bool("attempted", false, "use attempted updates instead of effective")
+	seed := flag.Int64("seed", 42, "workload seed")
+	yieldEvery := flag.Int("yield", 0, "STM interleaving simulation: yield every N accesses (0 off)")
+	header := flag.Bool("header", false, "print the CSV header line first")
+	flag.Parse()
+
+	var m stm.Mode
+	switch *mode {
+	case "ctl":
+		m = stm.CTL
+	case "etl":
+		m = stm.ETL
+	case "elastic":
+		m = stm.Elastic
+	default:
+		fmt.Fprintf(os.Stderr, "microbench: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	kind := trees.Kind(*tree)
+	found := false
+	for _, k := range trees.Kinds() {
+		if k == kind {
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "microbench: unknown tree %q\n", *tree)
+		os.Exit(2)
+	}
+
+	res := bench.Run(bench.Options{
+		Kind:     kind,
+		Mode:     m,
+		Threads:  *threads,
+		Duration: *duration,
+		Workload: bench.Workload{
+			KeyRange:      *keyRange,
+			UpdatePercent: *update,
+			MovePercent:   *movePct,
+			Biased:        *biased,
+			Effective:     !*attempted,
+		},
+		Seed:       *seed,
+		YieldEvery: *yieldEvery,
+	})
+
+	if *header {
+		fmt.Println("tree,mode,threads,update,move,biased,range,duration_s,ops,throughput_ops_per_us,effective_ratio,commits,aborts,abort_rate,max_op_reads,rotations")
+	}
+	fmt.Printf("%s,%s,%d,%d,%d,%t,%d,%.3f,%d,%.3f,%.3f,%d,%d,%.4f,%d,%d\n",
+		kind, m, res.Threads, *update, *movePct, *biased, *keyRange,
+		res.Elapsed.Seconds(), res.Ops, res.Throughput, res.EffectiveRatio,
+		res.STM.Commits, res.STM.Aborts, res.STM.AbortRate(),
+		res.STM.MaxOpReads, res.Rotations)
+}

@@ -1,0 +1,111 @@
+// Travel: a miniature reservation service in the style of STAMP's vacation
+// application (paper §5.5), built entirely on the public API.
+//
+// Run with:
+//
+//	go run ./examples/travel
+//
+// Inventory lives in one tree (key = resource id, value = free units);
+// bookings in another (key = customer<<32|resource). Booking a trip means
+// atomically taking one unit from a flight AND one from a hotel — a single
+// composed transaction spanning both trees is exactly what transactional
+// data structures make safe to write.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro"
+)
+
+const (
+	flightBase = 1_000 // flight resource ids: flightBase+i
+	hotelBase  = 2_000 // hotel resource ids: hotelBase+i
+	nResources = 50
+	unitsEach  = 30
+	nCustomers = 200
+	tripsEach  = 20
+)
+
+func bookingKey(customer, resource uint64) uint64 { return customer<<32 | resource }
+
+func main() {
+	inventory := repro.NewTree(repro.SpeculationFriendlyOptimized)
+	defer inventory.Close()
+	bookings := repro.NewTree(repro.SpeculationFriendlyOptimized)
+	defer bookings.Close()
+
+	setup := inventory.NewHandle()
+	for i := uint64(0); i < nResources; i++ {
+		setup.Insert(flightBase+i, unitsEach)
+		setup.Insert(hotelBase+i, unitsEach)
+	}
+
+	var booked, soldOut sync.Map
+	var wg sync.WaitGroup
+	for c := uint64(1); c <= nCustomers; c++ {
+		hInv := inventory.NewHandle()
+		hBook := bookings.NewHandle()
+		wg.Add(1)
+		go func(c uint64) {
+			defer wg.Done()
+			var ok, fail int
+			for trip := 0; trip < tripsEach; trip++ {
+				flight := flightBase + (c+uint64(trip))%nResources
+				hotel := hotelBase + (c*7+uint64(trip))%nResources
+				success := false
+				// The whole trip is one transaction: either both units are
+				// taken or neither is. Note how the code reads like the
+				// sequential version.
+				hInv.Update(func(op *repro.Op) {
+					success = false
+					f, _ := op.Get(flight)
+					h, _ := op.Get(hotel)
+					if f == 0 || h == 0 {
+						return
+					}
+					op.Delete(flight)
+					op.Insert(flight, f-1)
+					op.Delete(hotel)
+					op.Insert(hotel, h-1)
+					success = true
+				})
+				if success {
+					hBook.Insert(bookingKey(c, flight), hotel)
+					ok++
+				} else {
+					fail++
+				}
+			}
+			booked.Store(c, ok)
+			soldOut.Store(c, fail)
+		}(c)
+	}
+	wg.Wait()
+
+	// Conservation check: units booked + units free must equal the stock.
+	check := inventory.NewHandle()
+	var free uint64
+	for _, k := range check.Keys() {
+		v, _ := check.Get(k)
+		free += v
+	}
+	var totalBooked int
+	booked.Range(func(_, v any) bool { totalBooked += v.(int); return true })
+	var totalFailed int
+	soldOut.Range(func(_, v any) bool { totalFailed += v.(int); return true })
+
+	stock := uint64(2 * nResources * unitsEach)
+	fmt.Printf("trips booked: %d, sold out: %d\n", totalBooked, totalFailed)
+	fmt.Printf("units: booked %d + free %d = %d (stock %d)\n",
+		2*totalBooked, free, uint64(2*totalBooked)+free, stock)
+	if uint64(2*totalBooked)+free != stock {
+		panic("conservation violated: a booking transaction was not atomic")
+	}
+	bh := bookings.NewHandle()
+	fmt.Printf("booking records: %d\n", bh.Len())
+	st := inventory.Stats()
+	fmt.Printf("inventory stm: %d commits, %d aborts (%.2f%% abort rate)\n",
+		st.Commits, st.Aborts, 100*st.AbortRate())
+}

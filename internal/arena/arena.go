@@ -1,0 +1,275 @@
+// Package arena provides the node storage substrate shared by every
+// transactional tree in this repository: a chunked, index-addressed arena of
+// tree nodes with a free list, plus the epoch-based garbage collector of
+// paper §3.4 that lets the maintenance thread recycle physically removed
+// nodes only once no application thread can still hold a reference.
+//
+// Nodes are addressed by Ref (a dense uint64 index; 0 is the nil sentinel ⊥)
+// rather than by Go pointers so that child links fit in a single stm.Word
+// and traversals never keep arbitrary heap objects alive. Chunks are never
+// moved or shrunk, so a Ref resolves to a stable *Node for the lifetime of
+// the arena.
+package arena
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stm"
+)
+
+// Ref identifies a node in an Arena. The zero Ref is ⊥ (nil).
+type Ref = uint64
+
+// Nil is the null node reference (the paper's ⊥).
+const Nil Ref = 0
+
+const (
+	chunkBits = 13 // 8192 nodes per chunk
+	chunkSize = 1 << chunkBits
+	chunkMask = chunkSize - 1
+)
+
+// Node is the universal tree node. The speculation-friendly tree, the
+// no-restructuring tree, the red-black tree and the AVL tree all use a
+// subset of its fields; sharing one layout keeps the arena monomorphic.
+//
+// Transactional fields (accessed through stm.Tx):
+//
+//	Key  — node key; immutable in the SF/NR trees (read with Plain/URead),
+//	       mutable in the RB/AVL trees (successor replacement writes it)
+//	Val  — associated value
+//	L, R — left/right child Refs
+//	P    — parent Ref (used by the red-black tree only)
+//	Del  — logical deletion flag (paper §3.2): 1 when the key is absent
+//	       from the abstraction even though the node is linked
+//	Rem  — physical removal flag (paper §3.3): RemFalse, RemTrue or
+//	       RemTrueByLeftRot
+//	Aux  — per-tree extra word: red-black color, or AVL subtree height
+//
+// Maintenance-local fields (plain atomics, never part of a read/write set,
+// exactly like the paper's node-local height estimates, §3.1):
+//
+//	LeftH, RightH — estimated heights of the child subtrees
+//	LocalH        — expected local height (1 + max of the two)
+type Node struct {
+	Key stm.Word
+	Val stm.Word
+	L   stm.Word
+	R   stm.Word
+	P   stm.Word
+	Del stm.Word
+	Rem stm.Word
+	Aux stm.Word
+
+	LeftH  atomic.Int32
+	RightH atomic.Int32
+	LocalH atomic.Int32
+
+	nextFree Ref // free-list link, guarded by the arena mutex
+}
+
+// Rem flag values (paper §3.3: false, true, true-by-left-rotate).
+const (
+	RemFalse         = uint64(0)
+	RemTrue          = uint64(1)
+	RemTrueByLeftRot = uint64(2)
+)
+
+// Removed reports whether a Rem word value means "physically removed"
+// (the paper treats true-by-left-rotate as true everywhere except one
+// branch of the optimized find).
+func Removed(rem uint64) bool { return rem != RemFalse }
+
+type chunk [chunkSize]Node
+
+// Arena is a grow-only chunked allocator of Nodes with an intrusive free
+// list. Alloc and Free take a mutex (allocation is off the common read path
+// of every benchmark: only effective inserts and the maintenance thread
+// touch it); Get is wait-free.
+type Arena struct {
+	chunks atomic.Pointer[[]*chunk]
+
+	mu       sync.Mutex
+	freeHead Ref
+	next     uint64 // bump pointer; slot 0 is burned for Nil
+
+	allocs atomic.Uint64
+	frees  atomic.Uint64
+	reuses atomic.Uint64
+}
+
+// New creates an arena with one chunk pre-allocated. Slot 0 is reserved so
+// that the zero Ref is never a valid node.
+func New() *Arena {
+	a := &Arena{next: 1}
+	first := &chunk{}
+	chunks := []*chunk{first}
+	a.chunks.Store(&chunks)
+	return a
+}
+
+// Get resolves a Ref to its node. It panics on Nil or out-of-range refs:
+// both indicate a bug in the caller, never a recoverable condition.
+func (a *Arena) Get(r Ref) *Node {
+	if r == Nil {
+		panic("arena: Get(Nil)")
+	}
+	chunks := *a.chunks.Load()
+	ci := r >> chunkBits
+	if ci >= uint64(len(chunks)) {
+		panic(fmt.Sprintf("arena: ref %d out of range (%d chunks)", r, len(chunks)))
+	}
+	return &chunks[ci][r&chunkMask]
+}
+
+// Alloc returns a fresh (or recycled) node initialized with the given key
+// and value, no children, Del=false, Rem=false, and the paper's initial
+// height estimates (left-h = right-h = 0, local-h = 1). The node is private
+// to the caller until it publishes the Ref with a transactional write.
+func (a *Arena) Alloc(key, val uint64) Ref {
+	a.mu.Lock()
+	var r Ref
+	if a.freeHead != Nil {
+		r = a.freeHead
+		a.freeHead = a.get(r).nextFree
+		a.reuses.Add(1)
+	} else {
+		r = a.next
+		a.next++
+		chunks := *a.chunks.Load()
+		if r>>chunkBits >= uint64(len(chunks)) {
+			grown := make([]*chunk, len(chunks)+1)
+			copy(grown, chunks)
+			grown[len(chunks)] = &chunk{}
+			a.chunks.Store(&grown)
+		}
+	}
+	a.mu.Unlock()
+	a.allocs.Add(1)
+
+	n := a.Get(r)
+	n.Key.SetPlain(key)
+	n.Val.SetPlain(val)
+	n.L.SetPlain(Nil)
+	n.R.SetPlain(Nil)
+	n.P.SetPlain(Nil)
+	n.Del.SetPlain(0)
+	n.Rem.SetPlain(RemFalse)
+	n.Aux.SetPlain(0)
+	n.LeftH.Store(0)
+	n.RightH.Store(0)
+	n.LocalH.Store(1)
+	return r
+}
+
+// Reinit resets a node the caller privately owns (allocated but never
+// published) to the same state Alloc would produce for (key, val). It lets
+// operations preallocate one scratch node and retarget it across retries of
+// an enclosing transaction.
+func (a *Arena) Reinit(r Ref, key, val uint64) {
+	n := a.Get(r)
+	n.Key.SetPlain(key)
+	n.Val.SetPlain(val)
+	n.L.SetPlain(Nil)
+	n.R.SetPlain(Nil)
+	n.P.SetPlain(Nil)
+	n.Del.SetPlain(0)
+	n.Rem.SetPlain(RemFalse)
+	n.Aux.SetPlain(0)
+	n.LeftH.Store(0)
+	n.RightH.Store(0)
+	n.LocalH.Store(1)
+}
+
+// get resolves without the Nil check; caller holds the mutex or owns r.
+func (a *Arena) get(r Ref) *Node {
+	chunks := *a.chunks.Load()
+	return &chunks[r>>chunkBits][r&chunkMask]
+}
+
+// Free returns a node to the free list. The caller must guarantee that no
+// other thread can still reach the node — either because the node was never
+// published (an insert that lost its transaction) or because an epoch of the
+// Collector has passed since it was unlinked.
+func (a *Arena) Free(r Ref) {
+	if r == Nil {
+		panic("arena: Free(Nil)")
+	}
+	a.mu.Lock()
+	n := a.get(r)
+	n.nextFree = a.freeHead
+	a.freeHead = r
+	a.mu.Unlock()
+	a.frees.Add(1)
+}
+
+// Scratch manages the one-node preallocation pattern used by insert-style
+// operations: a transaction attempt may need a fresh node, attempts can be
+// re-executed arbitrarily often, and only the final (committed) attempt
+// decides whether the node was actually linked into a structure. Scratch
+// reuses a single arena slot across attempts and releases it afterwards if
+// the committed attempt did not link it.
+//
+// Usage inside the retried transaction function:
+//
+//	sc.ResetAttempt()            // first thing in every attempt
+//	ref := sc.Take(ar, key, val) // when a node is needed
+//	tx.Write(&parent.L, ref)     // publish
+//	sc.MarkLinked()
+//
+// and after the Atomic call returns: sc.Release(ar).
+type Scratch struct {
+	ref    Ref
+	linked bool
+}
+
+// ResetAttempt clears the linked mark; call at the start of every attempt.
+func (s *Scratch) ResetAttempt() { s.linked = false }
+
+// Take returns the scratch node initialized for (key, val), allocating it on
+// first use and re-initializing it on retries.
+func (s *Scratch) Take(a *Arena, key, val uint64) Ref {
+	if s.ref == Nil {
+		s.ref = a.Alloc(key, val)
+	} else {
+		a.Reinit(s.ref, key, val)
+	}
+	return s.ref
+}
+
+// MarkLinked records that the current attempt published the node.
+func (s *Scratch) MarkLinked() { s.linked = true }
+
+// Ref returns the scratch node's reference (Nil when never taken).
+func (s *Scratch) Node() Ref { return s.ref }
+
+// Release frees the node unless the final attempt linked it, then resets.
+// Erring on the side of not freeing is deliberate: leaking one node is
+// benign, freeing a published one is not.
+func (s *Scratch) Release(a *Arena) {
+	if s.ref != Nil && !s.linked {
+		a.Free(s.ref)
+	}
+	s.ref = Nil
+	s.linked = false
+}
+
+// Live returns the number of nodes currently allocated and not freed.
+func (a *Arena) Live() uint64 { return a.allocs.Load() - a.frees.Load() }
+
+// Allocs returns the cumulative number of Alloc calls.
+func (a *Arena) Allocs() uint64 { return a.allocs.Load() }
+
+// Frees returns the cumulative number of Free calls.
+func (a *Arena) Frees() uint64 { return a.frees.Load() }
+
+// Reuses returns how many allocations were satisfied from the free list.
+func (a *Arena) Reuses() uint64 { return a.reuses.Load() }
+
+// Cap returns the current capacity in nodes (excluding the burned slot 0).
+func (a *Arena) Cap() uint64 {
+	chunks := *a.chunks.Load()
+	return uint64(len(chunks))*chunkSize - 1
+}

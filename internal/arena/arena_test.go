@@ -1,0 +1,356 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stm"
+)
+
+func TestAllocInitialState(t *testing.T) {
+	a := New()
+	r := a.Alloc(42, 7)
+	if r == Nil {
+		t.Fatal("Alloc returned Nil")
+	}
+	n := a.Get(r)
+	if n.Key.Plain() != 42 || n.Val.Plain() != 7 {
+		t.Fatalf("key/val = %d/%d, want 42/7", n.Key.Plain(), n.Val.Plain())
+	}
+	if n.L.Plain() != Nil || n.R.Plain() != Nil || n.P.Plain() != Nil {
+		t.Fatal("children/parent not Nil")
+	}
+	if n.Del.Plain() != 0 || n.Rem.Plain() != RemFalse {
+		t.Fatal("flags not clear")
+	}
+	if n.LeftH.Load() != 0 || n.RightH.Load() != 0 || n.LocalH.Load() != 1 {
+		t.Fatal("paper initial heights violated (left-h=right-h=0, local-h=1)")
+	}
+}
+
+func TestRefZeroIsNil(t *testing.T) {
+	a := New()
+	r := a.Alloc(1, 1)
+	if r == 0 {
+		t.Fatal("first allocation must not be ref 0 (reserved for ⊥)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(Nil) must panic")
+		}
+	}()
+	a.Get(Nil)
+}
+
+func TestFreeNilPanics(t *testing.T) {
+	a := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Free(Nil) must panic")
+		}
+	}()
+	a.Free(Nil)
+}
+
+func TestGetOutOfRangePanics(t *testing.T) {
+	a := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Get must panic")
+		}
+	}()
+	a.Get(1 << 40)
+}
+
+func TestFreeReuse(t *testing.T) {
+	a := New()
+	r1 := a.Alloc(1, 1)
+	a.Free(r1)
+	r2 := a.Alloc(2, 2)
+	if r2 != r1 {
+		t.Fatalf("expected LIFO reuse of freed slot: got %d, want %d", r2, r1)
+	}
+	n := a.Get(r2)
+	if n.Key.Plain() != 2 || n.Val.Plain() != 2 || n.Del.Plain() != 0 {
+		t.Fatal("recycled node not reinitialized")
+	}
+	if a.Reuses() != 1 {
+		t.Fatalf("Reuses=%d, want 1", a.Reuses())
+	}
+}
+
+func TestGrowthAcrossChunks(t *testing.T) {
+	a := New()
+	const n = chunkSize*2 + 10
+	refs := make([]Ref, 0, n)
+	for i := 0; i < n; i++ {
+		refs = append(refs, a.Alloc(uint64(i), uint64(i)))
+	}
+	seen := make(map[Ref]bool, n)
+	for i, r := range refs {
+		if seen[r] {
+			t.Fatalf("duplicate ref %d", r)
+		}
+		seen[r] = true
+		if got := a.Get(r).Key.Plain(); got != uint64(i) {
+			t.Fatalf("node %d key=%d after growth", i, got)
+		}
+	}
+	if a.Live() != n {
+		t.Fatalf("Live=%d, want %d", a.Live(), n)
+	}
+	if a.Cap() < n {
+		t.Fatalf("Cap=%d < %d", a.Cap(), n)
+	}
+}
+
+func TestStableAddressesAcrossGrowth(t *testing.T) {
+	a := New()
+	r := a.Alloc(9, 9)
+	p := a.Get(r)
+	for i := 0; i < chunkSize+5; i++ {
+		a.Alloc(uint64(i), 0)
+	}
+	if a.Get(r) != p {
+		t.Fatal("node address changed after arena growth")
+	}
+}
+
+func TestConcurrentAllocDistinct(t *testing.T) {
+	a := New()
+	const g, per = 8, 2000
+	var wg sync.WaitGroup
+	out := make([][]Ref, g)
+	for i := 0; i < g; i++ {
+		out[i] = make([]Ref, 0, per)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				out[i] = append(out[i], a.Alloc(uint64(i), uint64(j)))
+			}
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[Ref]bool, g*per)
+	for _, refs := range out {
+		for _, r := range refs {
+			if seen[r] {
+				t.Fatalf("ref %d handed to two goroutines", r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestAllocFreeChurnProperty(t *testing.T) {
+	// Property: after any interleaved sequence of allocs and frees, Live()
+	// equals allocs-frees and all live nodes keep their payloads.
+	f := func(ops []bool) bool {
+		a := New()
+		live := map[Ref]uint64{}
+		var order []Ref
+		k := uint64(0)
+		for _, alloc := range ops {
+			if alloc || len(order) == 0 {
+				k++
+				r := a.Alloc(k, k*3)
+				live[r] = k
+				order = append(order, r)
+			} else {
+				r := order[len(order)-1]
+				order = order[:len(order)-1]
+				delete(live, r)
+				a.Free(r)
+			}
+		}
+		if a.Live() != uint64(len(live)) {
+			return false
+		}
+		for r, key := range live {
+			n := a.Get(r)
+			if n.Key.Plain() != key || n.Val.Plain() != key*3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemovedHelper(t *testing.T) {
+	if Removed(RemFalse) {
+		t.Fatal("RemFalse must not count as removed")
+	}
+	if !Removed(RemTrue) || !Removed(RemTrueByLeftRot) {
+		t.Fatal("RemTrue / RemTrueByLeftRot must count as removed")
+	}
+}
+
+func TestCollectorEpochProtocol(t *testing.T) {
+	a := New()
+	s := stm.New()
+	th := s.NewThread()
+	c := NewCollector(a)
+
+	r1 := a.Alloc(1, 1)
+	r2 := a.Alloc(2, 2)
+	c.Defer(r1)
+	c.Defer(r2)
+	if c.PendingCount() != 2 {
+		t.Fatalf("PendingCount=%d, want 2", c.PendingCount())
+	}
+
+	// Epoch with the thread idle: free immediately.
+	c.BeginEpoch(s.Threads())
+	if n := c.TryFree(); n != 2 {
+		t.Fatalf("idle thread: freed %d, want 2", n)
+	}
+	if a.Frees() != 2 {
+		t.Fatalf("arena Frees=%d, want 2", a.Frees())
+	}
+
+	// Epoch with a thread stuck in an operation: must not free.
+	r3 := a.Alloc(3, 3)
+	c.Defer(r3)
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		th.Atomic(func(tx *stm.Tx) {
+			close(blocked)
+			<-release
+		})
+	}()
+	<-blocked
+	c.BeginEpoch(s.Threads())
+	if n := c.TryFree(); n != 0 {
+		t.Fatalf("pending thread: freed %d, want 0", n)
+	}
+	close(release)
+	// Wait for the operation to complete (OpCount advances).
+	for th.OpCount() == 0 {
+	}
+	if n := c.TryFree(); n != 1 {
+		t.Fatalf("after op completion: freed %d, want 1", n)
+	}
+}
+
+func TestCollectorOnlyFreesUpToMark(t *testing.T) {
+	a := New()
+	s := stm.New()
+	c := NewCollector(a)
+	r1 := a.Alloc(1, 1)
+	c.Defer(r1)
+	c.BeginEpoch(s.Threads())
+	// Deferred after the epoch began: must survive this TryFree.
+	r2 := a.Alloc(2, 2)
+	c.Defer(r2)
+	if n := c.TryFree(); n != 1 {
+		t.Fatalf("freed %d, want 1 (only pre-mark garbage)", n)
+	}
+	if c.PendingCount() != 1 {
+		t.Fatalf("PendingCount=%d, want 1", c.PendingCount())
+	}
+}
+
+func TestCollectorEmptyEpoch(t *testing.T) {
+	a := New()
+	s := stm.New()
+	c := NewCollector(a)
+	c.BeginEpoch(s.Threads())
+	if n := c.TryFree(); n != 0 {
+		t.Fatalf("freed %d from empty list", n)
+	}
+}
+
+func TestScratchLifecycle(t *testing.T) {
+	a := New()
+	var sc Scratch
+	if sc.Node() != Nil {
+		t.Fatal("fresh scratch has a node")
+	}
+	// Attempt 1: take and link.
+	sc.ResetAttempt()
+	r1 := sc.Take(a, 5, 50)
+	if r1 == Nil || a.Get(r1).Key.Plain() != 5 {
+		t.Fatal("Take did not initialize")
+	}
+	sc.MarkLinked()
+	// Retry (attempt 2): reuse the same slot with new payload, no link.
+	sc.ResetAttempt()
+	r2 := sc.Take(a, 6, 60)
+	if r2 != r1 {
+		t.Fatalf("retry allocated a second slot: %d vs %d", r2, r1)
+	}
+	if a.Get(r2).Key.Plain() != 6 {
+		t.Fatal("Take on retry did not reinitialize")
+	}
+	// Final attempt did not link: Release must free.
+	frees := a.Frees()
+	sc.Release(a)
+	if a.Frees() != frees+1 {
+		t.Fatal("Release did not free an unlinked scratch")
+	}
+	if sc.Node() != Nil {
+		t.Fatal("Release did not reset the scratch")
+	}
+}
+
+func TestScratchLinkedNotFreed(t *testing.T) {
+	a := New()
+	var sc Scratch
+	sc.ResetAttempt()
+	sc.Take(a, 1, 1)
+	sc.MarkLinked()
+	frees := a.Frees()
+	sc.Release(a)
+	if a.Frees() != frees {
+		t.Fatal("Release freed a linked node")
+	}
+	// Releasing an empty scratch is a no-op.
+	sc.Release(a)
+	if a.Frees() != frees {
+		t.Fatal("double Release freed something")
+	}
+}
+
+func TestReinitResetsEverything(t *testing.T) {
+	a := New()
+	r := a.Alloc(1, 1)
+	n := a.Get(r)
+	n.L.SetPlain(7)
+	n.R.SetPlain(8)
+	n.P.SetPlain(9)
+	n.Del.SetPlain(1)
+	n.Rem.SetPlain(RemTrue)
+	n.Aux.SetPlain(3)
+	n.LeftH.Store(4)
+	a.Reinit(r, 2, 20)
+	if n.Key.Plain() != 2 || n.Val.Plain() != 20 {
+		t.Fatal("payload not reset")
+	}
+	if n.L.Plain() != Nil || n.R.Plain() != Nil || n.P.Plain() != Nil {
+		t.Fatal("links not reset")
+	}
+	if n.Del.Plain() != 0 || n.Rem.Plain() != RemFalse || n.Aux.Plain() != 0 {
+		t.Fatal("flags not reset")
+	}
+	if n.LeftH.Load() != 0 || n.LocalH.Load() != 1 {
+		t.Fatal("heights not reset")
+	}
+}
+
+func TestCountersExposed(t *testing.T) {
+	a := New()
+	r := a.Alloc(1, 1)
+	if a.Allocs() != 1 || a.Live() != 1 {
+		t.Fatalf("allocs=%d live=%d", a.Allocs(), a.Live())
+	}
+	a.Free(r)
+	if a.Frees() != 1 || a.Live() != 0 {
+		t.Fatalf("frees=%d live=%d", a.Frees(), a.Live())
+	}
+}

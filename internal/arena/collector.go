@@ -1,0 +1,87 @@
+package arena
+
+import "repro/internal/stm"
+
+// Collector implements the garbage-collection scheme of paper §3.4,
+// verbatim:
+//
+//	"Nodes that are successfully removed are then added to a garbage
+//	 collection list. Each application thread maintains a boolean indicating
+//	 a pending operation and a counter indicating the number of completed
+//	 operations. Before starting a traversal, the rotator thread sets a
+//	 pointer to what is currently the end of the garbage collection list and
+//	 copies all booleans and counters. After a traversal, if for every
+//	 thread its counter has increased or if its boolean is false then the
+//	 nodes up to the previously stored end pointer can be safely freed."
+//
+// The pending flag and operation counter live on stm.Thread (raised and
+// incremented by Thread.Atomic), so any operation that could hold a node
+// reference is covered. The Collector itself is single-owner: only the
+// maintenance thread calls its methods.
+type Collector struct {
+	ar   *Arena
+	list []Ref // unlink-ordered garbage, oldest first
+
+	mark int // end-of-list snapshot taken by BeginEpoch
+	snap []threadSnap
+}
+
+type threadSnap struct {
+	th      *stm.Thread
+	pending bool
+	count   uint64
+}
+
+// NewCollector creates a collector freeing into ar.
+func NewCollector(ar *Arena) *Collector {
+	return &Collector{ar: ar}
+}
+
+// Defer queues a physically removed node for reclamation after a safe epoch.
+func (c *Collector) Defer(r Ref) {
+	c.list = append(c.list, r)
+}
+
+// PendingCount returns the number of queued, not-yet-freed nodes.
+func (c *Collector) PendingCount() int { return len(c.list) }
+
+// BeginEpoch snapshots the end of the garbage list and every thread's
+// pending flag and operation counter. Call it before a maintenance
+// traversal.
+func (c *Collector) BeginEpoch(threads []*stm.Thread) {
+	c.mark = len(c.list)
+	c.snap = c.snap[:0]
+	for _, th := range threads {
+		c.snap = append(c.snap, threadSnap{
+			th:      th,
+			pending: th.Pending(),
+			count:   th.OpCount(),
+		})
+	}
+}
+
+// TryFree frees the nodes queued before the last BeginEpoch if every
+// snapshotted thread has since completed an operation or was idle at
+// snapshot time. It returns the number of nodes freed (0 when the epoch has
+// not expired). Call it after the maintenance traversal.
+func (c *Collector) TryFree() int {
+	if c.mark == 0 {
+		return 0
+	}
+	for _, s := range c.snap {
+		if !s.pending {
+			continue // was idle: held no references at snapshot time
+		}
+		if s.th.OpCount() == s.count {
+			// Still (or again) inside the same operation: unsafe.
+			return 0
+		}
+	}
+	n := c.mark
+	for _, r := range c.list[:n] {
+		c.ar.Free(r)
+	}
+	c.list = append(c.list[:0], c.list[n:]...)
+	c.mark = 0
+	return n
+}

@@ -1,0 +1,277 @@
+// Package bench is the synchrobench-style integer-set micro-benchmark
+// harness of the paper's evaluation (§5.1–5.4): concurrent threads apply a
+// mix of contains / insert / delete / move operations to one tree for a
+// fixed duration, and the harness reports throughput (operations per
+// microsecond, the paper's unit), effective-update accounting, abort rates
+// and the transactional-read ceilings of Table 1.
+//
+// Two methodological details follow the paper explicitly:
+//
+//   - Effective updates. "We consider the effective update ratios of
+//     synchrobench counting only modifications and ignoring the operations
+//     that fail." In effective mode each thread alternates inserting a
+//     fresh random key with deleting a key it previously inserted, so
+//     almost every attempted update modifies the structure; the measured
+//     effective ratio is reported alongside.
+//
+//   - Biased workload (Fig. 3 right). "Inserting (resp. deleting) random
+//     values skewed towards high (resp. low) numbers in the value range:
+//     the values ... are skewed with a fixed probability by incrementing
+//     (resp. decrementing) with an integer uniformly taken within [0..9]."
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sftree"
+	"repro/internal/stm"
+	"repro/internal/trees"
+)
+
+// Workload describes the operation mix and key distribution.
+type Workload struct {
+	// KeyRange is the size of the key universe; the initial fill inserts
+	// each key with probability 1/2, so the expected initial size is
+	// KeyRange/2 (the paper fixes the expectation to 2^12 this way).
+	KeyRange uint64
+	// UpdatePercent is the percentage of operations that attempt an
+	// insert or delete (the paper's update ratio).
+	UpdatePercent int
+	// MovePercent is the percentage of operations that are composed move
+	// operations (Fig. 5(b)); they count within the update budget.
+	MovePercent int
+	// Biased enables the skewed insert-high/delete-low workload.
+	Biased bool
+	// Effective selects the effective-update discipline described above;
+	// when false, updates pick uniform random keys and may fail (the
+	// attempted-ratio regime of Table 1).
+	Effective bool
+}
+
+// Options configures one benchmark run.
+type Options struct {
+	Kind     trees.Kind
+	Mode     stm.Mode
+	Threads  int
+	Duration time.Duration
+	Workload Workload
+	Seed     int64
+	// YieldEvery enables the STM's interleaving simulation (stm.WithYield):
+	// worker threads yield after that many transactional accesses, so
+	// transactions overlap even when the host has fewer cores than workers.
+	// 0 disables.
+	YieldEvery int
+}
+
+// Result reports one run's measurements.
+type Result struct {
+	Kind    trees.Kind
+	Mode    stm.Mode
+	Threads int
+	Elapsed time.Duration
+
+	Ops              uint64  // operations completed
+	EffectiveUpdates uint64  // updates that modified the abstraction
+	EffectiveMoves   uint64  // moves that relocated a value
+	Throughput       float64 // operations per microsecond (paper's unit)
+	EffectiveRatio   float64 // effective updates / ops
+
+	STM       stm.Stats    // summed over worker threads
+	TreeStats sftree.Stats // zero for non-SF trees
+	Rotations uint64       // tree rotations (see trees.Rotations)
+}
+
+// Run executes one benchmark: build, fill, start maintenance, hammer for
+// the configured duration, and collect statistics.
+func Run(o Options) Result {
+	if o.Threads < 1 {
+		panic("bench: Threads must be >= 1")
+	}
+	if o.Workload.KeyRange < 2 {
+		panic("bench: KeyRange must be >= 2")
+	}
+	s := stm.New(stm.WithMode(o.Mode), stm.WithYield(o.YieldEvery))
+	m := trees.New(o.Kind, s)
+	fill(m, s, o.Workload.KeyRange, o.Seed)
+
+	stopMaint := trees.Start(m)
+	defer stopMaint()
+
+	var stopFlag atomic.Bool
+	var start, ready sync.WaitGroup
+	workers := make([]*Runner, o.Threads)
+	start.Add(1)
+	for i := range workers {
+		w := NewRunner(m, s.NewThread(), o.Workload, o.Seed+int64(i)*7919+1)
+		workers[i] = w
+		ready.Add(1)
+		go func() {
+			start.Wait()
+			for !stopFlag.Load() {
+				w.Step()
+			}
+			ready.Done()
+		}()
+	}
+	t0 := time.Now()
+	start.Done()
+	time.Sleep(o.Duration)
+	stopFlag.Store(true)
+	ready.Wait()
+	elapsed := time.Since(t0)
+
+	res := Result{Kind: o.Kind, Mode: o.Mode, Threads: o.Threads, Elapsed: elapsed}
+	for _, w := range workers {
+		res.Ops += w.Ops
+		res.EffectiveUpdates += w.EffUpdates
+		res.EffectiveMoves += w.EffMoves
+		res.STM.Add(w.th.Stats())
+	}
+	res.Throughput = float64(res.Ops) / (float64(elapsed.Nanoseconds()) / 1e3)
+	if res.Ops > 0 {
+		res.EffectiveRatio = float64(res.EffectiveUpdates) / float64(res.Ops)
+	}
+	if sf, ok := m.(interface{ Stats() sftree.Stats }); ok {
+		res.TreeStats = sf.Stats()
+	}
+	if rot, ok := trees.Rotations(m); ok {
+		res.Rotations = rot
+	}
+	return res
+}
+
+// fill initializes the set: every key in [0, keyRange) is inserted with
+// probability 1/2, in a shuffled order so that even the never-rebalancing
+// tree starts from an ordinary random BST (inserting in ascending order
+// would hand it a linked list before the measurement begins). Maintenance,
+// where present, is then quiesced so every library starts balanced, as the
+// paper's initialized sets do.
+func fill(m trees.Map, s *stm.STM, keyRange uint64, seed int64) {
+	th := s.NewThread()
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	keys := rng.Perm(int(keyRange))
+	for _, k := range keys {
+		if rng.Intn(2) == 0 {
+			m.Insert(th, uint64(k), uint64(k))
+		}
+	}
+	trees.Quiesce(m, 1<<20)
+}
+
+// Runner executes one thread's operation stream against a tree; the Run
+// harness drives one per worker, and the root-level testing.B benchmarks
+// drive them directly with b.N-controlled iteration.
+type Runner struct {
+	m   trees.Map
+	th  *stm.Thread
+	rng *rand.Rand
+	wl  Workload
+
+	Ops        uint64 // operations completed
+	EffUpdates uint64 // updates that modified the abstraction
+	EffMoves   uint64 // moves that relocated a value
+
+	// insert/delete alternation state for effective mode: keys this worker
+	// inserted and has not yet deleted.
+	owned    []uint64
+	doInsert bool
+}
+
+// NewRunner creates a Runner with its own deterministic random stream.
+func NewRunner(m trees.Map, th *stm.Thread, wl Workload, seed int64) *Runner {
+	return &Runner{m: m, th: th, rng: rand.New(rand.NewSource(seed)), wl: wl}
+}
+
+// Thread exposes the runner's STM thread (for statistics collection).
+func (w *Runner) Thread() *stm.Thread { return w.th }
+
+// Step executes one operation drawn from the workload mix.
+func (w *Runner) Step() {
+	defer func() { w.Ops++ }()
+	roll := w.rng.Intn(100)
+	switch {
+	case roll < w.wl.MovePercent:
+		src := w.key(false)
+		dst := w.key(true)
+		if trees.Move(w.m, w.th, src, dst) {
+			w.EffMoves++
+			w.EffUpdates++
+		}
+	case roll < w.wl.UpdatePercent:
+		if w.wl.Effective {
+			w.effectiveUpdate()
+		} else {
+			w.randomUpdate()
+		}
+	default:
+		w.m.Contains(w.th, w.key(w.rng.Intn(2) == 0))
+	}
+}
+
+// effectiveUpdate alternates inserting a fresh key with deleting a
+// previously inserted one, keeping the set size stable and the effective
+// ratio close to the attempted one.
+func (w *Runner) effectiveUpdate() {
+	if w.doInsert || len(w.owned) == 0 {
+		k := w.key(true)
+		if w.m.Insert(w.th, k, k) {
+			w.owned = append(w.owned, k)
+			w.EffUpdates++
+			w.doInsert = false
+		}
+		return
+	}
+	k := w.owned[len(w.owned)-1]
+	w.owned = w.owned[:len(w.owned)-1]
+	if w.wl.Biased {
+		// Deletions target low keys under bias; deleting an owned key
+		// would cancel the skew the workload is supposed to create.
+		k = w.key(false)
+	}
+	if w.m.Delete(w.th, k) {
+		w.EffUpdates++
+	}
+	w.doInsert = true
+}
+
+// randomUpdate attempts an insert or delete of a uniform random key with
+// equal probability (Table 1's regime: the expected size stays constant,
+// failures count as read-only operations).
+func (w *Runner) randomUpdate() {
+	k := w.key(w.rng.Intn(2) == 0)
+	if w.rng.Intn(2) == 0 {
+		if w.m.Insert(w.th, k, k) {
+			w.EffUpdates++
+		}
+	} else {
+		if w.m.Delete(w.th, k) {
+			w.EffUpdates++
+		}
+	}
+}
+
+// key draws a key; under bias, keys for inserts (forInsert=true) are skewed
+// high and keys for deletes/lookups low, by ±U[0..9] as in the paper.
+func (w *Runner) key(forInsert bool) uint64 {
+	k := uint64(w.rng.Int63n(int64(w.wl.KeyRange)))
+	if !w.wl.Biased {
+		return k
+	}
+	d := uint64(w.rng.Intn(10))
+	if forInsert {
+		k += d
+		if k >= w.wl.KeyRange {
+			k = w.wl.KeyRange - 1
+		}
+	} else {
+		if k < d {
+			k = 0
+		} else {
+			k -= d
+		}
+	}
+	return k
+}

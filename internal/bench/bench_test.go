@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stm"
+	"repro/internal/trees"
+)
+
+func quickOpts(kind trees.Kind) Options {
+	return Options{
+		Kind:     kind,
+		Mode:     stm.CTL,
+		Threads:  2,
+		Duration: 30 * time.Millisecond,
+		Workload: Workload{KeyRange: 1 << 8, UpdatePercent: 20, Effective: true},
+		Seed:     1,
+	}
+}
+
+func TestRunAllKinds(t *testing.T) {
+	for _, kind := range trees.Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			res := Run(quickOpts(kind))
+			if res.Ops == 0 {
+				t.Fatal("no operations completed")
+			}
+			if res.Throughput <= 0 {
+				t.Fatalf("throughput = %v", res.Throughput)
+			}
+			if res.STM.Commits == 0 {
+				t.Fatal("no commits recorded")
+			}
+			if res.Kind != kind || res.Threads != 2 {
+				t.Fatal("result metadata wrong")
+			}
+		})
+	}
+}
+
+func TestEffectiveRatioTracksTarget(t *testing.T) {
+	o := quickOpts(trees.SFOpt)
+	o.Duration = 80 * time.Millisecond
+	o.Workload.UpdatePercent = 40
+	res := Run(o)
+	// Effective mode should convert most attempted updates into effective
+	// ones; allow generous slack for the warm-up prefix.
+	if res.EffectiveRatio < 0.20 || res.EffectiveRatio > 0.45 {
+		t.Fatalf("effective ratio %.3f far from 0.40 target", res.EffectiveRatio)
+	}
+}
+
+func TestReadOnlyWorkloadHasNoUpdates(t *testing.T) {
+	o := quickOpts(trees.SF)
+	o.Workload.UpdatePercent = 0
+	res := Run(o)
+	if res.EffectiveUpdates != 0 {
+		t.Fatalf("updates in a 0%% update run: %d", res.EffectiveUpdates)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no ops")
+	}
+}
+
+func TestMoveWorkload(t *testing.T) {
+	o := quickOpts(trees.SFOpt)
+	o.Workload.UpdatePercent = 10
+	o.Workload.MovePercent = 5
+	o.Duration = 60 * time.Millisecond
+	res := Run(o)
+	if res.EffectiveMoves == 0 {
+		t.Fatal("no effective moves despite 5% move mix")
+	}
+}
+
+func TestBiasedWorkloadRuns(t *testing.T) {
+	o := quickOpts(trees.NR)
+	o.Workload.Biased = true
+	o.Workload.UpdatePercent = 20
+	res := Run(o)
+	if res.Ops == 0 {
+		t.Fatal("biased run did no work")
+	}
+}
+
+func TestModesWork(t *testing.T) {
+	for _, mode := range []stm.Mode{stm.CTL, stm.ETL, stm.Elastic} {
+		o := quickOpts(trees.SF)
+		o.Mode = mode
+		res := Run(o)
+		if res.Ops == 0 {
+			t.Fatalf("mode %v: no ops", mode)
+		}
+		if res.Mode != mode {
+			t.Fatal("mode metadata wrong")
+		}
+	}
+}
+
+func TestMaxOpReadsRecorded(t *testing.T) {
+	o := quickOpts(trees.RB)
+	o.Workload.Effective = false
+	o.Workload.UpdatePercent = 30
+	res := Run(o)
+	if res.STM.MaxOpReads == 0 {
+		t.Fatal("MaxOpReads not recorded")
+	}
+	// A lookup on a 2^8-element balanced tree needs at least ~log2(128)
+	// reads; the recorded ceiling cannot be smaller.
+	if res.STM.MaxOpReads < 5 {
+		t.Fatalf("MaxOpReads = %d, implausibly small", res.STM.MaxOpReads)
+	}
+}
+
+func TestRotationsReportedForSF(t *testing.T) {
+	o := quickOpts(trees.SFOpt)
+	o.Workload.UpdatePercent = 40
+	o.Duration = 80 * time.Millisecond
+	res := Run(o)
+	if res.TreeStats.Passes == 0 {
+		t.Fatal("maintenance never ran during the benchmark")
+	}
+}
+
+func TestBadOptionsPanic(t *testing.T) {
+	for name, o := range map[string]Options{
+		"threads":  {Kind: trees.SF, Threads: 0, Workload: Workload{KeyRange: 8}},
+		"keyrange": {Kind: trees.SF, Threads: 1, Workload: Workload{KeyRange: 1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			Run(o)
+		}()
+	}
+}

@@ -1,0 +1,271 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stm"
+)
+
+func newTree() (*Tree, *stm.Thread) {
+	s := stm.New()
+	return New(s), s.NewThread()
+}
+
+func TestEmpty(t *testing.T) {
+	tr, th := newTree()
+	if tr.Contains(th, 1) || tr.Delete(th, 1) || tr.Size(th) != 0 {
+		t.Fatal("empty tree misbehaves")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicOps(t *testing.T) {
+	tr, th := newTree()
+	if !tr.Insert(th, 5, 50) || tr.Insert(th, 5, 51) {
+		t.Fatal("insert semantics")
+	}
+	if v, ok := tr.Get(th, 5); !ok || v != 50 {
+		t.Fatalf("get = (%d,%v)", v, ok)
+	}
+	if !tr.Delete(th, 5) || tr.Delete(th, 5) {
+		t.Fatal("delete semantics")
+	}
+	if !tr.Insert(th, 5, 52) {
+		t.Fatal("reinsert after delete failed")
+	}
+	if v, _ := tr.Get(th, 5); v != 52 {
+		t.Fatal("stale value after reinsert")
+	}
+}
+
+func TestRootDeletion(t *testing.T) {
+	tr, th := newTree()
+	tr.Insert(th, 1, 1)
+	if !tr.Delete(th, 1) {
+		t.Fatal("delete sole root failed")
+	}
+	if tr.Size(th) != 0 {
+		t.Fatal("tree not empty after deleting root")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedInsertInvariants(t *testing.T) {
+	tr, th := newTree()
+	const n = 512
+	for k := uint64(0); k < n; k++ {
+		tr.Insert(th, k, k)
+		if k%64 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", k+1, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rotations() == 0 {
+		t.Fatal("sorted insertion triggered no rotations")
+	}
+	if got := tr.Size(th); got != n {
+		t.Fatalf("size = %d", got)
+	}
+}
+
+func TestDeleteAllPermutations(t *testing.T) {
+	// Insert 0..N-1, delete in random order, validating RB invariants after
+	// every step. This is the classic fixAfterDeletion gauntlet.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 8; trial++ {
+		tr, th := newTree()
+		const n = 64
+		for k := uint64(0); k < n; k++ {
+			tr.Insert(th, k, k)
+		}
+		perm := rng.Perm(n)
+		for i, kid := range perm {
+			if !tr.Delete(th, uint64(kid)) {
+				t.Fatalf("trial %d: delete(%d) failed", trial, kid)
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d after %d deletions: %v", trial, i+1, err)
+			}
+		}
+		if tr.Size(th) != 0 {
+			t.Fatalf("trial %d: tree not empty", trial)
+		}
+	}
+}
+
+func TestOracleRandomOps(t *testing.T) {
+	tr, th := newTree()
+	oracle := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 6000; i++ {
+		k := uint64(rng.Intn(150))
+		switch rng.Intn(3) {
+		case 0:
+			_, exists := oracle[k]
+			if got := tr.Insert(th, k, uint64(i)); got == exists {
+				t.Fatalf("op %d insert(%d)=%v exists=%v", i, k, got, exists)
+			}
+			if !exists {
+				oracle[k] = uint64(i)
+			}
+		case 1:
+			_, exists := oracle[k]
+			if got := tr.Delete(th, k); got != exists {
+				t.Fatalf("op %d delete(%d)=%v want %v", i, k, got, exists)
+			}
+			delete(oracle, k)
+		default:
+			v, exists := oracle[k]
+			gv, gok := tr.Get(th, k)
+			if gok != exists || (exists && gv != v) {
+				t.Fatalf("op %d get(%d)=(%d,%v) want (%d,%v)", i, k, gv, gok, v, exists)
+			}
+		}
+		if i%493 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	f := func(keys []uint16, deletes []uint16) bool {
+		tr, th := newTree()
+		oracle := map[uint64]bool{}
+		for _, k16 := range keys {
+			k := uint64(k16)
+			if tr.Insert(th, k, k) == oracle[k] {
+				return false
+			}
+			oracle[k] = true
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		for _, k16 := range deletes {
+			k := uint64(k16)
+			if tr.Delete(th, k) != oracle[k] {
+				return false
+			}
+			delete(oracle, k)
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		ks := tr.Keys(th)
+		if len(ks) != len(oracle) || !sort.SliceIsSorted(ks, func(a, b int) bool { return ks[a] < ks[b] }) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDisjointRanges(t *testing.T) {
+	s := stm.New()
+	tr := New(s)
+	const goroutines = 4
+	const rangeSize = 40
+	oracles := make([]map[uint64]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		th := s.NewThread()
+		oracles[g] = map[uint64]uint64{}
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g * rangeSize)
+			rng := rand.New(rand.NewSource(int64(g + 500)))
+			for i := 0; i < 500; i++ {
+				k := base + uint64(rng.Intn(rangeSize))
+				if rng.Intn(2) == 0 {
+					if tr.Insert(th, k, uint64(i)) {
+						oracles[g][k] = uint64(i)
+					}
+				} else {
+					if tr.Delete(th, k) {
+						delete(oracles[g], k)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	th := s.NewThread()
+	for g := 0; g < goroutines; g++ {
+		base := uint64(g * rangeSize)
+		for off := uint64(0); off < rangeSize; off++ {
+			k := base + off
+			want, wantOK := oracles[g][k]
+			got, gotOK := tr.Get(th, k)
+			if gotOK != wantOK || (wantOK && got != want) {
+				t.Fatalf("key %d: (%d,%v) want (%d,%v)", k, got, gotOK, want, wantOK)
+			}
+		}
+	}
+}
+
+func TestSingleKeyLinearizability(t *testing.T) {
+	s := stm.New()
+	tr := New(s)
+	const k = uint64(3)
+	const goroutines = 5
+	results := make([][2]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		th := s.NewThread()
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			var ins, del uint64
+			for i := 0; i < 300; i++ {
+				if rng.Intn(2) == 0 {
+					if tr.Insert(th, k, 1) {
+						ins++
+					}
+				} else if tr.Delete(th, k) {
+					del++
+				}
+			}
+			results[g] = [2]uint64{ins, del}
+		}(g)
+	}
+	wg.Wait()
+	var ins, del uint64
+	for _, r := range results {
+		ins += r[0]
+		del += r[1]
+	}
+	present := tr.Contains(s.NewThread(), k)
+	if ins != del && ins != del+1 {
+		t.Fatalf("impossible: %d inserts, %d deletes", ins, del)
+	}
+	if present != (ins == del+1) {
+		t.Fatalf("final presence %v inconsistent with %d/%d", present, ins, del)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

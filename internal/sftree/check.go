@@ -1,0 +1,136 @@
+package sftree
+
+import (
+	"fmt"
+
+	"repro/internal/arena"
+)
+
+// CheckInvariants validates the structural invariants of the tree with
+// plain (non-transactional) reads. It must only be called while the tree is
+// quiescent: no concurrent abstract operations and no running maintenance.
+//
+// Checked invariants:
+//
+//   - the root is the immutable +∞ sentinel with an empty right subtree;
+//   - reachable nodes form a valid binary search tree (strict key order);
+//   - no reachable node carries a removed flag (Lemma 5: removed nodes have
+//     no path from the root);
+//   - no key appears twice.
+func (t *Tree) CheckInvariants() error {
+	rootN := t.node(t.root)
+	if rootN.Key.Plain() != MaxKey {
+		return fmt.Errorf("root key = %d, want MaxKey sentinel", rootN.Key.Plain())
+	}
+	if rootN.R.Plain() != arena.Nil {
+		return fmt.Errorf("root sentinel has a right child")
+	}
+	seen := make(map[uint64]bool)
+	_, _, err := t.checkRec(rootN.L.Plain(), 0, false, MaxKey, true, seen)
+	return err
+}
+
+// checkRec walks the subtree verifying order bounds (lo, hi), exclusive on
+// the sides where the corresponding flag is set.
+func (t *Tree) checkRec(ref arena.Ref, lo uint64, loSet bool, hi uint64, hiSet bool, seen map[uint64]bool) (height int, size int, err error) {
+	if ref == arena.Nil {
+		return 0, 0, nil
+	}
+	n := t.node(ref)
+	k := n.Key.Plain()
+	if arena.Removed(n.Rem.Plain()) {
+		return 0, 0, fmt.Errorf("node %d (key %d) reachable with removed flag %d", ref, k, n.Rem.Plain())
+	}
+	if loSet && k <= lo {
+		return 0, 0, fmt.Errorf("key %d violates lower bound %d", k, lo)
+	}
+	if hiSet && k >= hi {
+		return 0, 0, fmt.Errorf("key %d violates upper bound %d", k, hi)
+	}
+	if seen[k] {
+		return 0, 0, fmt.Errorf("key %d appears twice", k)
+	}
+	seen[k] = true
+	lh, ls, err := t.checkRec(n.L.Plain(), lo, loSet, k, true, seen)
+	if err != nil {
+		return 0, 0, err
+	}
+	rh, rs, err := t.checkRec(n.R.Plain(), k, true, hi, hiSet, seen)
+	if err != nil {
+		return 0, 0, err
+	}
+	h := 1 + lh
+	if rh >= lh {
+		h = 1 + rh
+	}
+	return h, 1 + ls + rs, nil
+}
+
+// CheckBalanced reports an error if any reachable node's actual subtree
+// heights differ by more than slack. With slack 1 this is the AVL balance
+// condition, which the tree converges to after Quiesce (the relaxed
+// rebalancing of Bougé et al. is self-stabilizing).
+func (t *Tree) CheckBalanced(slack int) error {
+	_, err := t.balanceRec(t.node(t.root).L.Plain(), slack)
+	return err
+}
+
+func (t *Tree) balanceRec(ref arena.Ref, slack int) (int, error) {
+	if ref == arena.Nil {
+		return 0, nil
+	}
+	n := t.node(ref)
+	lh, err := t.balanceRec(n.L.Plain(), slack)
+	if err != nil {
+		return 0, err
+	}
+	rh, err := t.balanceRec(n.R.Plain(), slack)
+	if err != nil {
+		return 0, err
+	}
+	diff := lh - rh
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > slack {
+		return 0, fmt.Errorf("node key %d unbalanced: left height %d, right height %d (slack %d)",
+			n.Key.Plain(), lh, rh, slack)
+	}
+	h := 1 + lh
+	if rh > lh {
+		h = 1 + rh
+	}
+	return h, nil
+}
+
+// Height returns the actual height of the tree (plain reads; quiescent use).
+func (t *Tree) Height() int {
+	return t.heightRec(t.node(t.root).L.Plain())
+}
+
+func (t *Tree) heightRec(ref arena.Ref) int {
+	if ref == arena.Nil {
+		return 0
+	}
+	n := t.node(ref)
+	lh := t.heightRec(n.L.Plain())
+	rh := t.heightRec(n.R.Plain())
+	if lh > rh {
+		return 1 + lh
+	}
+	return 1 + rh
+}
+
+// PhysicalSize counts all reachable nodes, including logically deleted ones
+// still awaiting physical removal (plain reads; quiescent use).
+func (t *Tree) PhysicalSize() int {
+	return t.physRec(t.node(t.root).L.Plain())
+}
+
+func (t *Tree) physRec(ref arena.Ref) int {
+	if ref == arena.Nil {
+		return 0
+	}
+	n := t.node(ref)
+	return 1 + t.physRec(n.L.Plain()) + t.physRec(n.R.Plain())
+}

@@ -1,0 +1,127 @@
+package sftree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+// TestDebugBalanceConvergence is a focused reproduction harness for the
+// convergence of the distributed rebalancing under delete-heavy sequential
+// workloads.
+func TestDebugBalanceConvergence(t *testing.T) {
+	tr, th := newTree(t, Portable)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		hi := uint64(8192 + rng.Intn(8192))
+		lo := uint64(rng.Intn(8192))
+		tr.Insert(th, hi, hi)
+		tr.Delete(th, lo)
+	}
+	for pass := 0; pass < 200; pass++ {
+		w := tr.RunMaintenancePass()
+		if w == 0 {
+			t.Logf("quiesced after %d passes, stats %+v", pass, tr.Stats())
+			break
+		}
+	}
+	if err := tr.CheckBalanced(1); err != nil {
+		t.Logf("imbalance after quiesce: %v", err)
+		st := tr.Stats()
+		t.Logf("stats: %+v physSize=%d height=%d", st, tr.PhysicalSize(), tr.Height())
+		// Run extra passes to see whether it is slow convergence or a
+		// genuine fixpoint short of balance.
+		for pass := 0; pass < 2000; pass++ {
+			tr.RunMaintenancePass()
+		}
+		if err2 := tr.CheckBalanced(1); err2 != nil {
+			t.Fatalf("still unbalanced after 2000 extra passes: %v (stats %+v)", err2, tr.Stats())
+		}
+		t.Fatalf("converged only after extra passes: Quiesce's zero-work test is wrong: %v", err)
+	}
+}
+
+// TestCoupledMaintenanceEquivalence checks the ablation pass produces the
+// same quiescent structure guarantees as the distributed one.
+func TestCoupledMaintenanceEquivalence(t *testing.T) {
+	tr, th := newTree(t, Portable)
+	const n = 512
+	for k := uint64(0); k < n; k++ {
+		tr.Insert(th, k, k)
+	}
+	for k := uint64(0); k < n; k += 3 {
+		tr.Delete(th, k)
+	}
+	for pass := 0; pass < 100; pass++ {
+		if tr.RunMaintenancePassCoupled() == 0 {
+			break
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckBalanced(1); err != nil {
+		t.Fatal(err)
+	}
+	want := n - (n+2)/3
+	if got := tr.Size(th); got != want {
+		t.Fatalf("size = %d, want %d", got, want)
+	}
+	if tr.Stats().Removals == 0 || tr.Stats().Rotations == 0 {
+		t.Fatalf("coupled pass did no structural work: %+v", tr.Stats())
+	}
+	// Deleted nodes with at most one child must be gone.
+	if phys := tr.PhysicalSize(); phys > want+n/6 {
+		t.Fatalf("physical size %d suggests removals did not happen (abstract %d)", phys, want)
+	}
+}
+
+// TestCoupledMaintenanceUnderConcurrency: the coupled pass must remain
+// correct (it is a transaction like any other) even though it conflicts
+// with everything; this is exactly the behaviour the ablation bench
+// quantifies.
+func TestCoupledMaintenanceUnderConcurrency(t *testing.T) {
+	s := stm.New(stm.WithYield(4))
+	tr := New(s, WithVariant(Portable))
+	th := s.NewThread()
+	for k := uint64(0); k < 256; k++ {
+		tr.Insert(th, k, k)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.RunMaintenancePassCoupled()
+			}
+		}
+	}()
+	worker := s.NewThread()
+	oracle := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1500; i++ {
+		k := uint64(rng.Intn(256))
+		if rng.Intn(2) == 0 {
+			if tr.Insert(worker, k, uint64(i)) {
+				oracle[k] = uint64(i)
+			}
+		} else if tr.Delete(worker, k) {
+			delete(oracle, k)
+		}
+	}
+	close(stop)
+	<-done
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range oracle {
+		if got, ok := tr.Get(worker, k); !ok || got != want {
+			t.Fatalf("key %d: (%d,%v), want (%d,true)", k, got, ok, want)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package sftree
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/arena"
+)
+
+// maintYieldStride bounds how many nodes a maintenance traversal visits
+// before yielding the processor. Without it, a long depth-first pass can
+// monopolize whole scheduler quanta on hosts with few cores while the
+// application threads (which block on transactional conflicts and yields)
+// starve — the pass itself is cheap, but it must stay interleaved.
+const maintYieldStride = 64
+
+// This file implements the maintenance ("rotator") thread of the paper:
+// a single background goroutine that continuously executes a depth-first
+// traversal of the tree to
+//
+//  1. propagate balance information (§3.1 "Propagation"): refresh each
+//     node's left-h/right-h from its children's local-h — these are plain
+//     node-local atomics that no abstract transaction reads, so propagation
+//     never conflicts;
+//  2. physically remove logically deleted nodes with at most one child
+//     (§3.2), each removal being its own transaction;
+//  3. perform node-local rotations where the estimated child heights differ
+//     by more than one (§3.1), each rotation being its own transaction —
+//     the distributed rotation mechanism; and
+//  4. garbage-collect unlinked nodes with the §3.4 epoch scheme.
+
+// Start launches the maintenance goroutine. It is idempotent while running.
+func (t *Tree) Start() {
+	if t.running.Swap(true) {
+		return
+	}
+	t.stop.Store(false)
+	t.done = make(chan struct{})
+	go t.maintLoop()
+}
+
+// Stop halts the maintenance goroutine and waits for it to finish its
+// current pass. It is a no-op when maintenance is not running.
+func (t *Tree) Stop() {
+	if !t.running.Load() {
+		return
+	}
+	t.stop.Store(true)
+	<-t.done
+	t.stop.Store(false) // leave manual RunMaintenancePass/Quiesce usable
+	t.running.Store(false)
+}
+
+func (t *Tree) maintLoop() {
+	defer close(t.done)
+	for !t.stop.Load() {
+		if work := t.RunMaintenancePass(); work == 0 {
+			// Balanced and clean: avoid burning a core spinning over an
+			// idle tree.
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// RunMaintenancePass executes one full maintenance traversal synchronously:
+// one garbage-collection epoch around one depth-first propagate/remove/
+// rotate sweep. It returns the amount of structural work done (rotations +
+// removals + nodes freed); a return of 0 means the tree was balanced, fully
+// unlinked and garbage-free. It must not be called concurrently with Start.
+func (t *Tree) RunMaintenancePass() int {
+	t.collector.BeginEpoch(t.stm.Threads())
+	rootN := t.node(t.root)
+	h, work := t.maintain(t.root, true, rootN.L.Plain())
+	rootN.LeftH.Store(h)
+	rootN.LocalH.Store(h + 1)
+	freed := t.collector.TryFree()
+	t.freed.Add(uint64(freed))
+	t.passes.Add(1)
+	return work + freed
+}
+
+// Quiesce runs maintenance passes until one does no work (or maxPasses is
+// hit), leaving the tree balanced and physically clean. Intended for tests
+// and for phase changes in benchmarks; concurrent updates may legitimately
+// prevent quiescence, hence the bound.
+func (t *Tree) Quiesce(maxPasses int) bool {
+	for i := 0; i < maxPasses; i++ {
+		if t.RunMaintenancePass() == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// maintain processes the subtree rooted at ref (a child of parentRef on the
+// side given by leftChild) and returns its estimated height plus the number
+// of structural changes performed. The traversal reads the structure with
+// plain atomic loads: the maintenance thread is the only structural writer
+// besides leaf-appending inserts, so the nodes it walks cannot be unlinked
+// under it, and every actual modification is re-validated inside its own
+// transaction.
+func (t *Tree) maintain(parentRef arena.Ref, leftChild bool, ref arena.Ref) (int32, int) {
+	if ref == arena.Nil {
+		return 0, 0
+	}
+	if t.stop.Load() {
+		return t.heightOf(ref), 0
+	}
+	t.maintVisits++
+	if t.maintVisits%maintYieldStride == 0 {
+		runtime.Gosched()
+	}
+	n := t.node(ref)
+	// Physical removal (§3.2): logically deleted nodes with at most one
+	// child are unlinked; nodes with two children stay (the paper found
+	// removing ≤1-child nodes keeps the tree from growing, §3.3).
+	if n.Del.Plain() != 0 {
+		l, r := n.L.Plain(), n.R.Plain()
+		if l == arena.Nil || r == arena.Nil {
+			if repl, _, ok := t.removeChild(parentRef, leftChild); ok {
+				h, w := t.maintain(parentRef, leftChild, repl)
+				return h, w + 1
+			}
+		}
+	}
+	// Post-order: settle the children first so the heights we propagate
+	// are the freshest available estimates.
+	lh, lw := t.maintain(ref, true, n.L.Plain())
+	rh, rw := t.maintain(ref, false, n.R.Plain())
+	n.LeftH.Store(lh)
+	n.RightH.Store(rh)
+	n.LocalH.Store(1 + maxi32(lh, rh))
+	work := lw + rw
+
+	// Rebalance (§3.1): trigger when the estimated child heights differ by
+	// more than one. A double rotation is expressed as two node-local single
+	// rotations, each its own transaction, exactly in the spirit of the
+	// distributed rotation mechanism (Bougé et al.'s height-relaxed AVL).
+	switch {
+	case lh > rh+1:
+		if l := n.L.Plain(); l != arena.Nil {
+			ln := t.node(l)
+			if ln.RightH.Load() > ln.LeftH.Load() {
+				if t.rotateLeft(ref, true) {
+					work++
+				}
+			}
+			if t.rotateRight(parentRef, leftChild) {
+				work++
+			}
+		}
+	case rh > lh+1:
+		if r := n.R.Plain(); r != arena.Nil {
+			rn := t.node(r)
+			if rn.LeftH.Load() > rn.RightH.Load() {
+				if t.rotateRight(ref, false) {
+					work++
+				}
+			}
+			if t.rotateLeft(parentRef, leftChild) {
+				work++
+			}
+		}
+	}
+	// The subtree root may have changed (rotation or removal); report the
+	// estimate of whatever the parent points at now.
+	var cur arena.Ref
+	p := t.node(parentRef)
+	if leftChild {
+		cur = p.L.Plain()
+	} else {
+		cur = p.R.Plain()
+	}
+	return t.heightOf(cur), work
+}

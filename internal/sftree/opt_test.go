@@ -1,0 +1,274 @@
+package sftree
+
+import (
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/stm"
+)
+
+// Directed white-box tests for the Algorithm 2 machinery: copy-on-rotate,
+// removed-node signposting, and traversal recovery through removed nodes.
+
+// buildOpt inserts keys into an optimized tree and returns it.
+func buildOpt(t *testing.T, keys ...uint64) (*Tree, *stm.Thread) {
+	t.Helper()
+	s := stm.New()
+	tr := New(s, WithVariant(Optimized))
+	th := s.NewThread()
+	for _, k := range keys {
+		if !tr.Insert(th, k, k*10) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	return tr, th
+}
+
+// refOf walks plainly to the node with key k (quiescent helper).
+func refOf(t *testing.T, tr *Tree, k uint64) arena.Ref {
+	t.Helper()
+	ref := tr.node(tr.root).L.Plain()
+	for ref != arena.Nil {
+		n := tr.node(ref)
+		switch {
+		case n.Key.Plain() == k:
+			return ref
+		case k < n.Key.Plain():
+			ref = n.L.Plain()
+		default:
+			ref = n.R.Plain()
+		}
+	}
+	t.Fatalf("key %d not reachable", k)
+	return arena.Nil
+}
+
+func TestOptRightRotationCopies(t *testing.T) {
+	// Shape: 30 -> (20 -> (10, 25), 40). Right rotation at 30 (left child
+	// of the sentinel) must rise 20, copy 30 into a fresh node, and leave
+	// the original 30 marked removed with its old children intact.
+	tr, th := buildOpt(t, 30, 20, 40, 10, 25)
+	old30 := refOf(t, tr, 30)
+	if !tr.rotateRight(tr.root, true) {
+		t.Fatal("rotation failed")
+	}
+	oldNode := tr.node(old30)
+	if oldNode.Rem.Plain() != arena.RemTrue {
+		t.Fatalf("original 30 removed flag = %d, want RemTrue", oldNode.Rem.Plain())
+	}
+	// Original keeps its pre-rotation children: left=20, right=40.
+	if tr.node(oldNode.L.Plain()).Key.Plain() != 20 {
+		t.Fatal("original 30 lost its left signpost")
+	}
+	if tr.node(oldNode.R.Plain()).Key.Plain() != 40 {
+		t.Fatal("original 30 lost its right signpost")
+	}
+	// The tree now has 20 at the top with a fresh copy of 30.
+	top := tr.node(tr.root).L.Plain()
+	if tr.node(top).Key.Plain() != 20 {
+		t.Fatalf("top key = %d, want 20", tr.node(top).Key.Plain())
+	}
+	new30 := refOf(t, tr, 30)
+	if new30 == old30 {
+		t.Fatal("rotation did not copy the rotated node")
+	}
+	if tr.node(new30).Val.Plain() != 300 {
+		t.Fatal("copy lost the value")
+	}
+	// Every key still present.
+	for _, k := range []uint64{10, 20, 25, 30, 40} {
+		if !tr.Contains(th, k) {
+			t.Fatalf("key %d lost after rotation", k)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptLeftRotationMarksTrueByLeftRot(t *testing.T) {
+	// Shape: 10 -> (nil, 20 -> (15, 30)). Left rotation at 10.
+	tr, th := buildOpt(t, 10, 20, 15, 30)
+	old10 := refOf(t, tr, 10)
+	if !tr.rotateLeft(tr.root, true) {
+		t.Fatal("rotation failed")
+	}
+	if got := tr.node(old10).Rem.Plain(); got != arena.RemTrueByLeftRot {
+		t.Fatalf("left-rotated node flag = %d, want RemTrueByLeftRot", got)
+	}
+	// The special find rule: an equal-key traversal preempted on old10 must
+	// go RIGHT to reach the copy. Verify the copy is in old10's right
+	// subtree: old10.R leads to 20, whose left child is the copy of 10.
+	r := tr.node(old10).R.Plain()
+	if tr.node(r).Key.Plain() != 20 {
+		t.Fatal("signpost right child should still be 20")
+	}
+	for _, k := range []uint64{10, 15, 20, 30} {
+		if !tr.Contains(th, k) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptRemoveSignpostsToParent(t *testing.T) {
+	// 20 -> (10, 30); delete 10 logically, then physically remove it:
+	// its child pointers must both point back at 20.
+	tr, th := buildOpt(t, 20, 10, 30)
+	if !tr.Delete(th, 10) {
+		t.Fatal("delete failed")
+	}
+	parent := refOf(t, tr, 20)
+	ten := refOf(t, tr, 10)
+	repl, removed, ok := tr.removeChild(parent, true)
+	if !ok {
+		t.Fatal("removal failed")
+	}
+	if removed != ten {
+		t.Fatal("removed wrong node")
+	}
+	if repl != arena.Nil {
+		t.Fatalf("leaf removal replacement = %d, want Nil", repl)
+	}
+	n := tr.node(ten)
+	if n.Rem.Plain() != arena.RemTrue {
+		t.Fatal("removed flag not set")
+	}
+	if n.L.Plain() != parent || n.R.Plain() != parent {
+		t.Fatal("removed node's children must signpost the former parent")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptFindRecoversThroughRemovedNode(t *testing.T) {
+	// Simulate a traversal preempted on a removed node: start a find whose
+	// descent crosses a node, remove that node between the uread and the
+	// candidate pinning, and check the operation still lands correctly.
+	// We emulate the preemption deterministically by first removing the
+	// node and then calling the internal find with the stale entry point:
+	// the descend loop must walk out through the signposts.
+	tr, th := buildOpt(t, 50, 25, 75, 10, 30)
+	if !tr.Delete(th, 25) {
+		t.Fatal("delete failed")
+	}
+	fifty := refOf(t, tr, 50)
+	twentyfive := refOf(t, tr, 25)
+	// 25 has two children (10, 30): removal must refuse.
+	if _, _, ok := tr.removeChild(fifty, true); ok {
+		t.Fatal("removed a node with two children")
+	}
+	// Drop 10 so 25 has one child, then remove 25.
+	tr.Delete(th, 10)
+	ten := refOf(t, tr, 10)
+	if _, _, ok := tr.removeChild(twentyfive, true); !ok {
+		t.Fatal("could not remove leaf 10")
+	}
+	_ = ten
+	if repl, _, ok := tr.removeChild(fifty, true); !ok || repl == arena.Nil {
+		t.Fatalf("could not remove 25 (repl=%d ok=%v)", repl, ok)
+	}
+	// A fresh find for 30 must succeed even if it entered via the stale
+	// ref: emulate by running a transactional find that starts from the
+	// removed node's signposts — removedStep must route to the parent.
+	th.Atomic(func(tx *stm.Tx) {
+		n := tr.node(twentyfive)
+		if !arena.Removed(tx.URead(&n.Rem)) {
+			t.Error("25 should be removed")
+		}
+		step := tr.removedStep(tx, n, false)
+		if step == arena.Nil {
+			t.Error("removedStep returned Nil")
+		}
+	})
+	if !tr.Contains(th, 30) || !tr.Contains(th, 50) || !tr.Contains(th, 75) {
+		t.Fatal("live keys lost after removals")
+	}
+	if tr.Contains(th, 25) || tr.Contains(th, 10) {
+		t.Fatal("removed keys still visible")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptRotationPreservesDeletedFlag(t *testing.T) {
+	// A logically deleted node that gets rotated must keep its deleted
+	// state in the copy (otherwise a delete would resurrect via rotation).
+	tr, th := buildOpt(t, 30, 20, 40, 10)
+	if !tr.Delete(th, 30) {
+		t.Fatal("delete failed")
+	}
+	if !tr.rotateRight(tr.root, true) {
+		t.Fatal("rotation failed")
+	}
+	if tr.Contains(th, 30) {
+		t.Fatal("rotation resurrected a deleted key")
+	}
+	// And the copy can still be resurrected by an insert.
+	if !tr.Insert(th, 30, 999) {
+		t.Fatal("resurrection failed")
+	}
+	if v, _ := tr.Get(th, 30); v != 999 {
+		t.Fatalf("resurrected value = %d", v)
+	}
+}
+
+func TestPortableRotationInPlace(t *testing.T) {
+	// Algorithm 1's rotation keeps the same physical nodes (no copy).
+	s := stm.New()
+	tr := New(s, WithVariant(Portable))
+	th := s.NewThread()
+	for _, k := range []uint64{30, 20, 40, 10, 25} {
+		tr.Insert(th, k, k)
+	}
+	before := tr.Arena().Allocs()
+	old30 := refOf(t, tr, 30)
+	if !tr.rotateRight(tr.root, true) {
+		t.Fatal("rotation failed")
+	}
+	if tr.Arena().Allocs() != before {
+		t.Fatal("portable rotation allocated a node")
+	}
+	if refOf(t, tr, 30) != old30 {
+		t.Fatal("portable rotation moved the node identity")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElasticModeOnSFTree(t *testing.T) {
+	// The speculation-friendly trees are elastic-compatible: run the whole
+	// oracle scenario under an Elastic-default STM.
+	for _, v := range variants() {
+		s := stm.New(stm.WithMode(stm.Elastic))
+		tr := New(s, WithVariant(v))
+		th := s.NewThread()
+		oracle := map[uint64]bool{}
+		for i := 0; i < 2000; i++ {
+			k := uint64(i*7919%257) % 128
+			if i%3 == 0 {
+				if tr.Delete(th, k) != oracle[k] {
+					t.Fatalf("[%v] delete(%d) mismatch at %d", v, k, i)
+				}
+				delete(oracle, k)
+			} else {
+				exists := oracle[k]
+				if tr.Insert(th, k, k) == exists {
+					t.Fatalf("[%v] insert(%d) mismatch at %d", v, k, i)
+				}
+				oracle[k] = true
+			}
+			if i%512 == 0 {
+				tr.RunMaintenancePass()
+			}
+		}
+		if got := tr.Size(th); got != len(oracle) {
+			t.Fatalf("[%v] size %d, oracle %d", v, got, len(oracle))
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package stm
+
+// Elastic transactions (E-STM, Felber, Gramoli, Guerraoui, DISC 2009) relax
+// the read set of search-structure traversals: instead of validating every
+// read performed since the beginning of the transaction, an elastic
+// transaction validates only a short window of immediately preceding reads
+// (hand-over-hand) and *cuts* older reads, which can then no longer cause
+// false conflicts. The first transactional write upgrades the transaction to
+// a normal one whose read set is seeded with the current window, so the
+// committing suffix retains full atomicity.
+//
+// This file implements that discipline on top of the CTL machinery.
+
+// elasticRecord logs a read of an elastic transaction that has not written
+// yet: validate the current window hand-over-hand, cut the oldest entry if
+// the window is full, and append the new read.
+func (tx *Tx) elasticRecord(w *Word, meta uint64) {
+	for i := 0; i < tx.windowN; i++ {
+		if !tx.validEntry(&tx.window[i]) {
+			tx.abort()
+		}
+	}
+	if tx.windowN == elasticWindow {
+		// Cut: the oldest read leaves the validated set forever.
+		copy(tx.window[:], tx.window[1:tx.windowN])
+		tx.windowN--
+		tx.th.stats.ElasticCuts++
+	}
+	tx.window[tx.windowN] = readEntry{w: w, ver: meta}
+	tx.windowN++
+}
+
+// elasticUpgrade converts the elastic prefix into a normal transaction at
+// the first write: the window becomes the seed of the real read set and all
+// subsequent reads are tracked normally.
+func (tx *Tx) elasticUpgrade() {
+	for i := 0; i < tx.windowN; i++ {
+		if !tx.validEntry(&tx.window[i]) {
+			tx.abort()
+		}
+		tx.reads = append(tx.reads, tx.window[i])
+	}
+	tx.windowN = 0
+	tx.hasWrite = true
+}

@@ -1,0 +1,280 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickSequentialEquivalence drives a random program of transactions on
+// a small word array through the STM on a single thread and through direct
+// evaluation; the results must match exactly in every mode. This checks
+// read-own-write, overwrite and restart-retry plumbing under arbitrary
+// access patterns.
+func TestQuickSequentialEquivalence(t *testing.T) {
+	type op struct {
+		Target  uint8
+		Source  uint8
+		AddSelf bool
+	}
+	for _, mode := range []Mode{CTL, ETL, Elastic} {
+		t.Run(mode.String(), func(t *testing.T) {
+			f := func(prog []op) bool {
+				const nWords = 8
+				s := New(WithMode(mode))
+				th := s.NewThread()
+				words := make([]Word, nWords)
+				model := make([]uint64, nWords)
+				for _, o := range prog {
+					tgt := int(o.Target) % nWords
+					src := int(o.Source) % nWords
+					th.Atomic(func(tx *Tx) {
+						v := tx.Read(&words[src])
+						if o.AddSelf {
+							v += tx.Read(&words[tgt])
+						}
+						tx.Write(&words[tgt], v+1)
+					})
+					v := model[src]
+					if o.AddSelf {
+						v += model[tgt]
+					}
+					model[tgt] = v + 1
+				}
+				for i := range words {
+					if words[i].Plain() != model[i] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickConcurrentDisjointWords runs random per-goroutine programs on
+// disjoint word ranges; with no sharing, results must equal the sequential
+// model regardless of scheduling.
+func TestQuickConcurrentDisjointWords(t *testing.T) {
+	f := func(progs [4][]uint8) bool {
+		const perG = 4
+		s := New(WithYield(2))
+		words := make([]Word, 4*perG)
+		models := make([][]uint64, 4)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			models[g] = make([]uint64, perG)
+			for _, o := range progs[g] {
+				i := int(o) % perG
+				models[g][i] += uint64(o) + 1
+			}
+			th := s.NewThread()
+			prog := progs[g]
+			base := g * perG
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for _, o := range prog {
+					i := base + int(o)%perG
+					th.Atomic(func(tx *Tx) {
+						tx.Write(&words[i], tx.Read(&words[i])+uint64(o)+1)
+					})
+				}
+			}()
+		}
+		wg.Wait()
+		for g := 0; g < 4; g++ {
+			for i := 0; i < perG; i++ {
+				if words[g*perG+i].Plain() != models[g][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimestampExtension forces the extension path: a reader that snapshots
+// early must transparently extend when it meets a newer-version word, as
+// long as its earlier reads are untouched.
+func TestTimestampExtension(t *testing.T) {
+	s := New()
+	a, b := s.NewThread(), s.NewThread()
+	var x, y Word
+	// Thread a starts a transaction and reads x at clock T0.
+	var sawY uint64
+	step := 0
+	a.Atomic(func(tx *Tx) {
+		step++
+		_ = tx.Read(&x)
+		if step == 1 {
+			// Concurrently commit to y, bumping the clock past a's snapshot.
+			b.Atomic(func(tx2 *Tx) { tx2.Write(&y, 7) })
+		}
+		// Reading y now requires a timestamp extension (y's version > rv);
+		// x is unchanged, so the extension must succeed, not abort.
+		sawY = tx.Read(&y)
+	})
+	if sawY != 7 {
+		t.Fatalf("extended read saw %d, want 7", sawY)
+	}
+	if a.Stats().Extensions == 0 {
+		t.Fatal("extension path not exercised")
+	}
+	if a.Stats().Aborts != 0 {
+		t.Fatalf("extension should not abort, got %d aborts", a.Stats().Aborts)
+	}
+}
+
+// TestExtensionFailsWhenInvalidated is the complement: if the earlier read
+// HAS changed, the extension must fail and the transaction retry, ending
+// with the consistent final values.
+func TestExtensionFailsWhenInvalidated(t *testing.T) {
+	s := New()
+	a, b := s.NewThread(), s.NewThread()
+	var x, y Word
+	attempts := 0
+	var rx, ry uint64
+	a.Atomic(func(tx *Tx) {
+		attempts++
+		rx = tx.Read(&x)
+		if attempts == 1 {
+			// Invalidate x AND bump y so a's next read forces validation.
+			b.Atomic(func(tx2 *Tx) {
+				tx2.Write(&x, 1)
+				tx2.Write(&y, 2)
+			})
+		}
+		ry = tx.Read(&y)
+	})
+	if attempts < 2 {
+		t.Fatalf("expected a retry, got %d attempts", attempts)
+	}
+	if rx != 1 || ry != 2 {
+		t.Fatalf("final attempt read (%d,%d), want (1,2)", rx, ry)
+	}
+	if a.Stats().Aborts == 0 {
+		t.Fatal("no abort recorded for the invalidated attempt")
+	}
+}
+
+// TestElasticCutAllowsStaleDisjointPrefix shows the elastic win: a read-only
+// elastic transaction whose OLD reads are invalidated mid-flight commits
+// anyway, where CTL would abort or extend-fail.
+func TestElasticCutAllowsStaleDisjointPrefix(t *testing.T) {
+	s := New(WithMode(Elastic))
+	a, b := s.NewThread(), s.NewThread()
+	words := make([]Word, 8)
+	attempts := 0
+	a.Atomic(func(tx *Tx) {
+		attempts++
+		// Hand-over-hand pass over the array.
+		for i := range words {
+			_ = tx.Read(&words[i])
+			if i == 6 && attempts == 1 {
+				// Invalidate an already-cut early read: must NOT abort.
+				b.Atomic(func(tx2 *Tx) { tx2.Write(&words[0], 9) })
+			}
+		}
+	})
+	if attempts != 1 {
+		t.Fatalf("elastic traversal aborted %d times; the cut should have forgiven the stale prefix", attempts-1)
+	}
+	if a.Stats().ElasticCuts == 0 {
+		t.Fatal("no cuts recorded")
+	}
+}
+
+// TestElasticWindowConflictAborts shows the elastic guarantee: invalidating
+// a read still inside the hand-over-hand window aborts the attempt.
+func TestElasticWindowConflictAborts(t *testing.T) {
+	s := New(WithMode(Elastic))
+	a, b := s.NewThread(), s.NewThread()
+	words := make([]Word, 4)
+	attempts := 0
+	a.Atomic(func(tx *Tx) {
+		attempts++
+		_ = tx.Read(&words[0])
+		_ = tx.Read(&words[1])
+		if attempts == 1 {
+			// words[1] is the latest window entry: invalidating it must
+			// abort at the next elastic read.
+			b.Atomic(func(tx2 *Tx) { tx2.Write(&words[1], 5) })
+		}
+		_ = tx.Read(&words[2])
+	})
+	if attempts < 2 {
+		t.Fatal("window conflict did not abort the elastic attempt")
+	}
+}
+
+// TestElasticUpgradePinsWindow: after the first write, the window contents
+// join the real read set, so invalidating them aborts the commit.
+func TestElasticUpgradePinsWindow(t *testing.T) {
+	s := New(WithMode(Elastic))
+	a, b := s.NewThread(), s.NewThread()
+	var x, y, z Word
+	attempts := 0
+	a.Atomic(func(tx *Tx) {
+		attempts++
+		_ = tx.Read(&x) // will be cut
+		_ = tx.Read(&y) // window
+		_ = tx.Read(&z) // window
+		tx.Write(&z, 1) // upgrade: y and z promoted
+		if attempts == 1 {
+			b.Atomic(func(tx2 *Tx) { tx2.Write(&y, 9) })
+		}
+	})
+	if attempts < 2 {
+		t.Fatal("promoted window read was not validated at commit")
+	}
+	if z.Plain() != 1 {
+		t.Fatalf("final z = %d, want 1", z.Plain())
+	}
+}
+
+// TestETLWriteWriteConflictEager: under encounter-time locking the second
+// writer must abort at the write, not at commit.
+func TestETLWriteWriteConflict(t *testing.T) {
+	s := New(WithMode(ETL))
+	a := s.NewThread()
+	b := s.NewThread()
+	var w Word
+	ready := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a.Atomic(func(tx *Tx) {
+			tx.Write(&w, 1) // lock acquired eagerly and held
+			select {
+			case <-ready:
+			default:
+				close(ready)
+			}
+			<-release
+		})
+	}()
+	<-ready
+	// b must observe the eager lock and retry until a commits.
+	bDone := make(chan struct{})
+	go func() {
+		defer close(bDone)
+		b.Atomic(func(tx *Tx) { tx.Write(&w, 2) })
+	}()
+	close(release)
+	<-done
+	<-bDone
+	if b.Stats().Aborts == 0 {
+		t.Log("note: b never aborted (a committed before b's first write attempt)")
+	}
+	if got := w.Plain(); got != 2 && got != 1 {
+		t.Fatalf("final value %d", got)
+	}
+}

@@ -1,0 +1,54 @@
+package stm
+
+// Stats aggregates the counters a thread accumulates while executing
+// transactions. The paper's Table 1 reports the maximum number of
+// transactional reads per operation *including* the reads performed by
+// aborted attempts; MaxOpReads captures exactly that quantity when the
+// operation is delimited by a single Atomic call.
+type Stats struct {
+	// Commits counts successfully committed transactions.
+	Commits uint64
+	// Aborts counts aborted transaction attempts (each retry that fails
+	// validation, loses a lock race, or is explicitly restarted).
+	Aborts uint64
+	// Reads counts transactional reads, including those executed by
+	// attempts that later aborted.
+	Reads uint64
+	// UReads counts unit reads (TinySTM unit loads); they are never
+	// validated and never enter a read set.
+	UReads uint64
+	// Writes counts transactional writes, including aborted attempts.
+	Writes uint64
+	// MaxOpReads is the maximum over all operations of the number of
+	// transactional reads the operation needed to complete, summed across
+	// all of its aborted and committed attempts (Table 1's metric).
+	MaxOpReads uint64
+	// Extensions counts successful timestamp extensions (TinySTM-style
+	// re-validation that advances the read snapshot instead of aborting).
+	Extensions uint64
+	// ElasticCuts counts reads dropped from elastic read sets.
+	ElasticCuts uint64
+}
+
+// Add accumulates o into s. Max-type counters take the maximum.
+func (s *Stats) Add(o Stats) {
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.Reads += o.Reads
+	s.UReads += o.UReads
+	s.Writes += o.Writes
+	s.Extensions += o.Extensions
+	s.ElasticCuts += o.ElasticCuts
+	if o.MaxOpReads > s.MaxOpReads {
+		s.MaxOpReads = o.MaxOpReads
+	}
+}
+
+// AbortRate returns aborts / (commits+aborts), or 0 when no transaction ran.
+func (s *Stats) AbortRate() float64 {
+	tot := s.Commits + s.Aborts
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(tot)
+}

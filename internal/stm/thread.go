@@ -1,0 +1,157 @@
+package stm
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// A Thread is the per-goroutine execution context for transactions: it owns
+// a reusable transaction descriptor, statistics, a pseudo-random state for
+// contention-management backoff, and the pending/completed counters that the
+// maintenance thread's garbage collector inspects (paper §3.4).
+//
+// A Thread must not be shared between goroutines.
+type Thread struct {
+	stm  *STM
+	slot uint64
+
+	tx Tx
+
+	stats    Stats
+	opReads  uint64 // transactional reads accumulated by the current operation
+	rngState uint64 // xorshift state for backoff jitter
+	inAtomic bool
+	accesses uint64 // transactional accesses, for the yield-injection knob
+
+	// Pending and OpCount implement the epoch scheme of §3.4: "each
+	// application thread maintains a boolean indicating a pending operation
+	// and a counter indicating the number of completed operations". The
+	// maintenance thread snapshots them before a traversal and frees
+	// garbage only once every thread has either completed an operation or
+	// is observed idle.
+	pending atomic.Bool
+	opCount atomic.Uint64
+}
+
+// Slot returns the thread's lock-owner slot id (1-based).
+func (th *Thread) Slot() uint64 { return th.slot }
+
+// STM returns the domain this thread belongs to.
+func (th *Thread) STM() *STM { return th.stm }
+
+// Stats returns a copy of the thread's counters. It may be called from other
+// goroutines only when the thread is quiescent; for live monitoring use the
+// atomic Pending/OpCount accessors instead.
+func (th *Thread) Stats() Stats { return th.stats }
+
+// ResetStats zeroes the thread's counters (between benchmark phases).
+func (th *Thread) ResetStats() { th.stats = Stats{} }
+
+// Pending reports whether the thread is currently inside an operation.
+func (th *Thread) Pending() bool { return th.pending.Load() }
+
+// OpCount returns the number of completed operations.
+func (th *Thread) OpCount() uint64 { return th.opCount.Load() }
+
+// Atomic runs fn as a transaction in the STM's default mode, retrying on
+// abort until it commits. See AtomicMode.
+func (th *Thread) Atomic(fn func(*Tx)) {
+	th.AtomicMode(th.stm.defaultMode, fn)
+}
+
+// AtomicMode runs fn as a transaction in the given mode, retrying with
+// randomized backoff until the transaction commits. Within fn all shared
+// state must be accessed through the transaction's Read/Write/URead methods.
+// fn may be re-executed arbitrarily many times; it must be free of side
+// effects other than transactional accesses and writes to captured locals
+// that are re-assigned on every attempt.
+//
+// Atomic calls delimit "operations" for the purposes of Stats.MaxOpReads and
+// of the §3.4 garbage-collection counters: the pending flag is raised for
+// the duration of the call and the completed-operation counter is
+// incremented on the way out. Nested calls panic: compose transactions by
+// passing the *Tx value instead (that is precisely the reusability argument
+// of paper §5.4).
+func (th *Thread) AtomicMode(mode Mode, fn func(*Tx)) {
+	if th.inAtomic {
+		panic("stm: nested Atomic call; compose by passing *Tx instead")
+	}
+	th.inAtomic = true
+	th.pending.Store(true)
+	th.opReads = 0
+	tx := &th.tx
+	for attempt := 0; ; attempt++ {
+		tx.begin(mode)
+		if th.runAttempt(tx, fn) {
+			break
+		}
+		th.backoff(attempt)
+	}
+	if th.opReads > th.stats.MaxOpReads {
+		th.stats.MaxOpReads = th.opReads
+	}
+	th.opCount.Add(1)
+	th.pending.Store(false)
+	th.inAtomic = false
+}
+
+// runAttempt executes one attempt of fn and tries to commit, converting the
+// abort panic into a false return.
+func (th *Thread) runAttempt(tx *Tx, fn func(*Tx)) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == abortSignal {
+				ok = false
+				return
+			}
+			// A foreign panic (bug in user code) must not leave write
+			// locks behind.
+			tx.releaseLocks()
+			panic(r)
+		}
+	}()
+	fn(tx)
+	return tx.commit()
+}
+
+// backoff performs bounded randomized exponential backoff. On machines where
+// goroutines outnumber processors the dominant cost of a conflict is the
+// scheduling delay, so after a short spin the thread always yields.
+func (th *Thread) backoff(attempt int) {
+	if attempt > 16 {
+		attempt = 16
+	}
+	spin := int(th.nextRand() % uint64(1<<uint(attempt)))
+	for i := 0; i < spin; i++ {
+		// Pure CPU delay; the loop body must not be optimizable away.
+		th.rngState += uint64(i)
+	}
+	runtime.Gosched()
+}
+
+// maybeYield implements the WithYield interleaving simulation: after every
+// yieldEvery transactional accesses the thread hands the processor over,
+// letting transactions overlap on under-provisioned hosts.
+func (th *Thread) maybeYield() {
+	ye := th.stm.yieldEvery
+	if ye == 0 {
+		return
+	}
+	th.accesses++
+	if th.accesses%uint64(ye) == 0 {
+		runtime.Gosched()
+	}
+}
+
+// nextRand advances the thread's xorshift64 state.
+func (th *Thread) nextRand() uint64 {
+	x := th.rngState
+	if x == 0 {
+		x = th.slot*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3
+	}
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	th.rngState = x
+	return x
+}

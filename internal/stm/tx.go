@@ -1,0 +1,287 @@
+package stm
+
+import "runtime"
+
+// abortSignal is the panic sentinel used to unwind an aborted transaction
+// back to the Atomic retry loop.
+var abortSignal = new(struct{ _ int })
+
+// readEntry logs one invisible read: the word and the meta observed when the
+// value was sampled. Validation succeeds while the word's meta is unchanged
+// (or the word is write-locked by this very transaction over that version).
+type readEntry struct {
+	w   *Word
+	ver uint64 // full meta value observed (unlocked, so bit 0 is clear)
+}
+
+// writeEntry buffers one transactional write. Under ETL (and at commit time
+// under CTL) the entry also remembers the meta the lock replaced so an abort
+// can restore it.
+type writeEntry struct {
+	w        *Word
+	val      uint64
+	prevMeta uint64
+	locked   bool
+}
+
+// elasticWindow is the bounded buffer of an elastic transaction: the last
+// two reads, enough for the hand-over-hand traversal pattern of search
+// structures (E-STM's "cut" preserves only the immediately preceding reads).
+const elasticWindow = 2
+
+// Tx is a transaction descriptor. It is owned by a Thread and reused across
+// attempts and operations; user code receives it from Atomic/AtomicMode and
+// must not retain it past the enclosing call.
+type Tx struct {
+	th   *Thread
+	mode Mode
+	rv   uint64 // read snapshot (validation timestamp)
+
+	reads  []readEntry
+	writes []writeEntry
+
+	// Elastic state: a transaction is "elastic" until its first write, after
+	// which it is upgraded to a normal (CTL) transaction whose read set is
+	// seeded with the window contents.
+	window   [elasticWindow]readEntry
+	windowN  int
+	hasWrite bool
+}
+
+// begin resets the descriptor for a fresh attempt.
+func (tx *Tx) begin(mode Mode) {
+	tx.mode = mode
+	tx.rv = tx.th.stm.clock.Load()
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	tx.windowN = 0
+	tx.hasWrite = false
+}
+
+// Mode reports the mode of the running transaction.
+func (tx *Tx) Mode() Mode { return tx.mode }
+
+// Restart aborts the current attempt; Atomic will re-run the transaction
+// from the beginning after backoff.
+func (tx *Tx) Restart() { tx.abort() }
+
+// abort rolls back eagerly acquired locks, counts the abort and unwinds.
+func (tx *Tx) abort() {
+	tx.releaseLocks()
+	tx.th.stats.Aborts++
+	panic(abortSignal)
+}
+
+// releaseLocks restores the pre-lock meta of every write entry that holds a
+// lock. Safe to call when no locks are held.
+func (tx *Tx) releaseLocks() {
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		e := &tx.writes[i]
+		if e.locked {
+			e.w.meta.Store(e.prevMeta)
+			e.locked = false
+		}
+	}
+}
+
+// findWrite returns the write entry for w, if any. Write sets of the tree
+// operations hold a handful of entries, so a linear scan beats any map.
+func (tx *Tx) findWrite(w *Word) *writeEntry {
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].w == w {
+			return &tx.writes[i]
+		}
+	}
+	return nil
+}
+
+// Read performs a transactional read of w and returns its value. The read
+// is invisible: it records the observed version and is validated lazily
+// (TinySTM timestamp extension) and at commit. Read aborts the transaction
+// (by panicking internally) when a consistent value cannot be obtained.
+func (tx *Tx) Read(w *Word) uint64 {
+	tx.th.maybeYield()
+	tx.th.stats.Reads++
+	tx.th.opReads++
+	if e := tx.findWrite(w); e != nil {
+		return e.val
+	}
+	for {
+		v, meta, ok := w.sampleUnlocked(tx.th.stm.maxSpin)
+		if !ok {
+			// Word is locked by a concurrent writer. Under a single-core
+			// scheduler spinning forever would livelock; yield once, then
+			// abort if still locked.
+			runtime.Gosched()
+			v, meta, ok = w.sampleUnlocked(tx.th.stm.maxSpin)
+			if !ok {
+				tx.abort()
+			}
+		}
+		if metaVersion(meta) <= tx.rv {
+			tx.recordRead(w, meta)
+			return v
+		}
+		// The word was written after our snapshot: try a timestamp
+		// extension. If every prior read is still valid we can advance the
+		// snapshot instead of aborting.
+		now := tx.th.stm.clock.Load()
+		if !tx.validateReads() {
+			tx.abort()
+		}
+		tx.th.stats.Extensions++
+		tx.rv = now
+	}
+}
+
+// recordRead logs the read according to the transaction's mode.
+func (tx *Tx) recordRead(w *Word, meta uint64) {
+	if tx.mode == Elastic && !tx.hasWrite {
+		tx.elasticRecord(w, meta)
+		return
+	}
+	tx.reads = append(tx.reads, readEntry{w: w, ver: meta})
+}
+
+// URead is TinySTM's unit load: it returns the most recent value committed
+// to w (or the value this transaction has buffered for w), spin-waiting
+// while the word is locked, and records nothing. It is the lightweight read
+// of paper §3.3 used by the optimized find traversal.
+func (tx *Tx) URead(w *Word) uint64 {
+	tx.th.maybeYield()
+	tx.th.stats.UReads++
+	if e := tx.findWrite(w); e != nil {
+		return e.val
+	}
+	for {
+		v, _, ok := w.sampleUnlocked(tx.th.stm.maxSpin)
+		if ok {
+			return v
+		}
+		runtime.Gosched()
+	}
+}
+
+// Write performs a transactional write of v to w. Under CTL (and Elastic)
+// the write is buffered until commit; under ETL the write lock is acquired
+// immediately and a conflicting lock holder forces an abort.
+func (tx *Tx) Write(w *Word, v uint64) {
+	tx.th.maybeYield()
+	tx.th.stats.Writes++
+	if tx.mode == Elastic && !tx.hasWrite {
+		tx.elasticUpgrade()
+	}
+	if e := tx.findWrite(w); e != nil {
+		e.val = v
+		return
+	}
+	if tx.mode == ETL {
+		tx.writeETL(w, v)
+		return
+	}
+	tx.writes = append(tx.writes, writeEntry{w: w, val: v})
+}
+
+// writeETL acquires the write lock on w eagerly (encounter-time locking).
+func (tx *Tx) writeETL(w *Word, v uint64) {
+	lock := packLock(tx.th.slot)
+	for {
+		m := w.meta.Load()
+		if isLocked(m) {
+			// Owned by a concurrent transaction (self-ownership is
+			// impossible: findWrite would have found the entry).
+			tx.abort()
+		}
+		if w.meta.CompareAndSwap(m, lock) {
+			tx.writes = append(tx.writes, writeEntry{w: w, val: v, prevMeta: m, locked: true})
+			return
+		}
+	}
+}
+
+// validateReads re-checks every logged read: the word must either carry the
+// exact meta observed at read time, or be locked by this transaction over
+// that same version.
+func (tx *Tx) validateReads() bool {
+	for i := range tx.reads {
+		if !tx.validEntry(&tx.reads[i]) {
+			return false
+		}
+	}
+	if tx.mode == Elastic && !tx.hasWrite {
+		for i := 0; i < tx.windowN; i++ {
+			if !tx.validEntry(&tx.window[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (tx *Tx) validEntry(e *readEntry) bool {
+	cur := e.w.meta.Load()
+	if cur == e.ver {
+		return true
+	}
+	if isLocked(cur) && lockOwner(cur) == tx.th.slot {
+		if we := tx.findWrite(e.w); we != nil && we.locked && we.prevMeta == e.ver {
+			return true
+		}
+	}
+	return false
+}
+
+// commit attempts to make the transaction's writes visible atomically.
+// It returns false (after rolling back) when validation fails, letting the
+// Atomic loop retry.
+func (tx *Tx) commit() bool {
+	if len(tx.writes) == 0 {
+		// Read-only transactions are already consistent: every read was
+		// validated against rv at the time it was performed, and rv-era
+		// values form a snapshot. Elastic read-only transactions validated
+		// their window hand-over-hand.
+		tx.th.stats.Commits++
+		return true
+	}
+	if tx.mode != ETL {
+		// Lazy acquirement: lock the write set now.
+		lock := packLock(tx.th.slot)
+		for i := range tx.writes {
+			e := &tx.writes[i]
+			m := e.w.meta.Load()
+			if isLocked(m) || !e.w.meta.CompareAndSwap(m, lock) {
+				tx.rollback()
+				return false
+			}
+			e.prevMeta = m
+			e.locked = true
+		}
+	}
+	wv := tx.th.stm.clock.Add(1)
+	if wv != tx.rv+1 || tx.mode == Elastic {
+		// Someone committed since our snapshot (or we hold a cut read set):
+		// validate the reads.
+		if !tx.validateReads() {
+			tx.rollback()
+			return false
+		}
+	}
+	newMeta := packVersion(wv)
+	for i := range tx.writes {
+		e := &tx.writes[i]
+		e.w.val.Store(e.val)
+	}
+	for i := range tx.writes {
+		e := &tx.writes[i]
+		e.w.meta.Store(newMeta)
+		e.locked = false
+	}
+	tx.th.stats.Commits++
+	return true
+}
+
+// rollback releases locks and counts the failed attempt (commit-time abort).
+func (tx *Tx) rollback() {
+	tx.releaseLocks()
+	tx.th.stats.Aborts++
+}

@@ -1,0 +1,60 @@
+package stm
+
+import "sync/atomic"
+
+// A Word is one unit of transactional memory: a 64-bit value guarded by a
+// versioned lock, the classical ownership-record layout of word-based STMs
+// (TL2, TinySTM). The zero Word holds value 0 at version 0 and is ready for
+// use, so Words embed naturally in node structures.
+//
+// meta encoding:
+//
+//	bit 0       locked flag
+//	bits 1..63  if unlocked: version (timestamp of the last committed writer)
+//	            if locked:   slot id of the owning thread
+//
+// Because versions come from a monotonically increasing global clock and
+// slot ids are small constants per thread, a meta value can never be reused
+// in a way that fools the compare-and-swap protocol (no ABA).
+type Word struct {
+	meta atomic.Uint64
+	val  atomic.Uint64
+}
+
+const lockedBit = uint64(1)
+
+func packVersion(ts uint64) uint64   { return ts << 1 }
+func packLock(slot uint64) uint64    { return slot<<1 | lockedBit }
+func isLocked(meta uint64) bool      { return meta&lockedBit != 0 }
+func lockOwner(meta uint64) uint64   { return meta >> 1 }
+func metaVersion(meta uint64) uint64 { return meta >> 1 }
+
+// Plain returns the current value of the word with a single atomic load and
+// no consistency guarantee whatsoever. It is intended for fields that are
+// immutable after publication (for example node keys in the
+// speculation-friendly tree) and for debug/statistics snapshots.
+func (w *Word) Plain() uint64 { return w.val.Load() }
+
+// SetPlain stores v directly, bypassing the transactional protocol. It must
+// only be used to initialize a word before the enclosing structure is
+// published to other threads (for example when preparing a freshly allocated
+// tree node inside the transaction that will link it).
+func (w *Word) SetPlain(v uint64) { w.val.Store(v) }
+
+// sampleUnlocked spins until the word is observed unlocked with a stable
+// meta, returning (value, meta). spins is consumed as a budget; when it is
+// exhausted the caller should yield. The bool result reports success.
+func (w *Word) sampleUnlocked(budget int) (uint64, uint64, bool) {
+	for i := 0; i < budget; i++ {
+		m1 := w.meta.Load()
+		if isLocked(m1) {
+			continue
+		}
+		v := w.val.Load()
+		m2 := w.meta.Load()
+		if m1 == m2 {
+			return v, m1, true
+		}
+	}
+	return 0, 0, false
+}

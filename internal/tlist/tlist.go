@@ -1,0 +1,169 @@
+// Package tlist implements a transactional sorted singly linked list, the
+// substrate the vacation application uses for each customer's reservation
+// list (STAMP's list_t). Entries map a uint64 key to a uint64 value and are
+// kept in ascending key order behind a fixed sentinel head, so all accesses
+// compose with any enclosing transaction.
+package tlist
+
+import (
+	"sync"
+
+	"repro/internal/stm"
+)
+
+// entry is one list cell. Cells are heap-allocated Go objects (kept alive
+// by the nodes slice so a stale traversal can never observe recycled
+// memory) with transactional next links and values.
+type entry struct {
+	key  uint64
+	val  stm.Word
+	next stm.Word // index+1 of the next entry, 0 = end of list
+}
+
+// List is a transactional sorted linked list. The zero value is not usable;
+// call New.
+type List struct {
+	mu    sync.Mutex
+	cells []*entry // index 0 is the sentinel head
+}
+
+// New creates an empty list.
+func New() *List {
+	l := &List{}
+	l.cells = append(l.cells, &entry{}) // sentinel; key unused
+	return l
+}
+
+// cell resolves the 1-based handle stored in next links (h-1 indexes cells).
+func (l *List) cell(h uint64) *entry { return l.cellsSnapshot()[h-1] }
+
+func (l *List) cellsSnapshot() []*entry {
+	l.mu.Lock()
+	c := l.cells
+	l.mu.Unlock()
+	return c
+}
+
+// alloc appends a fresh cell and returns its handle.
+func (l *List) alloc(key, val uint64) uint64 {
+	e := &entry{key: key}
+	e.val.SetPlain(val)
+	l.mu.Lock()
+	l.cells = append(l.cells, e)
+	h := uint64(len(l.cells))
+	l.mu.Unlock()
+	return h
+}
+
+// head returns the sentinel.
+func (l *List) head() *entry { return l.cellsSnapshot()[0] }
+
+// locate returns the predecessor entry of key k (the last entry with
+// key < k, possibly the sentinel) and the handle of the entry at or after k.
+func (l *List) locate(tx *stm.Tx, k uint64) (*entry, uint64) {
+	prev := l.head()
+	cur := tx.Read(&prev.next)
+	for cur != 0 {
+		c := l.cell(cur)
+		if c.key >= k {
+			break
+		}
+		prev = c
+		cur = tx.Read(&c.next)
+	}
+	return prev, cur
+}
+
+// InsertTx inserts (k, v) if k is absent; returns false when present.
+func (l *List) InsertTx(tx *stm.Tx, k, v uint64) bool {
+	prev, cur := l.locate(tx, k)
+	if cur != 0 && l.cell(cur).key == k {
+		return false
+	}
+	h := l.alloc(k, v)
+	e := l.cell(h)
+	e.next.SetPlain(cur)
+	tx.Write(&prev.next, h)
+	return true
+}
+
+// SetTx inserts (k, v) or overwrites the value when k is present.
+func (l *List) SetTx(tx *stm.Tx, k, v uint64) {
+	prev, cur := l.locate(tx, k)
+	if cur != 0 {
+		if c := l.cell(cur); c.key == k {
+			tx.Write(&c.val, v)
+			return
+		}
+	}
+	h := l.alloc(k, v)
+	e := l.cell(h)
+	e.next.SetPlain(cur)
+	tx.Write(&prev.next, h)
+}
+
+// RemoveTx removes k; returns false when absent.
+func (l *List) RemoveTx(tx *stm.Tx, k uint64) bool {
+	prev, cur := l.locate(tx, k)
+	if cur == 0 {
+		return false
+	}
+	c := l.cell(cur)
+	if c.key != k {
+		return false
+	}
+	tx.Write(&prev.next, tx.Read(&c.next))
+	return true
+}
+
+// GetTx returns the value at k.
+func (l *List) GetTx(tx *stm.Tx, k uint64) (uint64, bool) {
+	_, cur := l.locate(tx, k)
+	if cur == 0 {
+		return 0, false
+	}
+	c := l.cell(cur)
+	if c.key != k {
+		return 0, false
+	}
+	return tx.Read(&c.val), true
+}
+
+// ContainsTx reports whether k is present.
+func (l *List) ContainsTx(tx *stm.Tx, k uint64) bool {
+	_, ok := l.GetTx(tx, k)
+	return ok
+}
+
+// LenTx counts the entries.
+func (l *List) LenTx(tx *stm.Tx) int {
+	n := 0
+	cur := tx.Read(&l.head().next)
+	for cur != 0 {
+		n++
+		cur = tx.Read(&l.cell(cur).next)
+	}
+	return n
+}
+
+// KeysTx returns the keys in ascending order.
+func (l *List) KeysTx(tx *stm.Tx) []uint64 {
+	var out []uint64
+	cur := tx.Read(&l.head().next)
+	for cur != 0 {
+		c := l.cell(cur)
+		out = append(out, c.key)
+		cur = tx.Read(&c.next)
+	}
+	return out
+}
+
+// EachTx visits every (key, value) pair in ascending key order.
+func (l *List) EachTx(tx *stm.Tx, f func(k, v uint64)) {
+	cur := tx.Read(&l.head().next)
+	for cur != 0 {
+		c := l.cell(cur)
+		f(c.key, tx.Read(&c.val))
+		cur = tx.Read(&c.next)
+	}
+}

@@ -1,0 +1,186 @@
+// Package trees defines the common transactional-map interface the four
+// benchmarked tree libraries implement, and a registry to construct them by
+// the names used in the paper's figures. The benchmark harness, the
+// vacation application and the public facade all program against this
+// interface, so every experiment can swap tree libraries with a flag.
+package trees
+
+import (
+	"fmt"
+
+	"repro/internal/avltree"
+	"repro/internal/nrtree"
+	"repro/internal/rbtree"
+	"repro/internal/sftree"
+	"repro/internal/stm"
+)
+
+// Map is the transactional associative-array abstraction all trees
+// implement: whole-operation forms taking a *stm.Thread, and composable
+// forms taking the enclosing *stm.Tx (the reusability surface of §5.4).
+type Map interface {
+	// Whole-operation forms (each runs its own transaction).
+	Insert(th *stm.Thread, k, v uint64) bool
+	Delete(th *stm.Thread, k uint64) bool
+	Get(th *stm.Thread, k uint64) (uint64, bool)
+	Contains(th *stm.Thread, k uint64) bool
+	Size(th *stm.Thread) int
+	Keys(th *stm.Thread) []uint64
+
+	// Composable forms.
+	GetTx(tx *stm.Tx, k uint64) (uint64, bool)
+	ContainsTx(tx *stm.Tx, k uint64) bool
+	InsertTxA(tx *stm.Tx, k, v uint64) bool
+	DeleteTx(tx *stm.Tx, k uint64) bool
+}
+
+// Maintained is implemented by trees with a background maintenance thread
+// (the speculation-friendly variants). Start/Stop control the rotator
+// goroutine; Quiesce drains pending structural work synchronously.
+type Maintained interface {
+	Start()
+	Stop()
+	Quiesce(maxPasses int) bool
+}
+
+// Kind names a tree library with the labels of the paper's figures.
+type Kind string
+
+const (
+	// SF is the portable speculation-friendly tree (Algorithm 1).
+	SF Kind = "sf"
+	// SFOpt is the optimized speculation-friendly tree (Algorithm 2).
+	SFOpt Kind = "sf-opt"
+	// RB is the Oracle-style transactional red-black tree.
+	RB Kind = "rb"
+	// AVL is the STAMP-style transactional AVL tree.
+	AVL Kind = "avl"
+	// NR is the no-restructuring tree.
+	NR Kind = "nr"
+)
+
+// Kinds lists every registered tree kind in figure order.
+func Kinds() []Kind { return []Kind{RB, SF, SFOpt, NR, AVL} }
+
+// Label returns the display name used in the paper's plots.
+func (k Kind) Label() string {
+	switch k {
+	case SF:
+		return "SFtree"
+	case SFOpt:
+		return "Opt SFtree"
+	case RB:
+		return "RBtree"
+	case AVL:
+		return "AVLtree"
+	case NR:
+		return "NRtree"
+	default:
+		return string(k)
+	}
+}
+
+// New constructs an empty tree of the given kind on the STM domain.
+// It panics on unknown kinds (a configuration error, never data-dependent).
+func New(kind Kind, s *stm.STM) Map {
+	switch kind {
+	case SF:
+		return sftree.New(s, sftree.WithVariant(sftree.Portable))
+	case SFOpt:
+		return sftree.New(s, sftree.WithVariant(sftree.Optimized))
+	case RB:
+		return rbtree.New(s)
+	case AVL:
+		return avltree.New(s)
+	case NR:
+		return nrtree.New(s)
+	default:
+		panic(fmt.Sprintf("trees: unknown kind %q", kind))
+	}
+}
+
+// Start begins background maintenance when the tree has any (no-op
+// otherwise), returning a stop function.
+func Start(m Map) (stop func()) {
+	if mt, ok := m.(Maintained); ok {
+		mt.Start()
+		return mt.Stop
+	}
+	return func() {}
+}
+
+// Quiesce drains maintenance work when the tree has any.
+func Quiesce(m Map, maxPasses int) {
+	if mt, ok := m.(Maintained); ok {
+		mt.Quiesce(maxPasses)
+	}
+}
+
+// ElasticAware is implemented by trees that declare whether they tolerate
+// elastic (cut) read tracking. Trees without the method are treated as
+// elastic-safe (the speculation-friendly trees are, by design: immutable
+// keys, signposted removals, candidate reads pinned transactionally).
+type ElasticAware interface {
+	ElasticSafe() bool
+}
+
+// ElasticSafe reports whether m tolerates elastic transactions.
+func ElasticSafe(m Map) bool {
+	if ea, ok := m.(ElasticAware); ok {
+		return ea.ElasticSafe()
+	}
+	return true
+}
+
+// Atomic runs fn as one transaction in the thread's default mode, demoted
+// from Elastic to CTL when the map does not tolerate cut reads. All
+// compositions over a Map (Move, the vacation transactions, the public
+// facade's Update) must go through this helper rather than calling
+// Thread.Atomic directly.
+func Atomic(m Map, th *stm.Thread, fn func(*stm.Tx)) {
+	mode := th.STM().DefaultMode()
+	if mode == stm.Elastic && !ElasticSafe(m) {
+		mode = stm.CTL
+	}
+	th.AtomicMode(mode, fn)
+}
+
+// Move atomically relocates the value at src to dst on any Map, composed
+// from the interface's *Tx forms exactly as paper §5.4 prescribes: it
+// succeeds — deleting src and inserting dst — only when src is present and
+// dst absent. (sftree.Tree also offers a scratch-managed Move method; this
+// free function is the portable composition that works for every library.)
+func Move(m Map, th *stm.Thread, src, dst uint64) bool {
+	if src == dst {
+		return m.Contains(th, src)
+	}
+	var ok bool
+	Atomic(m, th, func(tx *stm.Tx) {
+		ok = false
+		v, present := m.GetTx(tx, src)
+		if !present || m.ContainsTx(tx, dst) {
+			return
+		}
+		if !m.DeleteTx(tx, src) || !m.InsertTxA(tx, dst, v) {
+			return
+		}
+		ok = true
+	})
+	return ok
+}
+
+// Rotations reports structural rotations for kinds that expose them:
+// committed rotations for the speculation-friendly trees, attempted
+// rotations for the red-black tree (§5.5's comparison).
+func Rotations(m Map) (uint64, bool) {
+	switch t := m.(type) {
+	case *sftree.Tree:
+		return t.Stats().Rotations, true
+	case *nrtree.Tree:
+		return t.Tree.Stats().Rotations, true
+	case *rbtree.Tree:
+		return t.Rotations(), true
+	default:
+		return 0, false
+	}
+}

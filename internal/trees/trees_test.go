@@ -1,0 +1,164 @@
+package trees
+
+import (
+	"testing"
+
+	"repro/internal/stm"
+)
+
+// TestAllKindsConformance runs one oracle scenario through every registered
+// tree kind via the interface, including the composable forms.
+func TestAllKindsConformance(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			s := stm.New()
+			m := New(kind, s)
+			th := s.NewThread()
+			stop := Start(m)
+			defer stop()
+
+			if m.Contains(th, 1) {
+				t.Fatal("empty contains")
+			}
+			for k := uint64(0); k < 100; k++ {
+				if !m.Insert(th, k, k*2) {
+					t.Fatalf("insert %d failed", k)
+				}
+			}
+			if m.Insert(th, 50, 1) {
+				t.Fatal("duplicate insert succeeded")
+			}
+			if v, ok := m.Get(th, 50); !ok || v != 100 {
+				t.Fatalf("get(50) = (%d,%v)", v, ok)
+			}
+			for k := uint64(0); k < 100; k += 2 {
+				if !m.Delete(th, k) {
+					t.Fatalf("delete %d failed", k)
+				}
+			}
+			if got := m.Size(th); got != 50 {
+				t.Fatalf("size = %d, want 50", got)
+			}
+			keys := m.Keys(th)
+			if len(keys) != 50 {
+				t.Fatalf("keys = %d entries", len(keys))
+			}
+			for i, k := range keys {
+				if k != uint64(i*2+1) {
+					t.Fatalf("keys[%d] = %d", i, k)
+				}
+			}
+
+			// Composable forms inside one transaction.
+			th.Atomic(func(tx *stm.Tx) {
+				if !m.InsertTxA(tx, 1000, 1) {
+					t.Error("InsertTxA failed")
+				}
+				if !m.ContainsTx(tx, 1000) {
+					t.Error("own insert invisible")
+				}
+				if v, ok := m.GetTx(tx, 1000); !ok || v != 1 {
+					t.Error("GetTx mismatch")
+				}
+				if !m.DeleteTx(tx, 1000) {
+					t.Error("DeleteTx failed")
+				}
+			})
+			if m.Contains(th, 1000) {
+				t.Fatal("net-noop transaction left residue")
+			}
+			Quiesce(m, 1000)
+		})
+	}
+}
+
+func TestLabelsMatchPaper(t *testing.T) {
+	want := map[Kind]string{
+		SF: "SFtree", SFOpt: "Opt SFtree", RB: "RBtree", AVL: "AVLtree", NR: "NRtree",
+	}
+	for k, w := range want {
+		if k.Label() != w {
+			t.Errorf("%s label = %s, want %s", k, k.Label(), w)
+		}
+	}
+}
+
+func TestUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind must panic")
+		}
+	}()
+	New(Kind("bogus"), stm.New())
+}
+
+func TestRotationsExposure(t *testing.T) {
+	s := stm.New()
+	for _, kind := range []Kind{SF, SFOpt, RB, NR} {
+		m := New(kind, s)
+		if _, ok := Rotations(m); !ok {
+			t.Errorf("%s should expose rotations", kind)
+		}
+	}
+	if _, ok := Rotations(New(AVL, s)); ok {
+		t.Error("AVL unexpectedly exposes rotations")
+	}
+}
+
+func TestAtomicDemotesElasticForUnsafeTrees(t *testing.T) {
+	s := stm.New(stm.WithMode(stm.Elastic))
+	// RB/AVL mutate keys in place; SFOpt pins three candidate reads (one
+	// more than the elastic window) — all three must demote.
+	for _, kind := range []Kind{RB, AVL, SFOpt} {
+		m := New(kind, s)
+		if ElasticSafe(m) {
+			t.Fatalf("%s must not be elastic-safe", kind)
+		}
+		th := s.NewThread()
+		var mode stm.Mode
+		Atomic(m, th, func(tx *stm.Tx) { mode = tx.Mode() })
+		if mode != stm.CTL {
+			t.Fatalf("%s composed tx ran in %v, want CTL", kind, mode)
+		}
+	}
+	for _, kind := range []Kind{SF, NR} {
+		m := New(kind, s)
+		if !ElasticSafe(m) {
+			t.Fatalf("%s should be elastic-safe", kind)
+		}
+		th := s.NewThread()
+		var mode stm.Mode
+		Atomic(m, th, func(tx *stm.Tx) { mode = tx.Mode() })
+		if mode != stm.Elastic {
+			t.Fatalf("%s composed tx ran in %v, want Elastic", kind, mode)
+		}
+	}
+}
+
+func TestMoveOnAllKinds(t *testing.T) {
+	for _, kind := range Kinds() {
+		s := stm.New()
+		m := New(kind, s)
+		th := s.NewThread()
+		m.Insert(th, 1, 11)
+		m.Insert(th, 2, 22)
+		if Move(m, th, 9, 3) {
+			t.Fatalf("%s: move of absent key succeeded", kind)
+		}
+		if Move(m, th, 1, 2) {
+			t.Fatalf("%s: move onto occupied key succeeded", kind)
+		}
+		if !Move(m, th, 1, 3) {
+			t.Fatalf("%s: legitimate move failed", kind)
+		}
+		if v, ok := m.Get(th, 3); !ok || v != 11 {
+			t.Fatalf("%s: moved value (%d,%v)", kind, v, ok)
+		}
+		if !Move(m, th, 2, 2) {
+			t.Fatalf("%s: self-move of present key failed", kind)
+		}
+		if m.Size(th) != 2 {
+			t.Fatalf("%s: size %d after moves", kind, m.Size(th))
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package vacation ports the STAMP travel-reservation application
+// ("vacation") that the paper uses as its macro-benchmark (§5.5): an
+// in-memory travel database with four tables — cars, flights, rooms and
+// customers — each implemented as a tree-based directory, accessed by client
+// transactions that compose several tree operations (the reusability the
+// speculation-friendly tree is designed for).
+//
+// The port follows STAMP's manager.c/client.c structure: three client
+// actions (make-reservation, delete-customer, update-tables), reservations
+// with used/free/total/price counters, and customers owning a list of
+// reservation records. A plain sequential implementation (Sequential) gives
+// the single-threaded baseline against which Fig. 6 reports speedups.
+package vacation
+
+import (
+	"sync"
+
+	"repro/internal/stm"
+)
+
+// ResType indexes the three reservable tables.
+type ResType int
+
+// Reservable tables, in STAMP order.
+const (
+	Car ResType = iota
+	Flight
+	Room
+	numResTypes
+)
+
+// String names the type for reports.
+func (t ResType) String() string {
+	switch t {
+	case Car:
+		return "car"
+	case Flight:
+		return "flight"
+	case Room:
+		return "room"
+	default:
+		return "?"
+	}
+}
+
+// Reservation is one row of a car/flight/room table: a resource id with
+// counters tracking how many units exist, are in use and are free, plus the
+// current price. All fields are transactional; records are registered in
+// the Manager and referenced from the trees by dense handles.
+type Reservation struct {
+	id       uint64
+	numUsed  stm.Word
+	numFree  stm.Word
+	numTotal stm.Word
+	price    stm.Word
+}
+
+// ID returns the resource id.
+func (r *Reservation) ID() uint64 { return r.id }
+
+// AddToTotal grows (or, negative delta, shrinks) the free pool; it fails
+// when the shrink would exceed the currently free units (STAMP's
+// reservation_addToTotal).
+func (r *Reservation) AddToTotal(tx *stm.Tx, delta int64) bool {
+	free := int64(tx.Read(&r.numFree))
+	if free+delta < 0 {
+		return false
+	}
+	tx.Write(&r.numFree, uint64(free+delta))
+	tx.Write(&r.numTotal, uint64(int64(tx.Read(&r.numTotal))+delta))
+	return true
+}
+
+// Make consumes one free unit (STAMP's reservation_make).
+func (r *Reservation) Make(tx *stm.Tx) bool {
+	free := tx.Read(&r.numFree)
+	if free < 1 {
+		return false
+	}
+	tx.Write(&r.numFree, free-1)
+	tx.Write(&r.numUsed, tx.Read(&r.numUsed)+1)
+	return true
+}
+
+// Cancel releases one used unit (STAMP's reservation_cancel).
+func (r *Reservation) Cancel(tx *stm.Tx) bool {
+	used := tx.Read(&r.numUsed)
+	if used < 1 {
+		return false
+	}
+	tx.Write(&r.numUsed, used-1)
+	tx.Write(&r.numFree, tx.Read(&r.numFree)+1)
+	return true
+}
+
+// UpdatePrice sets the current price.
+func (r *Reservation) UpdatePrice(tx *stm.Tx, price uint64) {
+	if tx.Read(&r.price) != price {
+		tx.Write(&r.price, price)
+	}
+}
+
+// registry is an append-only store of records referenced by dense handles
+// (1-based; 0 means "no record"). Records are never removed: a handle read
+// from a tree is therefore always resolvable, even by a doomed transaction
+// that will abort at commit.
+type registry[T any] struct {
+	mu    sync.Mutex
+	items []*T
+}
+
+func (g *registry[T]) add(item *T) uint64 {
+	g.mu.Lock()
+	g.items = append(g.items, item)
+	h := uint64(len(g.items))
+	g.mu.Unlock()
+	return h
+}
+
+func (g *registry[T]) get(h uint64) *T {
+	g.mu.Lock()
+	it := g.items[h-1]
+	g.mu.Unlock()
+	return it
+}

@@ -1,0 +1,190 @@
+// Package repro is a Go reproduction of "A Speculation-Friendly Binary
+// Search Tree" (Crain, Gramoli, Raynal — PPoPP 2012): a concurrent binary
+// search tree designed for optimistic (transactional) synchronization, built
+// on a word-based software transactional memory, together with the
+// transactional red-black, AVL and no-restructuring trees the paper
+// evaluates against, the synchrobench-style micro-benchmark harness, and a
+// port of the STAMP vacation application.
+//
+// The speculation-friendly tree decouples each update into an abstract
+// transaction (insert, logical delete, contains — tiny read/write sets) and
+// background structural transactions (node-local rotations, physical
+// removals, garbage collection) run by a maintenance goroutine, so abstract
+// operations rarely conflict and aborted work stays small.
+//
+// # Quick start
+//
+//	t := repro.NewTree(repro.SpeculationFriendly)
+//	defer t.Close()
+//	h := t.NewHandle() // one handle per goroutine
+//	h.Insert(42, 420)
+//	v, ok := h.Get(42)
+//
+// Operations compose into larger atomic transactions — the reusability the
+// paper demonstrates with its move operation (§5.4):
+//
+//	h.Update(func(op *repro.Op) {
+//		if v, ok := op.Get(1); ok {
+//			op.Delete(1)
+//			op.Insert(2, v)
+//		}
+//	})
+package repro
+
+import (
+	"repro/internal/sftree"
+	"repro/internal/stm"
+	"repro/internal/trees"
+)
+
+// Kind selects the tree library backing a Tree.
+type Kind = trees.Kind
+
+// The available tree libraries, named as in the paper's evaluation.
+const (
+	// SpeculationFriendly is the portable speculation-friendly tree
+	// (paper Algorithm 1): fully transactional traversals.
+	SpeculationFriendly = trees.SF
+	// SpeculationFriendlyOptimized is the optimized variant (Algorithm 2):
+	// unit-read traversals and copy-on-rotate (§3.3).
+	SpeculationFriendlyOptimized = trees.SFOpt
+	// RedBlack is the Oracle-style transactional red-black baseline.
+	RedBlack = trees.RB
+	// AVL is the STAMP-style transactional AVL baseline.
+	AVL = trees.AVL
+	// NoRestructuring never rebalances nor physically removes (baseline).
+	NoRestructuring = trees.NR
+)
+
+// TMMode selects the transactional-memory algorithm.
+type TMMode = stm.Mode
+
+// The supported TM algorithms (§5.3's portability axis).
+const (
+	// CommitTimeLocking is TinySTM-CTL-style lazy acquirement (default).
+	CommitTimeLocking = stm.CTL
+	// EncounterTimeLocking is TinySTM-ETL-style eager acquirement.
+	EncounterTimeLocking = stm.ETL
+	// ElasticTransactions is the E-STM elastic transaction model.
+	ElasticTransactions = stm.Elastic
+)
+
+// Tree is a concurrent ordered map from uint64 keys to uint64 values backed
+// by one of the paper's tree libraries over the package's STM. Create one
+// with NewTree; every goroutine accessing it must use its own Handle.
+type Tree struct {
+	s    *stm.STM
+	m    trees.Map
+	stop func()
+}
+
+// Option configures NewTree.
+type Option func(*treeCfg)
+
+type treeCfg struct {
+	mode        stm.Mode
+	maintenance bool
+}
+
+// WithTMMode selects the TM algorithm (default CommitTimeLocking).
+func WithTMMode(m TMMode) Option { return func(c *treeCfg) { c.mode = m } }
+
+// WithoutMaintenance suppresses the background maintenance goroutine; the
+// caller can drive it manually via Maintain.
+func WithoutMaintenance() Option { return func(c *treeCfg) { c.maintenance = false } }
+
+// NewTree creates an empty tree of the given kind. Unless
+// WithoutMaintenance is given, speculation-friendly kinds start their
+// background maintenance goroutine immediately; Close stops it.
+func NewTree(kind Kind, opts ...Option) *Tree {
+	cfg := treeCfg{mode: stm.CTL, maintenance: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := stm.New(stm.WithMode(cfg.mode))
+	m := trees.New(kind, s)
+	t := &Tree{s: s, m: m, stop: func() {}}
+	if cfg.maintenance {
+		t.stop = trees.Start(m)
+	}
+	return t
+}
+
+// Close stops background maintenance. The tree remains readable.
+func (t *Tree) Close() { t.stop() }
+
+// Maintain runs maintenance passes until the structure is quiescent or
+// maxPasses is reached (no-op for kinds without maintenance).
+func (t *Tree) Maintain(maxPasses int) { trees.Quiesce(t.m, maxPasses) }
+
+// NewHandle returns a handle bound to a fresh STM thread. Handles are not
+// safe for concurrent use; create one per goroutine.
+func (t *Tree) NewHandle() *Handle {
+	return &Handle{t: t, th: t.s.NewThread()}
+}
+
+// Stats returns the sum of all handles' STM statistics.
+func (t *Tree) Stats() stm.Stats { return t.s.TotalStats() }
+
+// MaintenanceStats returns structural-activity counters for
+// speculation-friendly kinds (zero value otherwise).
+func (t *Tree) MaintenanceStats() sftree.Stats {
+	if sf, ok := t.m.(interface{ Stats() sftree.Stats }); ok {
+		return sf.Stats()
+	}
+	return sftree.Stats{}
+}
+
+// Handle is a per-goroutine accessor to a Tree.
+type Handle struct {
+	t  *Tree
+	th *stm.Thread
+}
+
+// Insert maps k to v; false when k was already present.
+func (h *Handle) Insert(k, v uint64) bool { return h.t.m.Insert(h.th, k, v) }
+
+// Delete removes k; false when absent.
+func (h *Handle) Delete(k uint64) bool { return h.t.m.Delete(h.th, k) }
+
+// Get returns the value at k.
+func (h *Handle) Get(k uint64) (uint64, bool) { return h.t.m.Get(h.th, k) }
+
+// Contains reports whether k is present.
+func (h *Handle) Contains(k uint64) bool { return h.t.m.Contains(h.th, k) }
+
+// Move atomically relocates the value at src to dst (§5.4's composed
+// operation); it succeeds only when src is present and dst absent.
+func (h *Handle) Move(src, dst uint64) bool { return trees.Move(h.t.m, h.th, src, dst) }
+
+// Len counts the elements in one consistent snapshot.
+func (h *Handle) Len() int { return h.t.m.Size(h.th) }
+
+// Keys returns the sorted keys of one consistent snapshot.
+func (h *Handle) Keys() []uint64 { return h.t.m.Keys(h.th) }
+
+// Update runs fn as one atomic transaction; every operation on the Op
+// belongs to that transaction, so arbitrary compositions execute atomically
+// and deadlock-free. fn may re-run on conflict: it must not have side
+// effects beyond the Op and locals it re-assigns.
+func (h *Handle) Update(fn func(op *Op)) {
+	trees.Atomic(h.t.m, h.th, func(tx *stm.Tx) { fn(&Op{t: h.t, tx: tx}) })
+}
+
+// Op exposes the tree operations inside a Handle.Update transaction.
+type Op struct {
+	t  *Tree
+	tx *stm.Tx
+}
+
+// Insert maps k to v within the transaction; false when present.
+func (o *Op) Insert(k, v uint64) bool { return o.t.m.InsertTxA(o.tx, k, v) }
+
+// Delete removes k within the transaction; false when absent.
+func (o *Op) Delete(k uint64) bool { return o.t.m.DeleteTx(o.tx, k) }
+
+// Get returns the value at k within the transaction.
+func (o *Op) Get(k uint64) (uint64, bool) { return o.t.m.GetTx(o.tx, k) }
+
+// Contains reports membership within the transaction.
+func (o *Op) Contains(k uint64) bool { return o.t.m.ContainsTx(o.tx, k) }

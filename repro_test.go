@@ -1,0 +1,150 @@
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func allKinds() []Kind {
+	return []Kind{SpeculationFriendly, SpeculationFriendlyOptimized, RedBlack, AVL, NoRestructuring}
+}
+
+func TestPublicAPIBasics(t *testing.T) {
+	for _, kind := range allKinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			tr := NewTree(kind)
+			defer tr.Close()
+			h := tr.NewHandle()
+			if !h.Insert(42, 420) {
+				t.Fatal("insert failed")
+			}
+			if h.Insert(42, 1) {
+				t.Fatal("duplicate insert")
+			}
+			if v, ok := h.Get(42); !ok || v != 420 {
+				t.Fatalf("get = (%d,%v)", v, ok)
+			}
+			if !h.Contains(42) || h.Contains(43) {
+				t.Fatal("contains wrong")
+			}
+			if !h.Delete(42) || h.Delete(42) {
+				t.Fatal("delete semantics")
+			}
+			if h.Len() != 0 {
+				t.Fatal("len after delete")
+			}
+		})
+	}
+}
+
+func TestPublicAPIMoveAndKeys(t *testing.T) {
+	tr := NewTree(SpeculationFriendlyOptimized)
+	defer tr.Close()
+	h := tr.NewHandle()
+	for k := uint64(0); k < 10; k++ {
+		h.Insert(k, k*10)
+	}
+	if !h.Move(3, 100) {
+		t.Fatal("move failed")
+	}
+	if h.Contains(3) {
+		t.Fatal("source survived move")
+	}
+	if v, ok := h.Get(100); !ok || v != 30 {
+		t.Fatalf("moved value = (%d,%v)", v, ok)
+	}
+	keys := h.Keys()
+	if len(keys) != 10 {
+		t.Fatalf("keys = %v", keys)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("unsorted keys: %v", keys)
+		}
+	}
+}
+
+func TestPublicAPIComposedUpdate(t *testing.T) {
+	tr := NewTree(SpeculationFriendly)
+	defer tr.Close()
+	h := tr.NewHandle()
+	h.Insert(1, 11)
+	// A compose-everything transaction: conditional move plus an insert.
+	h.Update(func(op *Op) {
+		if v, ok := op.Get(1); ok && !op.Contains(2) {
+			op.Delete(1)
+			op.Insert(2, v)
+		}
+		op.Insert(3, 33)
+	})
+	if h.Contains(1) || !h.Contains(2) || !h.Contains(3) {
+		t.Fatal("composed update not atomic/visible")
+	}
+}
+
+func TestPublicAPIConcurrent(t *testing.T) {
+	tr := NewTree(SpeculationFriendlyOptimized)
+	defer tr.Close()
+	const goroutines = 6
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		h := tr.NewHandle()
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			base := uint64(g * 1000)
+			for i := 0; i < 500; i++ {
+				k := base + uint64(rng.Intn(500))
+				switch rng.Intn(3) {
+				case 0:
+					h.Insert(k, k)
+				case 1:
+					h.Delete(k)
+				default:
+					h.Contains(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := tr.Stats()
+	if st.Commits == 0 {
+		t.Fatal("no commits recorded")
+	}
+	tr.Maintain(100000)
+	if ms := tr.MaintenanceStats(); ms.Passes == 0 {
+		t.Fatal("maintenance never ran")
+	}
+}
+
+func TestWithTMModeAndWithoutMaintenance(t *testing.T) {
+	tr := NewTree(SpeculationFriendly, WithTMMode(ElasticTransactions), WithoutMaintenance())
+	defer tr.Close()
+	h := tr.NewHandle()
+	for k := uint64(0); k < 64; k++ {
+		h.Insert(k, k)
+	}
+	for k := uint64(0); k < 64; k += 2 {
+		h.Delete(k)
+	}
+	if h.Len() != 32 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	tr.Maintain(10000) // manual maintenance must still work
+	if tr.MaintenanceStats().Removals == 0 {
+		t.Fatal("manual Maintain did not remove deleted nodes")
+	}
+}
+
+func TestBaselineKindsStats(t *testing.T) {
+	tr := NewTree(RedBlack)
+	defer tr.Close()
+	h := tr.NewHandle()
+	h.Insert(1, 1)
+	if ms := tr.MaintenanceStats(); ms.Passes != 0 || ms.Rotations != 0 {
+		t.Fatal("red-black tree reported SF maintenance stats")
+	}
+	tr.Maintain(10) // must be a harmless no-op
+}

@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all build test race vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-critical packages (the STM, the
+# speculation-friendly tree, and the sharded forest).
+race:
+	$(GO) test -race ./internal/stm ./internal/sftree ./internal/forest
+
+vet:
+	$(GO) vet ./...
+
+ci: build vet test race

@@ -38,7 +38,7 @@ const yieldEvery = 8
 // benchWorkers goroutines against a freshly filled tree.
 func runTreeBench(b *testing.B, kind trees.Kind, mode stm.Mode, wl bench.Workload) {
 	b.Helper()
-	s := stm.New(stm.WithMode(mode), stm.WithYield(yieldEvery))
+	s := stm.New(stm.WithMode(mode), stm.WithYield(yieldEvery), stm.WithContentionManager(stm.Suicide()))
 	m := trees.New(kind, s)
 	fillTh := s.NewThread()
 	rng := rand.New(rand.NewSource(17))
@@ -202,7 +202,7 @@ func BenchmarkFig6(b *testing.B) {
 		})
 		for _, kind := range []trees.Kind{trees.RB, trees.SFOpt, trees.NR} {
 			b.Run(fmt.Sprintf("%s/%s", preset.name, kind), func(b *testing.B) {
-				s := stm.New(stm.WithYield(yieldEvery))
+				s := stm.New(stm.WithYield(yieldEvery), stm.WithContentionManager(stm.Suicide()))
 				m := vacation.NewManager(s, kind)
 				setup := s.NewThread()
 				vacation.Populate(m, setup, cfg, 5)
@@ -240,7 +240,7 @@ func BenchmarkFig6(b *testing.B) {
 func BenchmarkAblationMaintenanceCoupling(b *testing.B) {
 	wl := bench.Workload{KeyRange: 1 << 12, UpdatePercent: 40, Effective: true}
 	run := func(b *testing.B, coupled bool) {
-		s := stm.New(stm.WithYield(yieldEvery))
+		s := stm.New(stm.WithYield(yieldEvery), stm.WithContentionManager(stm.Suicide()))
 		tr := sftree.New(s, sftree.WithVariant(sftree.Portable))
 		fillTh := s.NewThread()
 		rng := rand.New(rand.NewSource(23))

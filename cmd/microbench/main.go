@@ -1,12 +1,18 @@
 // Command microbench runs one synchrobench-style integer-set benchmark and
-// prints a single CSV row, mirroring the micro-benchmark of the paper's
-// §5.2–5.4. Example:
+// prints CSV, mirroring the micro-benchmark of the paper's §5.2–5.4 and the
+// post-paper scaling dimensions (sharded forest, contention management,
+// Zipfian key skew). Example:
 //
 //	microbench -tree sf-opt -threads 8 -update 20 -duration 2s -range 8192
 //	microbench -tree rb -mode elastic -update 10
 //	microbench -tree nr -biased -update 20
+//	microbench -tree sf-opt -shards 8 -dist zipf -cm karma -threads 8
 //
-// Trees: sf, sf-opt, rb, avl, nr. Modes: ctl, etl, elastic.
+// Trees: sf, sf-opt, rb, avl, nr. Modes: ctl, etl, elastic. Contention
+// managers: suicide, backoff, karma. Distributions: uniform, zipf.
+//
+// One aggregate CSV row is always printed; with -shards > 1 a per-shard
+// breakdown row ("shard,<i>,...") follows for each shard.
 package main
 
 import (
@@ -31,6 +37,10 @@ func main() {
 	biased := flag.Bool("biased", false, "biased workload (insert-high/delete-low)")
 	attempted := flag.Bool("attempted", false, "use attempted updates instead of effective")
 	seed := flag.Int64("seed", 42, "workload seed")
+	shards := flag.Int("shards", 1, "key-space shards (1 = the paper's single-domain tree)")
+	cm := flag.String("cm", "backoff", "contention manager: suicide|backoff|karma")
+	dist := flag.String("dist", "uniform", "key distribution: uniform|zipf")
+	zipfS := flag.Float64("zipf-s", bench.DefaultZipfS, "zipf skew exponent (with -dist zipf)")
 	yieldEvery := flag.Int("yield", 0, "STM interleaving simulation: yield every N accesses (0 off)")
 	header := flag.Bool("header", false, "print the CSV header line first")
 	flag.Parse()
@@ -58,6 +68,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "microbench: unknown tree %q\n", *tree)
 		os.Exit(2)
 	}
+	if _, err := stm.ManagerByName(*cm); err != nil {
+		fmt.Fprintf(os.Stderr, "microbench: %v\n", err)
+		os.Exit(2)
+	}
+	var d bench.Dist
+	switch bench.Dist(*dist) {
+	case bench.DistUniform, bench.DistZipf:
+		d = bench.Dist(*dist)
+	default:
+		fmt.Fprintf(os.Stderr, "microbench: unknown distribution %q (have %v)\n", *dist, bench.Dists())
+		os.Exit(2)
+	}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "microbench: -shards must be >= 1")
+		os.Exit(2)
+	}
+	if *zipfS <= 0 {
+		fmt.Fprintln(os.Stderr, "microbench: -zipf-s must be > 0")
+		os.Exit(2)
+	}
 
 	res := bench.Run(bench.Options{
 		Kind:     kind,
@@ -70,17 +100,25 @@ func main() {
 			MovePercent:   *movePct,
 			Biased:        *biased,
 			Effective:     !*attempted,
+			Dist:          d,
+			ZipfS:         *zipfS,
 		},
 		Seed:       *seed,
+		Shards:     *shards,
+		CM:         *cm,
 		YieldEvery: *yieldEvery,
 	})
 
 	if *header {
-		fmt.Println("tree,mode,threads,update,move,biased,range,duration_s,ops,throughput_ops_per_us,effective_ratio,commits,aborts,abort_rate,max_op_reads,rotations")
+		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,duration_s,ops,throughput_ops_per_us,effective_ratio,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,rotations")
 	}
-	fmt.Printf("%s,%s,%d,%d,%d,%t,%d,%.3f,%d,%.3f,%.3f,%d,%d,%.4f,%d,%d\n",
-		kind, m, res.Threads, *update, *movePct, *biased, *keyRange,
+	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%.3f,%d,%d,%.4f,%d,%.3f,%d,%d\n",
+		kind, m, res.Threads, res.Shards, res.CM, res.Dist, *update, *movePct, *biased, *keyRange,
 		res.Elapsed.Seconds(), res.Ops, res.Throughput, res.EffectiveRatio,
-		res.STM.Commits, res.STM.Aborts, res.STM.AbortRate(),
-		res.STM.MaxOpReads, res.Rotations)
+		res.STM.Commits, res.STM.Aborts, res.STM.AbortRate(), res.STM.Retries,
+		float64(res.STM.BackoffNanos)/1e6, res.STM.MaxOpReads, res.Rotations)
+	for si, sr := range res.PerShard {
+		fmt.Printf("shard,%d,ops,%d,throughput_ops_per_us,%.3f,commits,%d,aborts,%d,abort_rate,%.4f\n",
+			si, sr.Ops, sr.Throughput, sr.STM.Commits, sr.STM.Aborts, sr.STM.AbortRate())
+	}
 }

@@ -64,7 +64,7 @@ func main() {
 	seqDur := time.Since(seqStart)
 
 	// Concurrent run.
-	s := stm.New(stm.WithYield(*yieldEvery))
+	s := stm.New(stm.WithYield(*yieldEvery), stm.WithContentionManager(stm.Suicide()))
 	m := vacation.NewManager(s, trees.Kind(*tree))
 	setup := s.NewThread()
 	vacation.Populate(m, setup, cfg, *seed)

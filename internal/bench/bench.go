@@ -5,6 +5,11 @@
 // microsecond, the paper's unit), effective-update accounting, abort rates
 // and the transactional-read ceilings of Table 1.
 //
+// Beyond the paper's single-domain configurations, the harness can hammer a
+// sharded forest (Options.Shards > 1, reported per shard and aggregated),
+// select the STM's contention manager (Options.CM), and draw keys from a
+// Zipfian hot-set distribution instead of the uniform one (Workload.Dist).
+//
 // Two methodological details follow the paper explicitly:
 //
 //   - Effective updates. "We consider the effective update ratios of
@@ -26,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/forest"
 	"repro/internal/sftree"
 	"repro/internal/stm"
 	"repro/internal/trees"
@@ -49,6 +55,26 @@ type Workload struct {
 	// when false, updates pick uniform random keys and may fail (the
 	// attempted-ratio regime of Table 1).
 	Effective bool
+	// Dist selects the key distribution ("" and DistUniform are the
+	// paper's uniform regime; DistZipf concentrates traffic on a hot set).
+	Dist Dist
+	// ZipfS is the Zipf skew exponent (0 selects DefaultZipfS).
+	ZipfS float64
+
+	// zipfCDF is the shared distribution table, computed once per Run and
+	// handed to every worker (it depends only on ZipfS and KeyRange).
+	zipfCDF []float64
+}
+
+// prepareZipf populates the shared CDF table when the workload is Zipfian.
+func (wl *Workload) prepareZipf() {
+	if wl.Dist == DistZipf && wl.zipfCDF == nil {
+		s := wl.ZipfS
+		if s == 0 {
+			s = DefaultZipfS
+		}
+		wl.zipfCDF = zipfCDF(s, wl.KeyRange)
+	}
 }
 
 // Options configures one benchmark run.
@@ -59,6 +85,15 @@ type Options struct {
 	Duration time.Duration
 	Workload Workload
 	Seed     int64
+	// Shards partitions the key space across that many independent
+	// STM-domain+tree shards (internal/forest). 0 and 1 select the
+	// single-domain path, which is byte-for-byte the paper's configuration.
+	Shards int
+	// CM names the contention manager ("suicide", "backoff", "karma").
+	// Empty selects "suicide" — the historical engine behavior — so every
+	// pre-forest experiment configuration reproduces unchanged; new callers
+	// opt into backoff or karma explicitly.
+	CM string
 	// YieldEvery enables the STM's interleaving simulation (stm.WithYield):
 	// worker threads yield after that many transactional accesses, so
 	// transactions overlap even when the host has fewer cores than workers.
@@ -66,11 +101,35 @@ type Options struct {
 	YieldEvery int
 }
 
+// contentionManager resolves the run's contention manager, defaulting to
+// suicide (see the CM field comment).
+func (o Options) contentionManager() stm.ContentionManager {
+	name := o.CM
+	if name == "" {
+		name = "suicide"
+	}
+	cm, err := stm.ManagerByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return cm
+}
+
+// ShardResult is one shard's share of a sharded run.
+type ShardResult struct {
+	Ops        uint64  // operations routed to the shard
+	Throughput float64 // its ops per microsecond over the run
+	STM        stm.Stats
+}
+
 // Result reports one run's measurements.
 type Result struct {
 	Kind    trees.Kind
 	Mode    stm.Mode
 	Threads int
+	Shards  int
+	CM      string
+	Dist    Dist
 	Elapsed time.Duration
 
 	Ops              uint64  // operations completed
@@ -79,13 +138,16 @@ type Result struct {
 	Throughput       float64 // operations per microsecond (paper's unit)
 	EffectiveRatio   float64 // effective updates / ops
 
-	STM       stm.Stats    // summed over worker threads
-	TreeStats sftree.Stats // zero for non-SF trees
-	Rotations uint64       // tree rotations (see trees.Rotations)
+	STM       stm.Stats     // summed over worker threads (all shards)
+	PerShard  []ShardResult // per-shard breakdown (nil on the single path)
+	TreeStats sftree.Stats  // zero for non-SF trees
+	Rotations uint64        // tree rotations (see trees.Rotations)
 }
 
 // Run executes one benchmark: build, fill, start maintenance, hammer for
-// the configured duration, and collect statistics.
+// the configured duration, and collect statistics. Shards > 1 selects the
+// forest path; otherwise the single-domain tree is measured exactly as the
+// paper's harness does.
 func Run(o Options) Result {
 	if o.Threads < 1 {
 		panic("bench: Threads must be >= 1")
@@ -93,20 +155,94 @@ func Run(o Options) Result {
 	if o.Workload.KeyRange < 2 {
 		panic("bench: KeyRange must be >= 2")
 	}
-	s := stm.New(stm.WithMode(o.Mode), stm.WithYield(o.YieldEvery))
+	o.Workload.prepareZipf() // one shared CDF table for all workers
+	if o.Shards > 1 {
+		return runForest(o)
+	}
+	cm := o.contentionManager()
+	s := stm.New(stm.WithMode(o.Mode), stm.WithYield(o.YieldEvery), stm.WithContentionManager(cm))
 	m := trees.New(o.Kind, s)
 	fill(m, s, o.Workload.KeyRange, o.Seed)
 
 	stopMaint := trees.Start(m)
 	defer stopMaint()
 
+	workers := make([]*Runner, o.Threads)
+	for i := range workers {
+		workers[i] = NewRunner(m, s.NewThread(), o.Workload, o.Seed+int64(i)*7919+1)
+	}
+	elapsed := hammer(workers, o.Duration)
+
+	res := newResult(o, cm, 1, elapsed)
+	for _, w := range workers {
+		res.addWorker(w)
+		res.STM.Add(w.th.Stats())
+	}
+	res.finish()
+	if sf, ok := m.(interface{ Stats() sftree.Stats }); ok {
+		res.TreeStats = sf.Stats()
+	}
+	if rot, ok := trees.Rotations(m); ok {
+		res.Rotations = rot
+	}
+	return res
+}
+
+// runForest is the sharded path: one forest, one handle per worker, and a
+// per-shard breakdown of routed operations and STM statistics.
+func runForest(o Options) Result {
+	cm := o.contentionManager()
+	f := forest.New(o.Kind,
+		forest.WithShards(o.Shards),
+		forest.WithTMMode(o.Mode),
+		forest.WithContentionManager(cm),
+		forest.WithYield(o.YieldEvery))
+	fillForest(f, o.Workload.KeyRange, o.Seed)
+
+	workers := make([]*Runner, o.Threads)
+	handles := make([]*forest.Handle, o.Threads)
+	for i := range workers {
+		handles[i] = f.NewHandle()
+		workers[i] = NewTargetRunner(handles[i], o.Workload, o.Seed+int64(i)*7919+1)
+	}
+	elapsed := hammer(workers, o.Duration)
+	// Stop the per-shard maintenance goroutines before reading statistics:
+	// thread counters are plain fields, exact only once their owner is quiet.
+	f.Close()
+
+	res := newResult(o, cm, o.Shards, elapsed)
+	// Sum the workers' own per-shard threads, mirroring the single-domain
+	// path's worker-only accounting (the fill handle and the maintenance
+	// goroutines are excluded there too, keeping shards=1 and shards=N
+	// rows comparable).
+	res.PerShard = make([]ShardResult, o.Shards)
+	for i, w := range workers {
+		res.addWorker(w)
+		ops := handles[i].OpsPerShard()
+		for si, st := range handles[i].ShardStats() {
+			res.PerShard[si].Ops += ops[si]
+			res.PerShard[si].STM.Add(st)
+			res.STM.Add(st)
+		}
+	}
+	for si := range res.PerShard {
+		res.PerShard[si].Throughput = float64(res.PerShard[si].Ops) / (float64(elapsed.Nanoseconds()) / 1e3)
+	}
+	res.finish()
+	res.TreeStats = f.MaintenanceStats()
+	if rot, ok := f.Rotations(); ok {
+		res.Rotations = rot
+	}
+	return res
+}
+
+// hammer runs every worker in its own goroutine for the given duration.
+func hammer(workers []*Runner, d time.Duration) time.Duration {
 	var stopFlag atomic.Bool
 	var start, ready sync.WaitGroup
-	workers := make([]*Runner, o.Threads)
 	start.Add(1)
-	for i := range workers {
-		w := NewRunner(m, s.NewThread(), o.Workload, o.Seed+int64(i)*7919+1)
-		workers[i] = w
+	for _, w := range workers {
+		w := w
 		ready.Add(1)
 		go func() {
 			start.Wait()
@@ -118,29 +254,34 @@ func Run(o Options) Result {
 	}
 	t0 := time.Now()
 	start.Done()
-	time.Sleep(o.Duration)
+	time.Sleep(d)
 	stopFlag.Store(true)
 	ready.Wait()
-	elapsed := time.Since(t0)
+	return time.Since(t0)
+}
 
-	res := Result{Kind: o.Kind, Mode: o.Mode, Threads: o.Threads, Elapsed: elapsed}
-	for _, w := range workers {
-		res.Ops += w.Ops
-		res.EffectiveUpdates += w.EffUpdates
-		res.EffectiveMoves += w.EffMoves
-		res.STM.Add(w.th.Stats())
+func newResult(o Options, cm stm.ContentionManager, shards int, elapsed time.Duration) Result {
+	dist := o.Workload.Dist
+	if dist == "" {
+		dist = DistUniform
 	}
-	res.Throughput = float64(res.Ops) / (float64(elapsed.Nanoseconds()) / 1e3)
-	if res.Ops > 0 {
-		res.EffectiveRatio = float64(res.EffectiveUpdates) / float64(res.Ops)
+	return Result{
+		Kind: o.Kind, Mode: o.Mode, Threads: o.Threads,
+		Shards: shards, CM: cm.Name(), Dist: dist, Elapsed: elapsed,
 	}
-	if sf, ok := m.(interface{ Stats() sftree.Stats }); ok {
-		res.TreeStats = sf.Stats()
+}
+
+func (r *Result) addWorker(w *Runner) {
+	r.Ops += w.Ops
+	r.EffectiveUpdates += w.EffUpdates
+	r.EffectiveMoves += w.EffMoves
+}
+
+func (r *Result) finish() {
+	r.Throughput = float64(r.Ops) / (float64(r.Elapsed.Nanoseconds()) / 1e3)
+	if r.Ops > 0 {
+		r.EffectiveRatio = float64(r.EffectiveUpdates) / float64(r.Ops)
 	}
-	if rot, ok := trees.Rotations(m); ok {
-		res.Rotations = rot
-	}
-	return res
 }
 
 // fill initializes the set: every key in [0, keyRange) is inserted with
@@ -161,14 +302,50 @@ func fill(m trees.Map, s *stm.STM, keyRange uint64, seed int64) {
 	trees.Quiesce(m, 1<<20)
 }
 
-// Runner executes one thread's operation stream against a tree; the Run
+// fillForest applies exactly the fill discipline above through a routing
+// handle, so a forest starts from the same expected set as the bare tree.
+func fillForest(f *forest.Forest, keyRange uint64, seed int64) {
+	h := f.NewHandle()
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	keys := rng.Perm(int(keyRange))
+	for _, k := range keys {
+		if rng.Intn(2) == 0 {
+			h.Insert(uint64(k), uint64(k))
+		}
+	}
+	f.Quiesce(1 << 20)
+}
+
+// Target abstracts what a Runner hammers: a bare tree bound to one STM
+// thread, or a forest handle that routes every key to its shard. The method
+// set is deliberately the per-goroutine accessor surface shared by both.
+type Target interface {
+	Insert(k, v uint64) bool
+	Delete(k uint64) bool
+	Contains(k uint64) bool
+	Move(src, dst uint64) bool
+}
+
+// treeTarget adapts (trees.Map, *stm.Thread) to Target.
+type treeTarget struct {
+	m  trees.Map
+	th *stm.Thread
+}
+
+func (t treeTarget) Insert(k, v uint64) bool   { return t.m.Insert(t.th, k, v) }
+func (t treeTarget) Delete(k uint64) bool      { return t.m.Delete(t.th, k) }
+func (t treeTarget) Contains(k uint64) bool    { return t.m.Contains(t.th, k) }
+func (t treeTarget) Move(src, dst uint64) bool { return trees.Move(t.m, t.th, src, dst) }
+
+// Runner executes one thread's operation stream against a Target; the Run
 // harness drives one per worker, and the root-level testing.B benchmarks
 // drive them directly with b.N-controlled iteration.
 type Runner struct {
-	m   trees.Map
-	th  *stm.Thread
+	t   Target
+	th  *stm.Thread // nil for forest runners (stats come from the forest)
 	rng *rand.Rand
 	wl  Workload
+	gen *ZipfGen // non-nil iff wl.Dist == DistZipf
 
 	Ops        uint64 // operations completed
 	EffUpdates uint64 // updates that modified the abstraction
@@ -180,12 +357,27 @@ type Runner struct {
 	doInsert bool
 }
 
-// NewRunner creates a Runner with its own deterministic random stream.
+// NewRunner creates a Runner hammering a bare tree through one STM thread,
+// with its own deterministic random stream.
 func NewRunner(m trees.Map, th *stm.Thread, wl Workload, seed int64) *Runner {
-	return &Runner{m: m, th: th, rng: rand.New(rand.NewSource(seed)), wl: wl}
+	r := NewTargetRunner(treeTarget{m: m, th: th}, wl, seed)
+	r.th = th
+	return r
 }
 
-// Thread exposes the runner's STM thread (for statistics collection).
+// NewTargetRunner creates a Runner hammering any Target (e.g. a
+// forest.Handle) with its own deterministic random stream.
+func NewTargetRunner(t Target, wl Workload, seed int64) *Runner {
+	wl.prepareZipf()
+	r := &Runner{t: t, rng: rand.New(rand.NewSource(seed)), wl: wl}
+	if wl.Dist == DistZipf {
+		r.gen = newZipfGenFromCDF(r.rng, wl.zipfCDF)
+	}
+	return r
+}
+
+// Thread exposes the runner's STM thread (for statistics collection); nil
+// when the runner targets a forest.
 func (w *Runner) Thread() *stm.Thread { return w.th }
 
 // Step executes one operation drawn from the workload mix.
@@ -196,7 +388,7 @@ func (w *Runner) Step() {
 	case roll < w.wl.MovePercent:
 		src := w.key(false)
 		dst := w.key(true)
-		if trees.Move(w.m, w.th, src, dst) {
+		if w.t.Move(src, dst) {
 			w.EffMoves++
 			w.EffUpdates++
 		}
@@ -207,7 +399,7 @@ func (w *Runner) Step() {
 			w.randomUpdate()
 		}
 	default:
-		w.m.Contains(w.th, w.key(w.rng.Intn(2) == 0))
+		w.t.Contains(w.key(w.rng.Intn(2) == 0))
 	}
 }
 
@@ -217,7 +409,7 @@ func (w *Runner) Step() {
 func (w *Runner) effectiveUpdate() {
 	if w.doInsert || len(w.owned) == 0 {
 		k := w.key(true)
-		if w.m.Insert(w.th, k, k) {
+		if w.t.Insert(k, k) {
 			w.owned = append(w.owned, k)
 			w.EffUpdates++
 			w.doInsert = false
@@ -231,32 +423,38 @@ func (w *Runner) effectiveUpdate() {
 		// would cancel the skew the workload is supposed to create.
 		k = w.key(false)
 	}
-	if w.m.Delete(w.th, k) {
+	if w.t.Delete(k) {
 		w.EffUpdates++
 	}
 	w.doInsert = true
 }
 
-// randomUpdate attempts an insert or delete of a uniform random key with
-// equal probability (Table 1's regime: the expected size stays constant,
-// failures count as read-only operations).
+// randomUpdate attempts an insert or delete of a random key with equal
+// probability (Table 1's regime: the expected size stays constant, failures
+// count as read-only operations).
 func (w *Runner) randomUpdate() {
 	k := w.key(w.rng.Intn(2) == 0)
 	if w.rng.Intn(2) == 0 {
-		if w.m.Insert(w.th, k, k) {
+		if w.t.Insert(k, k) {
 			w.EffUpdates++
 		}
 	} else {
-		if w.m.Delete(w.th, k) {
+		if w.t.Delete(k) {
 			w.EffUpdates++
 		}
 	}
 }
 
-// key draws a key; under bias, keys for inserts (forInsert=true) are skewed
-// high and keys for deletes/lookups low, by ±U[0..9] as in the paper.
+// key draws a key from the workload's distribution; under bias, keys for
+// inserts (forInsert=true) are skewed high and keys for deletes/lookups
+// low, by ±U[0..9] as in the paper.
 func (w *Runner) key(forInsert bool) uint64 {
-	k := uint64(w.rng.Int63n(int64(w.wl.KeyRange)))
+	var k uint64
+	if w.gen != nil {
+		k = w.gen.Uint64()
+	} else {
+		k = uint64(w.rng.Int63n(int64(w.wl.KeyRange)))
+	}
 	if !w.wl.Biased {
 		return k
 	}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dist names a key distribution for the workload generator.
+type Dist string
+
+const (
+	// DistUniform draws keys uniformly from [0, KeyRange) — the paper's
+	// regime and the default.
+	DistUniform Dist = "uniform"
+	// DistZipf draws keys Zipf-skewed: key k with probability ∝ 1/(k+1)^s,
+	// so a handful of low keys absorb most of the traffic. This is the
+	// contended-hot-set workload that exposes single-domain bottlenecks
+	// (and, on a forest, the shards unlucky enough to own the hot keys).
+	DistZipf Dist = "zipf"
+)
+
+// DefaultZipfS is the skew exponent used when Workload.ZipfS is zero; s
+// slightly above 1 is the classical web/cache workload shape.
+const DefaultZipfS = 1.2
+
+// Dists lists the supported key distributions.
+func Dists() []Dist { return []Dist{DistUniform, DistZipf} }
+
+// ZipfGen draws keys from a bounded Zipf distribution over [0, n):
+// P(k) = (1/(k+1)^s) / H(n,s). It inverts a precomputed CDF, so draws are
+// exact, O(log n), and fully deterministic given the caller's rand source;
+// construction is O(n) time and memory (the benchmark's key universes are
+// at most a few million keys).
+type ZipfGen struct {
+	rng *rand.Rand
+	cdf []float64 // cdf[k] = P(key <= k), cdf[n-1] == 1
+}
+
+// NewZipfGen builds a generator for n keys with skew exponent s > 0.
+func NewZipfGen(rng *rand.Rand, s float64, n uint64) *ZipfGen {
+	return newZipfGenFromCDF(rng, zipfCDF(s, n))
+}
+
+// zipfCDF computes the cumulative distribution table. It depends only on
+// (s, n) and is immutable afterwards, so the harness computes it once per
+// run and shares it across workers instead of paying O(n) time and memory
+// per thread.
+func zipfCDF(s float64, n uint64) []float64 {
+	if n == 0 {
+		panic("bench: zipf over empty key range")
+	}
+	if s <= 0 {
+		panic("bench: zipf skew exponent must be > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := uint64(0); k < n; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return cdf
+}
+
+// newZipfGenFromCDF wraps a (possibly shared) CDF table with a private
+// random stream.
+func newZipfGenFromCDF(rng *rand.Rand, cdf []float64) *ZipfGen {
+	return &ZipfGen{rng: rng, cdf: cdf}
+}
+
+// Uint64 draws one key.
+func (z *ZipfGen) Uint64() uint64 {
+	u := z.rng.Float64()
+	return uint64(sort.SearchFloat64s(z.cdf, u))
+}

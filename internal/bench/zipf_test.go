@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/stm"
+	"repro/internal/trees"
+)
+
+// TestZipfDistributionSanity checks the generator against the analytic
+// distribution: draws stay in range, empirical head probabilities match
+// P(k) ∝ 1/(k+1)^s within a few standard errors, and frequencies decrease
+// with rank.
+func TestZipfDistributionSanity(t *testing.T) {
+	const (
+		n     = 1 << 10
+		s     = 1.2
+		draws = 200000
+	)
+	z := NewZipfGen(rand.New(rand.NewSource(7)), s, n)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		k := z.Uint64()
+		if k >= n {
+			t.Fatalf("draw %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Analytic head probabilities.
+	h := 0.0
+	for k := 1; k <= n; k++ {
+		h += math.Pow(float64(k), -s)
+	}
+	for k := 0; k < 8; k++ {
+		want := math.Pow(float64(k+1), -s) / h
+		got := float64(counts[k]) / draws
+		se := math.Sqrt(want * (1 - want) / draws)
+		if math.Abs(got-want) > 6*se {
+			t.Errorf("P(%d): got %.5f, want %.5f (±%.5f)", k, got, want, 6*se)
+		}
+	}
+	// The head must dominate: with s=1.2 and n=1024 the top 16 keys carry
+	// well over half the mass.
+	head := 0
+	for k := 0; k < 16; k++ {
+		head += counts[k]
+	}
+	if float64(head)/draws < 0.5 {
+		t.Fatalf("top-16 mass = %.3f, want > 0.5", float64(head)/draws)
+	}
+	// Frequencies decrease with rank over well-populated prefixes.
+	for k := 1; k < 6; k++ {
+		if counts[k] > counts[k-1] {
+			t.Errorf("count[%d]=%d > count[%d]=%d", k, counts[k], k-1, counts[k-1])
+		}
+	}
+}
+
+func TestZipfGenDeterministic(t *testing.T) {
+	a := NewZipfGen(rand.New(rand.NewSource(3)), 1.1, 512)
+	b := NewZipfGen(rand.New(rand.NewSource(3)), 1.1, 512)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestZipfWorkloadRuns(t *testing.T) {
+	o := quickOpts(trees.SFOpt)
+	o.Workload.Dist = DistZipf
+	o.Workload.UpdatePercent = 30
+	res := Run(o)
+	if res.Ops == 0 {
+		t.Fatal("zipf run did no work")
+	}
+	if res.Dist != DistZipf {
+		t.Fatal("dist metadata wrong")
+	}
+}
+
+func TestShardedRunReportsPerShard(t *testing.T) {
+	o := quickOpts(trees.SFOpt)
+	o.Shards = 4
+	o.Threads = 4
+	o.CM = "backoff"
+	o.Duration = 60 * time.Millisecond
+	res := Run(o)
+	if res.Shards != 4 || len(res.PerShard) != 4 {
+		t.Fatalf("shards = %d, per-shard entries = %d", res.Shards, len(res.PerShard))
+	}
+	var shardOps uint64
+	var agg float64
+	for si, sr := range res.PerShard {
+		if sr.Ops == 0 {
+			t.Fatalf("shard %d saw no operations", si)
+		}
+		if sr.STM.Commits == 0 {
+			t.Fatalf("shard %d recorded no commits", si)
+		}
+		shardOps += sr.Ops
+		agg += sr.Throughput
+	}
+	if shardOps < res.Ops {
+		t.Fatalf("per-shard ops %d < aggregate ops %d", shardOps, res.Ops)
+	}
+	// Per-shard throughputs must sum to about the routed-operation rate.
+	routed := float64(shardOps) / (float64(res.Elapsed.Nanoseconds()) / 1e3)
+	if math.Abs(agg-routed)/routed > 0.01 {
+		t.Fatalf("per-shard throughput sum %.3f far from %.3f", agg, routed)
+	}
+	if res.CM != "backoff" {
+		t.Fatalf("cm metadata = %q", res.CM)
+	}
+}
+
+func TestCMSelection(t *testing.T) {
+	for _, cm := range stm.Managers() {
+		o := quickOpts(trees.SF)
+		o.CM = cm
+		res := Run(o)
+		if res.CM != cm {
+			t.Fatalf("cm metadata = %q, want %q", res.CM, cm)
+		}
+		if res.Ops == 0 {
+			t.Fatalf("cm %s: no ops", cm)
+		}
+	}
+	// Empty CM must stay the historical suicide policy so pre-forest
+	// experiment configurations reproduce unchanged.
+	res := Run(quickOpts(trees.SF))
+	if res.CM != "suicide" {
+		t.Fatalf("default cm = %q, want suicide", res.CM)
+	}
+	if res.STM.BackoffNanos != 0 {
+		t.Fatal("suicide policy recorded backoff time")
+	}
+}
+
+func TestShardedZipfRun(t *testing.T) {
+	o := quickOpts(trees.SFOpt)
+	o.Shards = 4
+	o.Workload.Dist = DistZipf
+	o.Duration = 60 * time.Millisecond
+	res := Run(o)
+	if res.Ops == 0 {
+		t.Fatal("no ops")
+	}
+	// Under a Zipf hot set the shard owning the hot keys must see more
+	// traffic than the coldest shard.
+	var min, max uint64 = math.MaxUint64, 0
+	for _, sr := range res.PerShard {
+		if sr.Ops < min {
+			min = sr.Ops
+		}
+		if sr.Ops > max {
+			max = sr.Ops
+		}
+	}
+	if max <= min {
+		t.Fatalf("zipf skew invisible across shards: min %d max %d", min, max)
+	}
+}

@@ -80,7 +80,7 @@ func Fig6(o Opts) error {
 // runVacation executes one concurrent vacation run and returns its duration
 // (client phase only, as STAMP times it) and the total tree rotations.
 func runVacation(kind trees.Kind, cfg vacation.Config, threads int, seed int64, yieldEvery int) (time.Duration, uint64) {
-	s := stm.New(stm.WithYield(yieldEvery))
+	s := stm.New(stm.WithYield(yieldEvery), stm.WithContentionManager(stm.Suicide()))
 	m := vacation.NewManager(s, kind)
 	setup := s.NewThread()
 	vacation.Populate(m, setup, cfg, seed)

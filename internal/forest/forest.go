@@ -1,0 +1,225 @@
+// Package forest shards the uint64 key space across S independent
+// STM-domain + tree pairs, turning the paper's single-domain
+// speculation-friendly tree into a horizontally scalable structure.
+//
+// Each shard owns a private stm.STM (its own global version clock), a
+// private tree of any trees.Kind, and — for the speculation-friendly
+// variants — its own background maintenance goroutine. Keys are routed to
+// shards by a fixed avalanche hash of the key, so the hot single points of
+// the one-domain design (version-clock increments, the lone rotator
+// goroutine, commit-time lock contention) all split S ways while every
+// intra-shard property of the paper's algorithm is preserved unchanged.
+//
+// # Atomicity semantics
+//
+// A forest deliberately trades global atomicity for scalability:
+//
+//   - Single-key operations (Insert, Delete, Get, Contains) are exactly as
+//     atomic as on the underlying tree: one transaction on one shard.
+//   - Composite transactions (Handle.Update) are routed to a single shard —
+//     the shard owning the routing key — and are fully atomic there. Keys
+//     from other shards must not be touched inside the transaction (the Op
+//     methods panic if they are); use SameShard to check co-location first.
+//   - Move(src, dst) is atomic when SameShard(src, dst); across shards it
+//     executes as separate single-shard transactions ordered insert-first
+//     (read src, insert dst, delete src, compensating if src vanished), so
+//     the moved value is never lost but a concurrent observer can
+//     momentarily see it at both keys.
+//   - Size and Keys compose per-shard snapshots; each shard's contribution
+//     is internally consistent but the shards are not cut at one instant.
+//
+// With one shard a Forest is semantically identical to the bare tree.
+package forest
+
+import (
+	"fmt"
+
+	"repro/internal/sftree"
+	"repro/internal/stm"
+	"repro/internal/trees"
+)
+
+// shard is one partition: a private STM domain and a tree living in it.
+type shard struct {
+	stm  *stm.STM
+	m    trees.Map
+	stop func()
+}
+
+// Forest is a sharded transactional map from uint64 keys to uint64 values.
+// Create one with New; every goroutine accessing it must use its own Handle.
+type Forest struct {
+	kind   trees.Kind
+	shards []*shard
+	maint  bool // background maintenance currently enabled
+}
+
+// Option configures New.
+type Option func(*cfg)
+
+type cfg struct {
+	shards      int
+	mode        stm.Mode
+	cm          stm.ContentionManager
+	maintenance bool
+	yieldEvery  int
+}
+
+// WithShards sets the number of partitions (default 1; must be >= 1).
+func WithShards(n int) Option { return func(c *cfg) { c.shards = n } }
+
+// WithTMMode selects the TM algorithm of every shard's STM domain.
+func WithTMMode(m stm.Mode) Option { return func(c *cfg) { c.mode = m } }
+
+// WithContentionManager selects the abort→retry policy of every shard's STM
+// domain (default stm.Backoff; nil is ignored).
+func WithContentionManager(cm stm.ContentionManager) Option {
+	return func(c *cfg) { c.cm = cm }
+}
+
+// WithoutMaintenance suppresses the per-shard maintenance goroutines; the
+// caller drives maintenance manually via Quiesce.
+func WithoutMaintenance() Option { return func(c *cfg) { c.maintenance = false } }
+
+// WithYield enables the STM interleaving simulation on every shard
+// (stm.WithYield).
+func WithYield(n int) Option { return func(c *cfg) { c.yieldEvery = n } }
+
+// New creates an empty forest of the given tree kind. Unless
+// WithoutMaintenance is given, each shard of a speculation-friendly kind
+// starts its own maintenance goroutine immediately; Close stops them all.
+func New(kind trees.Kind, opts ...Option) *Forest {
+	c := cfg{shards: 1, mode: stm.CTL, maintenance: true}
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.shards < 1 {
+		panic(fmt.Sprintf("forest: shard count %d < 1", c.shards))
+	}
+	f := &Forest{kind: kind, shards: make([]*shard, c.shards), maint: c.maintenance}
+	for i := range f.shards {
+		s := stm.New(stm.WithMode(c.mode), stm.WithContentionManager(c.cm), stm.WithYield(c.yieldEvery))
+		sh := &shard{stm: s, m: trees.New(kind, s), stop: func() {}}
+		if c.maintenance {
+			sh.stop = trees.Start(sh.m)
+		}
+		f.shards[i] = sh
+	}
+	return f
+}
+
+// Kind reports the tree library backing every shard.
+func (f *Forest) Kind() trees.Kind { return f.kind }
+
+// Shards reports the number of partitions.
+func (f *Forest) Shards() int { return len(f.shards) }
+
+// Close stops all background maintenance. The forest remains readable.
+func (f *Forest) Close() {
+	f.maint = false
+	for _, sh := range f.shards {
+		sh.stop()
+	}
+}
+
+// pauseMaintenance stops the running per-shard maintenance goroutines and
+// returns the function that restarts them. Per-thread STM counters are
+// plain fields readable only while their owning goroutine is quiet, so the
+// statistics accessors bracket themselves with this.
+func (f *Forest) pauseMaintenance() func() {
+	if !f.maint {
+		return func() {}
+	}
+	var resume []func()
+	for _, sh := range f.shards {
+		if mt, ok := sh.m.(trees.Maintained); ok {
+			mt.Stop()
+			resume = append(resume, mt.Start)
+		}
+	}
+	return func() {
+		if !f.maint { // a Close raced the pause; stay stopped
+			return
+		}
+		for _, r := range resume {
+			r()
+		}
+	}
+}
+
+// Quiesce drains maintenance work on every shard (up to maxPasses each).
+func (f *Forest) Quiesce(maxPasses int) {
+	for _, sh := range f.shards {
+		trees.Quiesce(sh.m, maxPasses)
+	}
+}
+
+// mix is the splitmix64 finalizer: a full-avalanche bijection on uint64, so
+// dense key ranges (the benchmark's [0, range) universe) spread evenly over
+// shards instead of striping.
+func mix(k uint64) uint64 {
+	k += 0x9e3779b97f4a7c15
+	k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9
+	k = (k ^ (k >> 27)) * 0x94d049bb133111eb
+	return k ^ (k >> 31)
+}
+
+// ShardOf returns the index of the shard owning key k.
+func (f *Forest) ShardOf(k uint64) int {
+	if len(f.shards) == 1 {
+		return 0
+	}
+	return int(mix(k) % uint64(len(f.shards)))
+}
+
+// SameShard reports whether k1 and k2 are co-located, i.e. whether a
+// composite transaction (Update, atomic Move) may span both keys.
+func (f *Forest) SameShard(k1, k2 uint64) bool { return f.ShardOf(k1) == f.ShardOf(k2) }
+
+// Stats returns the STM statistics summed over all shards. Running
+// maintenance goroutines are paused while their counters are read; caller
+// handles must be quiescent (as for stm.Thread.Stats).
+func (f *Forest) Stats() stm.Stats {
+	defer f.pauseMaintenance()()
+	var t stm.Stats
+	for _, sh := range f.shards {
+		t.Add(sh.stm.TotalStats())
+	}
+	return t
+}
+
+// ShardStats returns each shard's own STM statistics, indexed by shard,
+// under the same quiescence contract as Stats.
+func (f *Forest) ShardStats() []stm.Stats {
+	defer f.pauseMaintenance()()
+	out := make([]stm.Stats, len(f.shards))
+	for i, sh := range f.shards {
+		out[i] = sh.stm.TotalStats()
+	}
+	return out
+}
+
+// MaintenanceStats sums structural-activity counters over all shards
+// (zero value for kinds without maintenance).
+func (f *Forest) MaintenanceStats() sftree.Stats {
+	var t sftree.Stats
+	for _, sh := range f.shards {
+		if sf, ok := sh.m.(interface{ Stats() sftree.Stats }); ok {
+			t.Add(sf.Stats())
+		}
+	}
+	return t
+}
+
+// Rotations sums structural rotations over shards whose kind exposes them.
+func (f *Forest) Rotations() (uint64, bool) {
+	var total uint64
+	any := false
+	for _, sh := range f.shards {
+		if r, ok := trees.Rotations(sh.m); ok {
+			total += r
+			any = true
+		}
+	}
+	return total, any
+}

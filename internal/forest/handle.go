@@ -1,0 +1,201 @@
+package forest
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stm"
+	"repro/internal/trees"
+)
+
+// Handle is a per-goroutine accessor to a Forest. It lazily creates and
+// caches one STM thread per shard, so a caller that only ever touches a few
+// partitions never registers with the others. Handles are not safe for
+// concurrent use; create one per goroutine.
+type Handle struct {
+	f   *Forest
+	ths []*stm.Thread // cached per-shard threads, created on first touch
+	ops []uint64      // operations routed to each shard
+}
+
+// NewHandle returns a handle with no shard threads allocated yet.
+func (f *Forest) NewHandle() *Handle {
+	return &Handle{
+		f:   f,
+		ths: make([]*stm.Thread, len(f.shards)),
+		ops: make([]uint64, len(f.shards)),
+	}
+}
+
+// Forest returns the forest this handle accesses.
+func (h *Handle) Forest() *Forest { return h.f }
+
+// thread returns the handle's cached STM thread for shard si, registering
+// one with that shard's domain on first use.
+func (h *Handle) thread(si int) *stm.Thread {
+	if h.ths[si] == nil {
+		h.ths[si] = h.f.shards[si].stm.NewThread()
+	}
+	return h.ths[si]
+}
+
+// route resolves k to its shard, charging one routed operation to it.
+func (h *Handle) route(k uint64) (*shard, *stm.Thread, int) {
+	si := h.f.ShardOf(k)
+	h.ops[si]++
+	return h.f.shards[si], h.thread(si), si
+}
+
+// OpsPerShard returns how many operations this handle routed to each shard
+// (the per-shard load-balance view the benchmark harness aggregates).
+func (h *Handle) OpsPerShard() []uint64 {
+	out := make([]uint64, len(h.ops))
+	copy(out, h.ops)
+	return out
+}
+
+// Stats sums the STM statistics of this handle's own per-shard threads —
+// the handle's contribution to the forest, excluding other handles and the
+// maintenance goroutines. Call only while the handle is quiescent.
+func (h *Handle) Stats() stm.Stats {
+	var t stm.Stats
+	for _, st := range h.ShardStats() {
+		t.Add(st)
+	}
+	return t
+}
+
+// ShardStats returns this handle's STM statistics split by shard (zero for
+// shards the handle never touched), under the same quiescence contract as
+// Stats.
+func (h *Handle) ShardStats() []stm.Stats {
+	out := make([]stm.Stats, len(h.ths))
+	for si, th := range h.ths {
+		if th != nil {
+			out[si] = th.Stats()
+		}
+	}
+	return out
+}
+
+// Insert maps k to v; false when k was already present.
+func (h *Handle) Insert(k, v uint64) bool {
+	sh, th, _ := h.route(k)
+	return sh.m.Insert(th, k, v)
+}
+
+// Delete removes k; false when absent.
+func (h *Handle) Delete(k uint64) bool {
+	sh, th, _ := h.route(k)
+	return sh.m.Delete(th, k)
+}
+
+// Get returns the value at k.
+func (h *Handle) Get(k uint64) (uint64, bool) {
+	sh, th, _ := h.route(k)
+	return sh.m.Get(th, k)
+}
+
+// Contains reports whether k is present.
+func (h *Handle) Contains(k uint64) bool {
+	sh, th, _ := h.route(k)
+	return sh.m.Contains(th, k)
+}
+
+// Move relocates the value at src to dst; it succeeds only when src is
+// present and dst absent. When SameShard(src, dst) the move is one atomic
+// transaction (paper §5.4). Across shards it degrades to three single-shard
+// transactions — read src, insert dst, delete src — ordered so the value is
+// never lost: during the window a concurrent observer may see the value at
+// both keys, and if src is concurrently removed the provisional dst entry
+// is deleted again (only if it still holds the moved value). See the
+// package comment for the full semantics.
+func (h *Handle) Move(src, dst uint64) bool {
+	ssh, sth, ssi := h.route(src)
+	dsi := h.f.ShardOf(dst)
+	if ssi == dsi {
+		return trees.Move(ssh.m, sth, src, dst)
+	}
+	h.ops[dsi]++
+	dsh, dth := h.f.shards[dsi], h.thread(dsi)
+	// Phase 1: read the value to move.
+	v, ok := ssh.m.Get(sth, src)
+	if !ok {
+		return false
+	}
+	// Phase 2: claim dst provisionally; an occupied dst fails the move with
+	// nothing changed yet.
+	if !dsh.m.Insert(dth, dst, v) {
+		return false
+	}
+	// Phase 3: take src out. If a concurrent operation removed it first,
+	// compensate by withdrawing the provisional dst entry — but only while
+	// it still holds our value, so a concurrent overwrite of dst survives.
+	if ssh.m.Delete(sth, src) {
+		return true
+	}
+	trees.Atomic(dsh.m, dth, func(tx *stm.Tx) {
+		if cur, ok := dsh.m.GetTx(tx, dst); ok && cur == v {
+			dsh.m.DeleteTx(tx, dst)
+		}
+	})
+	return false
+}
+
+// Len counts the elements, one consistent snapshot per shard.
+func (h *Handle) Len() int {
+	n := 0
+	for si, sh := range h.f.shards {
+		n += sh.m.Size(h.thread(si))
+	}
+	return n
+}
+
+// Keys returns the sorted keys, one consistent snapshot per shard.
+func (h *Handle) Keys() []uint64 {
+	var all []uint64
+	for si, sh := range h.f.shards {
+		all = append(all, sh.m.Keys(h.thread(si))...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return all
+}
+
+// Update runs fn as one atomic transaction on the shard owning the routing
+// key k. Every key touched inside fn must belong to that same shard (check
+// with SameShard); touching a foreign key panics, because silently reading
+// another shard's tree from this shard's transaction would break isolation.
+func (h *Handle) Update(k uint64, fn func(op *Op)) {
+	sh, th, si := h.route(k)
+	trees.Atomic(sh.m, th, func(tx *stm.Tx) {
+		fn(&Op{f: h.f, m: sh.m, tx: tx, si: si})
+	})
+}
+
+// Op exposes the tree operations inside a Handle.Update transaction; all
+// keys must live on the shard the transaction was routed to.
+type Op struct {
+	f  *Forest
+	m  trees.Map
+	tx *stm.Tx
+	si int
+}
+
+// check panics when k is owned by a different shard than the transaction's.
+func (o *Op) check(k uint64) {
+	if si := o.f.ShardOf(k); si != o.si {
+		panic(fmt.Sprintf("forest: key %d lives on shard %d but the transaction is bound to shard %d; route with SameShard first", k, si, o.si))
+	}
+}
+
+// Insert maps k to v within the transaction; false when present.
+func (o *Op) Insert(k, v uint64) bool { o.check(k); return o.m.InsertTxA(o.tx, k, v) }
+
+// Delete removes k within the transaction; false when absent.
+func (o *Op) Delete(k uint64) bool { o.check(k); return o.m.DeleteTx(o.tx, k) }
+
+// Get returns the value at k within the transaction.
+func (o *Op) Get(k uint64) (uint64, bool) { o.check(k); return o.m.GetTx(o.tx, k) }
+
+// Contains reports membership within the transaction.
+func (o *Op) Contains(k uint64) bool { o.check(k); return o.m.ContainsTx(o.tx, k) }

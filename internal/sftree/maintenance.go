@@ -42,6 +42,7 @@ func (t *Tree) Start() {
 // Stop halts the maintenance goroutine and waits for it to finish its
 // current pass. It is a no-op when maintenance is not running.
 func (t *Tree) Stop() {
+	t.stopEpoch.Add(1)
 	if !t.running.Load() {
 		return
 	}
@@ -80,10 +81,24 @@ func (t *Tree) RunMaintenancePass() int {
 }
 
 // Quiesce runs maintenance passes until one does no work (or maxPasses is
-// hit), leaving the tree balanced and physically clean. Intended for tests
-// and for phase changes in benchmarks; concurrent updates may legitimately
-// prevent quiescence, hence the bound.
+// hit), leaving the tree balanced and physically clean. A running
+// background maintenance goroutine is paused for the duration and resumed
+// afterwards (passes are single-driver, see RunMaintenancePass). Intended
+// for tests and for phase changes in benchmarks; concurrent updates may
+// legitimately prevent quiescence, hence the bound. Quiesce itself must be
+// called from one goroutine at a time.
 func (t *Tree) Quiesce(maxPasses int) bool {
+	if t.running.Load() {
+		t.Stop()
+		epoch := t.stopEpoch.Load()
+		defer func() {
+			// Resume only if nobody else asked for a stop while we were
+			// draining — a concurrent Close/Stop must win, not be undone.
+			if t.stopEpoch.Load() == epoch {
+				t.Start()
+			}
+		}()
+	}
 	for i := 0; i < maxPasses; i++ {
 		if t.RunMaintenancePass() == 0 {
 			return true

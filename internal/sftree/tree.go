@@ -72,6 +72,16 @@ type Stats struct {
 	FailedRemove uint64 // removal transactions that returned false
 }
 
+// Add accumulates o into s (aggregation across the shards of a forest).
+func (s *Stats) Add(o Stats) {
+	s.Rotations += o.Rotations
+	s.Removals += o.Removals
+	s.Passes += o.Passes
+	s.Freed += o.Freed
+	s.FailedRot += o.FailedRot
+	s.FailedRemove += o.FailedRemove
+}
+
 // Tree is a speculation-friendly binary search tree. All abstract operations
 // are safe for concurrent use by any number of threads (each goroutine
 // passing its own *stm.Thread); the structural operations are driven by at
@@ -97,6 +107,9 @@ type Tree struct {
 	stop    atomic.Bool
 	done    chan struct{}
 	running atomic.Bool
+	// stopEpoch counts Stop calls; Quiesce uses it to avoid resurrecting a
+	// maintenance goroutine that a concurrent Stop/Close meant to end.
+	stopEpoch atomic.Uint64
 
 	// maintVisits counts nodes visited by maintenance traversals; it is
 	// only touched by the single maintenance driver (see maintYieldStride).

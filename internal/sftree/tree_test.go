@@ -570,15 +570,19 @@ func TestSizeAndKeysUnderConcurrentReads(t *testing.T) {
 			}
 			k := uint64(rng.Intn(200))
 			// Paired insert+delete in one transaction keeps the abstract
-			// size invariant at 100 for every consistent snapshot. The
-			// reinsert always takes the resurrection path (the node is
-			// still physically present within the same transaction), so no
-			// scratch allocation escapes.
+			// size invariant at 100 for every consistent snapshot. In a
+			// committing attempt the reinsert always takes the resurrection
+			// path (the node is still logically present within the same
+			// transaction). A doomed ("zombie") attempt, however, can
+			// observe a fresh copy-on-rotate node that contradicts the
+			// pinned read set — the STM will refuse to commit it, so the
+			// correct reaction to the impossible observation is Restart,
+			// never trusting it.
 			var sc arena.Scratch
 			writer.Atomic(func(tx *stm.Tx) {
 				if tr.DeleteTx(tx, k) {
 					if !tr.InsertTx(tx, k, 1, &sc) {
-						panic("reinsert failed")
+						tx.Restart()
 					}
 				}
 			})

@@ -1,0 +1,36 @@
+package stm
+
+// The transaction-lifecycle engine: drives one operation (one
+// Atomic/AtomicMode call) from its first attempt to its commit, consulting
+// the domain's ContentionManager between attempts. It was extracted from the
+// original Thread.AtomicMode retry loop so that the abort→retry path is a
+// pluggable policy rather than a hard-coded backoff. The cycle is
+// begin → run → (commit | abort → contention-manager stall → begin).
+//
+// lifecycle lives on the thread's stack for the duration of one AtomicMode
+// call.
+type lifecycle struct {
+	th      *Thread
+	mode    Mode
+	fn      func(*Tx)
+	retries int // aborted attempts so far
+}
+
+// run drives the operation to commit. On every abort it charges one retry to
+// the thread's statistics and hands control to the contention manager, whose
+// stall is the only wait in the loop.
+func (lc *lifecycle) run() {
+	th := lc.th
+	tx := &th.tx
+	cm := th.stm.cm
+	for {
+		tx.begin(lc.mode)
+		if th.runAttempt(tx, lc.fn) {
+			cm.OnCommit(th, lc.retries)
+			return
+		}
+		lc.retries++
+		th.stats.Retries++
+		cm.OnAbort(th, lc.retries)
+	}
+}

@@ -28,6 +28,12 @@ type Stats struct {
 	Extensions uint64
 	// ElasticCuts counts reads dropped from elastic read sets.
 	ElasticCuts uint64
+	// Retries counts abort→retry transitions of the transaction-lifecycle
+	// engine (every aborted attempt of an Atomic operation charges one).
+	Retries uint64
+	// BackoffNanos is the total time, in nanoseconds, the contention
+	// manager stalled this thread between an abort and its retry.
+	BackoffNanos uint64
 }
 
 // Add accumulates o into s. Max-type counters take the maximum.
@@ -39,6 +45,8 @@ func (s *Stats) Add(o Stats) {
 	s.Writes += o.Writes
 	s.Extensions += o.Extensions
 	s.ElasticCuts += o.ElasticCuts
+	s.Retries += o.Retries
+	s.BackoffNanos += o.BackoffNanos
 	if o.MaxOpReads > s.MaxOpReads {
 		s.MaxOpReads = o.MaxOpReads
 	}

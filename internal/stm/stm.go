@@ -80,6 +80,11 @@ type STM struct {
 
 	defaultMode Mode
 
+	// cm is the contention manager consulted by the transaction-lifecycle
+	// engine between an abort and the retry. Shared by all threads of the
+	// domain; policies keep per-thread state on the Thread.
+	cm ContentionManager
+
 	// maxSpin bounds the number of times a unit read re-samples a locked
 	// word before yielding the processor.
 	maxSpin int
@@ -103,9 +108,20 @@ func WithMode(m Mode) Option { return func(s *STM) { s.defaultMode = m } }
 // transaction overlap on hosts with few cores; see the field comment.
 func WithYield(n int) Option { return func(s *STM) { s.yieldEvery = n } }
 
+// WithContentionManager selects the abort→retry policy used by the
+// transaction-lifecycle engine (default Backoff; nil is ignored). Use
+// Suicide to reproduce the pre-forest engine's behavior exactly.
+func WithContentionManager(cm ContentionManager) Option {
+	return func(s *STM) {
+		if cm != nil {
+			s.cm = cm
+		}
+	}
+}
+
 // New creates an empty STM domain with the version clock at zero.
 func New(opts ...Option) *STM {
-	s := &STM{defaultMode: CTL, maxSpin: 64}
+	s := &STM{defaultMode: CTL, maxSpin: 64, cm: Backoff()}
 	for _, o := range opts {
 		o(s)
 	}
@@ -114,6 +130,9 @@ func New(opts ...Option) *STM {
 
 // DefaultMode reports the mode used by Thread.Atomic.
 func (s *STM) DefaultMode() Mode { return s.defaultMode }
+
+// ContentionManager reports the domain's abort→retry policy.
+func (s *STM) ContentionManager() ContentionManager { return s.cm }
 
 // Now returns the current value of the global version clock. It is exported
 // for tests and instrumentation only.

@@ -3,6 +3,7 @@ package stm
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
 // A Thread is the per-goroutine execution context for transactions: it owns
@@ -20,6 +21,7 @@ type Thread struct {
 	stats    Stats
 	opReads  uint64 // transactional reads accumulated by the current operation
 	rngState uint64 // xorshift state for backoff jitter
+	karma    uint64 // invested-work priority maintained by the Karma manager
 	inAtomic bool
 	accesses uint64 // transactional accesses, for the yield-injection knob
 
@@ -59,12 +61,18 @@ func (th *Thread) Atomic(fn func(*Tx)) {
 	th.AtomicMode(th.stm.defaultMode, fn)
 }
 
-// AtomicMode runs fn as a transaction in the given mode, retrying with
-// randomized backoff until the transaction commits. Within fn all shared
-// state must be accessed through the transaction's Read/Write/URead methods.
+// AtomicMode runs fn as a transaction in the given mode, retrying until the
+// transaction commits; the delay between attempts is decided by the domain's
+// ContentionManager (see the lifecycle engine in lifecycle.go). Within fn all
+// shared state must be accessed through the transaction's Read/Write/URead
+// methods.
 // fn may be re-executed arbitrarily many times; it must be free of side
 // effects other than transactional accesses and writes to captured locals
-// that are re-assigned on every attempt.
+// that are re-assigned on every attempt. An attempt that is already doomed
+// to fail commit-time validation (a "zombie") can observe states that no
+// consistent snapshot contains — such as a freshly published node that
+// contradicts earlier reads — so fn must treat impossible observations by
+// calling Tx.Restart, never by panicking or looping on them.
 //
 // Atomic calls delimit "operations" for the purposes of Stats.MaxOpReads and
 // of the §3.4 garbage-collection counters: the pending flag is raised for
@@ -79,14 +87,8 @@ func (th *Thread) AtomicMode(mode Mode, fn func(*Tx)) {
 	th.inAtomic = true
 	th.pending.Store(true)
 	th.opReads = 0
-	tx := &th.tx
-	for attempt := 0; ; attempt++ {
-		tx.begin(mode)
-		if th.runAttempt(tx, fn) {
-			break
-		}
-		th.backoff(attempt)
-	}
+	lc := lifecycle{th: th, mode: mode, fn: fn}
+	lc.run()
 	if th.opReads > th.stats.MaxOpReads {
 		th.stats.MaxOpReads = th.opReads
 	}
@@ -114,19 +116,23 @@ func (th *Thread) runAttempt(tx *Tx, fn func(*Tx)) (ok bool) {
 	return tx.commit()
 }
 
-// backoff performs bounded randomized exponential backoff. On machines where
-// goroutines outnumber processors the dominant cost of a conflict is the
-// scheduling delay, so after a short spin the thread always yields.
-func (th *Thread) backoff(attempt int) {
-	if attempt > 16 {
-		attempt = 16
+// stall delays the thread for roughly d, yielding the processor instead of
+// sleeping (on machines where goroutines outnumber processors a kernel sleep
+// costs far more than the contention window it is meant to cover). The time
+// actually spent is charged to Stats.BackoffNanos.
+func (th *Thread) stall(d time.Duration) {
+	if d <= 0 {
+		runtime.Gosched()
+		return
 	}
-	spin := int(th.nextRand() % uint64(1<<uint(attempt)))
-	for i := 0; i < spin; i++ {
-		// Pure CPU delay; the loop body must not be optimizable away.
-		th.rngState += uint64(i)
+	start := time.Now()
+	for {
+		runtime.Gosched()
+		if elapsed := time.Since(start); elapsed >= d {
+			th.stats.BackoffNanos += uint64(elapsed)
+			return
+		}
 	}
-	runtime.Gosched()
 }
 
 // maybeYield implements the WithYield interleaving simulation: after every

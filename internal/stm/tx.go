@@ -183,8 +183,12 @@ func (tx *Tx) Write(w *Word, v uint64) {
 }
 
 // writeETL acquires the write lock on w eagerly (encounter-time locking).
+// A CAS can lose to a committing writer that republishes the word unlocked;
+// like sampleUnlocked, the acquisition loop consumes a spin budget and then
+// yields so a stream of such losses cannot monopolize the processor.
 func (tx *Tx) writeETL(w *Word, v uint64) {
 	lock := packLock(tx.th.slot)
+	spins := 0
 	for {
 		m := w.meta.Load()
 		if isLocked(m) {
@@ -195,6 +199,10 @@ func (tx *Tx) writeETL(w *Word, v uint64) {
 		if w.meta.CompareAndSwap(m, lock) {
 			tx.writes = append(tx.writes, writeEntry{w: w, val: v, prevMeta: m, locked: true})
 			return
+		}
+		if spins++; spins >= tx.th.stm.maxSpin {
+			spins = 0
+			runtime.Gosched()
 		}
 	}
 }

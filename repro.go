@@ -29,9 +29,24 @@
 //			op.Insert(2, v)
 //		}
 //	})
+//
+// # Scaling beyond one STM domain
+//
+// The paper's design funnels every operation through one STM domain (one
+// global version clock, one maintenance goroutine). For workloads that
+// outgrow it, WithShards hash-partitions the key space across independent
+// domain+tree shards, and WithContention selects the abort→retry policy:
+//
+//	t := repro.NewTree(repro.SpeculationFriendlyOptimized,
+//		repro.WithShards(8), repro.WithContention(repro.ContentionKarma))
+//
+// Sharding trades global atomicity for scalability: composed transactions
+// are confined to one shard (Handle.UpdateShard, Tree.SameShard) and Move
+// is atomic only within a shard.
 package repro
 
 import (
+	"repro/internal/forest"
 	"repro/internal/sftree"
 	"repro/internal/stm"
 	"repro/internal/trees"
@@ -69,13 +84,33 @@ const (
 	ElasticTransactions = stm.Elastic
 )
 
+// ContentionPolicy names an abort→retry policy of the STM's
+// transaction-lifecycle engine.
+type ContentionPolicy string
+
+const (
+	// ContentionSuicide retries an aborted transaction almost immediately
+	// (the paper reproduction's original behavior).
+	ContentionSuicide ContentionPolicy = "suicide"
+	// ContentionBackoff stalls aborted transactions with randomized
+	// exponential backoff (the default).
+	ContentionBackoff ContentionPolicy = "backoff"
+	// ContentionKarma scales the backoff down by the transactional work the
+	// operation has already invested (Karma-style priority).
+	ContentionKarma ContentionPolicy = "karma"
+)
+
 // Tree is a concurrent ordered map from uint64 keys to uint64 values backed
-// by one of the paper's tree libraries over the package's STM. Create one
-// with NewTree; every goroutine accessing it must use its own Handle.
+// by one of the paper's tree libraries over the package's STM — either one
+// tree in one STM domain (the paper's configuration, the default), or a
+// hash-sharded forest of them (WithShards). Create one with NewTree; every
+// goroutine accessing it must use its own Handle.
 type Tree struct {
-	s    *stm.STM
-	m    trees.Map
-	stop func()
+	s     *stm.STM       // single-domain path (shards == 1)
+	m     trees.Map      // single-domain path
+	f     *forest.Forest // sharded path (shards > 1)
+	stop  func()
+	maint bool // background maintenance currently enabled
 }
 
 // Option configures NewTree.
@@ -84,51 +119,134 @@ type Option func(*treeCfg)
 type treeCfg struct {
 	mode        stm.Mode
 	maintenance bool
+	shards      int
+	cm          stm.ContentionManager
 }
 
 // WithTMMode selects the TM algorithm (default CommitTimeLocking).
 func WithTMMode(m TMMode) Option { return func(c *treeCfg) { c.mode = m } }
 
-// WithoutMaintenance suppresses the background maintenance goroutine; the
-// caller can drive it manually via Maintain.
+// WithoutMaintenance suppresses the background maintenance goroutine(s);
+// the caller can drive maintenance manually via Maintain.
 func WithoutMaintenance() Option { return func(c *treeCfg) { c.maintenance = false } }
+
+// WithShards hash-partitions the key space across n independent
+// STM-domain+tree shards (default 1, the paper's single-domain tree). With
+// n > 1, single-key operations keep their atomicity, composed transactions
+// are confined to one shard (see Handle.UpdateShard and Tree.SameShard),
+// and Move is atomic only within a shard.
+func WithShards(n int) Option { return func(c *treeCfg) { c.shards = n } }
+
+// WithContention selects the contention-management policy consulted between
+// an aborted transaction attempt and its retry (default ContentionBackoff).
+// It panics on unknown policies (a configuration error).
+func WithContention(p ContentionPolicy) Option {
+	cm, err := stm.ManagerByName(string(p))
+	if err != nil {
+		panic(err)
+	}
+	return func(c *treeCfg) { c.cm = cm }
+}
 
 // NewTree creates an empty tree of the given kind. Unless
 // WithoutMaintenance is given, speculation-friendly kinds start their
-// background maintenance goroutine immediately; Close stops it.
+// background maintenance goroutine(s) immediately; Close stops them.
 func NewTree(kind Kind, opts ...Option) *Tree {
-	cfg := treeCfg{mode: stm.CTL, maintenance: true}
+	cfg := treeCfg{mode: stm.CTL, maintenance: true, shards: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
-	s := stm.New(stm.WithMode(cfg.mode))
+	if cfg.shards > 1 {
+		fopts := []forest.Option{
+			forest.WithShards(cfg.shards),
+			forest.WithTMMode(cfg.mode),
+			forest.WithContentionManager(cfg.cm),
+		}
+		if !cfg.maintenance {
+			fopts = append(fopts, forest.WithoutMaintenance())
+		}
+		f := forest.New(kind, fopts...)
+		return &Tree{f: f, stop: f.Close, maint: cfg.maintenance}
+	}
+	s := stm.New(stm.WithMode(cfg.mode), stm.WithContentionManager(cfg.cm))
 	m := trees.New(kind, s)
 	t := &Tree{s: s, m: m, stop: func() {}}
 	if cfg.maintenance {
 		t.stop = trees.Start(m)
+		t.maint = true
 	}
 	return t
 }
 
 // Close stops background maintenance. The tree remains readable.
-func (t *Tree) Close() { t.stop() }
+func (t *Tree) Close() {
+	t.maint = false
+	t.stop()
+}
 
 // Maintain runs maintenance passes until the structure is quiescent or
 // maxPasses is reached (no-op for kinds without maintenance).
-func (t *Tree) Maintain(maxPasses int) { trees.Quiesce(t.m, maxPasses) }
+func (t *Tree) Maintain(maxPasses int) {
+	if t.f != nil {
+		t.f.Quiesce(maxPasses)
+		return
+	}
+	trees.Quiesce(t.m, maxPasses)
+}
 
-// NewHandle returns a handle bound to a fresh STM thread. Handles are not
-// safe for concurrent use; create one per goroutine.
+// Shards reports the number of partitions (1 unless WithShards was given).
+func (t *Tree) Shards() int {
+	if t.f != nil {
+		return t.f.Shards()
+	}
+	return 1
+}
+
+// SameShard reports whether k1 and k2 live on the same shard, i.e. whether
+// a composed transaction (UpdateShard, atomic Move) may span both keys.
+// Always true for unsharded trees.
+func (t *Tree) SameShard(k1, k2 uint64) bool {
+	if t.f != nil {
+		return t.f.SameShard(k1, k2)
+	}
+	return true
+}
+
+// NewHandle returns a handle bound to fresh STM thread state. Handles are
+// not safe for concurrent use; create one per goroutine.
 func (t *Tree) NewHandle() *Handle {
+	if t.f != nil {
+		return &Handle{t: t, fh: t.f.NewHandle()}
+	}
 	return &Handle{t: t, th: t.s.NewThread()}
 }
 
-// Stats returns the sum of all handles' STM statistics.
-func (t *Tree) Stats() stm.Stats { return t.s.TotalStats() }
+// Stats returns the sum of all handles' STM statistics (over all shards).
+// A running maintenance goroutine is paused while its counters are read;
+// the caller's handles should be quiescent for exact values.
+func (t *Tree) Stats() stm.Stats {
+	if t.f != nil {
+		return t.f.Stats()
+	}
+	if t.maint {
+		if mt, ok := t.m.(trees.Maintained); ok {
+			mt.Stop()
+			defer func() {
+				if t.maint { // a Close raced the pause; stay stopped
+					mt.Start()
+				}
+			}()
+		}
+	}
+	return t.s.TotalStats()
+}
 
 // MaintenanceStats returns structural-activity counters for
-// speculation-friendly kinds (zero value otherwise).
+// speculation-friendly kinds, summed over shards (zero value otherwise).
 func (t *Tree) MaintenanceStats() sftree.Stats {
+	if t.f != nil {
+		return t.f.MaintenanceStats()
+	}
 	if sf, ok := t.m.(interface{ Stats() sftree.Stats }); ok {
 		return sf.Stats()
 	}
@@ -138,53 +256,133 @@ func (t *Tree) MaintenanceStats() sftree.Stats {
 // Handle is a per-goroutine accessor to a Tree.
 type Handle struct {
 	t  *Tree
-	th *stm.Thread
+	th *stm.Thread    // single-domain path
+	fh *forest.Handle // sharded path
 }
 
 // Insert maps k to v; false when k was already present.
-func (h *Handle) Insert(k, v uint64) bool { return h.t.m.Insert(h.th, k, v) }
+func (h *Handle) Insert(k, v uint64) bool {
+	if h.fh != nil {
+		return h.fh.Insert(k, v)
+	}
+	return h.t.m.Insert(h.th, k, v)
+}
 
 // Delete removes k; false when absent.
-func (h *Handle) Delete(k uint64) bool { return h.t.m.Delete(h.th, k) }
+func (h *Handle) Delete(k uint64) bool {
+	if h.fh != nil {
+		return h.fh.Delete(k)
+	}
+	return h.t.m.Delete(h.th, k)
+}
 
 // Get returns the value at k.
-func (h *Handle) Get(k uint64) (uint64, bool) { return h.t.m.Get(h.th, k) }
+func (h *Handle) Get(k uint64) (uint64, bool) {
+	if h.fh != nil {
+		return h.fh.Get(k)
+	}
+	return h.t.m.Get(h.th, k)
+}
 
 // Contains reports whether k is present.
-func (h *Handle) Contains(k uint64) bool { return h.t.m.Contains(h.th, k) }
+func (h *Handle) Contains(k uint64) bool {
+	if h.fh != nil {
+		return h.fh.Contains(k)
+	}
+	return h.t.m.Contains(h.th, k)
+}
 
-// Move atomically relocates the value at src to dst (§5.4's composed
-// operation); it succeeds only when src is present and dst absent.
-func (h *Handle) Move(src, dst uint64) bool { return trees.Move(h.t.m, h.th, src, dst) }
+// Move relocates the value at src to dst (§5.4's composed operation); it
+// succeeds only when src is present and dst absent. On an unsharded tree —
+// and on a sharded one when SameShard(src, dst) — the move is one atomic
+// transaction. Across shards it executes as separate single-shard
+// transactions ordered so the value is never lost; a concurrent observer
+// can momentarily see it at both keys.
+func (h *Handle) Move(src, dst uint64) bool {
+	if h.fh != nil {
+		return h.fh.Move(src, dst)
+	}
+	return trees.Move(h.t.m, h.th, src, dst)
+}
 
-// Len counts the elements in one consistent snapshot.
-func (h *Handle) Len() int { return h.t.m.Size(h.th) }
+// Len counts the elements, one consistent snapshot per shard.
+func (h *Handle) Len() int {
+	if h.fh != nil {
+		return h.fh.Len()
+	}
+	return h.t.m.Size(h.th)
+}
 
-// Keys returns the sorted keys of one consistent snapshot.
-func (h *Handle) Keys() []uint64 { return h.t.m.Keys(h.th) }
+// Keys returns the sorted keys, one consistent snapshot per shard.
+func (h *Handle) Keys() []uint64 {
+	if h.fh != nil {
+		return h.fh.Keys()
+	}
+	return h.t.m.Keys(h.th)
+}
 
 // Update runs fn as one atomic transaction; every operation on the Op
 // belongs to that transaction, so arbitrary compositions execute atomically
 // and deadlock-free. fn may re-run on conflict: it must not have side
 // effects beyond the Op and locals it re-assigns.
+//
+// Update panics on a sharded tree, because a composed transaction must be
+// routed to the single shard whose keys it touches: use UpdateShard there.
 func (h *Handle) Update(fn func(op *Op)) {
+	if h.fh != nil {
+		panic("repro: Update needs a routing key on a sharded tree; use UpdateShard(k, fn)")
+	}
 	trees.Atomic(h.t.m, h.th, func(tx *stm.Tx) { fn(&Op{t: h.t, tx: tx}) })
 }
 
-// Op exposes the tree operations inside a Handle.Update transaction.
+// UpdateShard runs fn as one atomic transaction on the shard owning the
+// routing key k; every key touched inside fn must live on that shard (the
+// Op methods panic otherwise — check with Tree.SameShard first). On an
+// unsharded tree, UpdateShard is exactly Update.
+func (h *Handle) UpdateShard(k uint64, fn func(op *Op)) {
+	if h.fh != nil {
+		h.fh.Update(k, func(fop *forest.Op) { fn(&Op{fop: fop}) })
+		return
+	}
+	h.Update(fn)
+}
+
+// Op exposes the tree operations inside a Handle.Update / UpdateShard
+// transaction.
 type Op struct {
-	t  *Tree
-	tx *stm.Tx
+	t   *Tree
+	tx  *stm.Tx
+	fop *forest.Op // sharded path
 }
 
 // Insert maps k to v within the transaction; false when present.
-func (o *Op) Insert(k, v uint64) bool { return o.t.m.InsertTxA(o.tx, k, v) }
+func (o *Op) Insert(k, v uint64) bool {
+	if o.fop != nil {
+		return o.fop.Insert(k, v)
+	}
+	return o.t.m.InsertTxA(o.tx, k, v)
+}
 
 // Delete removes k within the transaction; false when absent.
-func (o *Op) Delete(k uint64) bool { return o.t.m.DeleteTx(o.tx, k) }
+func (o *Op) Delete(k uint64) bool {
+	if o.fop != nil {
+		return o.fop.Delete(k)
+	}
+	return o.t.m.DeleteTx(o.tx, k)
+}
 
 // Get returns the value at k within the transaction.
-func (o *Op) Get(k uint64) (uint64, bool) { return o.t.m.GetTx(o.tx, k) }
+func (o *Op) Get(k uint64) (uint64, bool) {
+	if o.fop != nil {
+		return o.fop.Get(k)
+	}
+	return o.t.m.GetTx(o.tx, k)
+}
 
 // Contains reports membership within the transaction.
-func (o *Op) Contains(k uint64) bool { return o.t.m.ContainsTx(o.tx, k) }
+func (o *Op) Contains(k uint64) bool {
+	if o.fop != nil {
+		return o.fop.Contains(k)
+	}
+	return o.t.m.ContainsTx(o.tx, k)
+}

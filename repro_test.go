@@ -148,3 +148,98 @@ func TestBaselineKindsStats(t *testing.T) {
 	}
 	tr.Maintain(10) // must be a harmless no-op
 }
+
+func TestShardedTreeBasics(t *testing.T) {
+	tr := NewTree(SpeculationFriendlyOptimized, WithShards(4), WithContention(ContentionBackoff))
+	defer tr.Close()
+	if tr.Shards() != 4 {
+		t.Fatalf("shards = %d", tr.Shards())
+	}
+	h := tr.NewHandle()
+	const n = 256
+	for k := uint64(0); k < n; k++ {
+		if !h.Insert(k, k*2) {
+			t.Fatalf("insert %d", k)
+		}
+	}
+	if h.Len() != n {
+		t.Fatalf("len = %d", h.Len())
+	}
+	keys := h.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatal("unsorted keys")
+		}
+	}
+	for k := uint64(0); k < n; k++ {
+		if v, ok := h.Get(k); !ok || v != k*2 {
+			t.Fatalf("get %d = (%d,%v)", k, v, ok)
+		}
+	}
+	if !h.Move(1, 1000) {
+		t.Fatal("move failed")
+	}
+	if v, ok := h.Get(1000); !ok || v != 2 {
+		t.Fatal("moved value wrong")
+	}
+	if tr.Stats().Commits == 0 {
+		t.Fatal("no commits")
+	}
+	tr.Maintain(100000)
+}
+
+func TestShardedUpdateShard(t *testing.T) {
+	tr := NewTree(SpeculationFriendly, WithShards(4))
+	defer tr.Close()
+	h := tr.NewHandle()
+	// Find a co-located pair for a composed same-shard move.
+	var k2 uint64
+	for k := uint64(1); ; k++ {
+		if tr.SameShard(7, k) && k != 7 {
+			k2 = k
+			break
+		}
+	}
+	h.Insert(7, 77)
+	h.UpdateShard(7, func(op *Op) {
+		if v, ok := op.Get(7); ok && !op.Contains(k2) {
+			op.Delete(7)
+			op.Insert(k2, v)
+		}
+	})
+	if h.Contains(7) {
+		t.Fatal("composed delete not applied")
+	}
+	if v, ok := h.Get(k2); !ok || v != 77 {
+		t.Fatal("composed insert not applied")
+	}
+	// Plain Update must refuse to run without a routing key.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Update on a sharded tree did not panic")
+		}
+	}()
+	h.Update(func(op *Op) {})
+}
+
+func TestUpdateShardOnUnshardedTree(t *testing.T) {
+	tr := NewTree(RedBlack, WithContention(ContentionSuicide))
+	defer tr.Close()
+	if !tr.SameShard(1, 1<<40) {
+		t.Fatal("unsharded tree reported different shards")
+	}
+	h := tr.NewHandle()
+	h.UpdateShard(5, func(op *Op) { op.Insert(5, 50) })
+	if v, ok := h.Get(5); !ok || v != 50 {
+		t.Fatal("UpdateShard did not behave as Update")
+	}
+}
+
+func TestWithContentionUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown contention policy did not panic")
+		}
+	}()
+	WithContention(ContentionPolicy("polite"))
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci
+.PHONY: all build test race vet ci bench-range
 
 all: build
 
@@ -11,11 +11,20 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrency-critical packages (the STM, the
-# speculation-friendly tree, and the sharded forest).
+# speculation-friendly tree, the tree registry with the elastic-move
+# regression, the sharded forest, and the public facade with its
+# Close/Stats and cross-shard Move stress tests). The timeout guards
+# against a stress test livelocking under the detector's serialization.
 race:
-	$(GO) test -race ./internal/stm ./internal/sftree ./internal/forest
+	$(GO) test -race -timeout 10m ./internal/stm ./internal/sftree ./internal/trees ./internal/forest .
 
 vet:
 	$(GO) vet ./...
+
+# Range-scan microbenchmark points: the scan mix at one shard (the paper's
+# single-domain tree) and at eight (per-shard snapshot + k-way merge).
+bench-range:
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 10 -range-frac 0.1 -range-len 100 -shards 1 -header
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 10 -range-frac 0.1 -range-len 100 -shards 8
 
 ci: build vet test race

@@ -7,9 +7,18 @@
 //	microbench -tree rb -mode elastic -update 10
 //	microbench -tree nr -biased -update 20
 //	microbench -tree sf-opt -shards 8 -dist zipf -cm karma -threads 8
+//	microbench -tree sf-opt -shards 8 -range-frac 0.1 -range-len 200
 //
 // Trees: sf, sf-opt, rb, avl, nr. Modes: ctl, etl, elastic. Contention
 // managers: suicide, backoff, karma. Distributions: uniform, zipf.
+//
+// -range-frac makes the given fraction of all operations ordered range
+// scans over windows of -range-len keys (the -update percentage then
+// applies to the remaining non-scan operations); the CSV reports the scan
+// count and the total elements visited. On a sharded run every scan
+// snapshots and
+// merges all shards, so the per-shard rows' op counts include one touch per
+// shard per scan (the merge cost the forest pays for hash routing).
 //
 // One aggregate CSV row is always printed; with -shards > 1 a per-shard
 // breakdown row ("shard,<i>,...") follows for each shard.
@@ -41,6 +50,8 @@ func main() {
 	cm := flag.String("cm", "backoff", "contention manager: suicide|backoff|karma")
 	dist := flag.String("dist", "uniform", "key distribution: uniform|zipf")
 	zipfS := flag.Float64("zipf-s", bench.DefaultZipfS, "zipf skew exponent (with -dist zipf)")
+	rangeFrac := flag.Float64("range-frac", 0, "fraction of operations that are ordered range scans (0..1)")
+	rangeLen := flag.Uint64("range-len", bench.DefaultRangeLen, "key-space width of each range-scan window")
 	yieldEvery := flag.Int("yield", 0, "STM interleaving simulation: yield every N accesses (0 off)")
 	header := flag.Bool("header", false, "print the CSV header line first")
 	flag.Parse()
@@ -88,6 +99,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "microbench: -zipf-s must be > 0")
 		os.Exit(2)
 	}
+	if *rangeFrac < 0 || *rangeFrac >= 1 {
+		fmt.Fprintln(os.Stderr, "microbench: -range-frac must be in [0, 1)")
+		os.Exit(2)
+	}
+	if *rangeLen == 0 {
+		fmt.Fprintln(os.Stderr, "microbench: -range-len must be >= 1")
+		os.Exit(2)
+	}
 
 	res := bench.Run(bench.Options{
 		Kind:     kind,
@@ -102,6 +121,8 @@ func main() {
 			Effective:     !*attempted,
 			Dist:          d,
 			ZipfS:         *zipfS,
+			RangeFrac:     *rangeFrac,
+			RangeLen:      *rangeLen,
 		},
 		Seed:       *seed,
 		Shards:     *shards,
@@ -110,11 +131,13 @@ func main() {
 	})
 
 	if *header {
-		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,duration_s,ops,throughput_ops_per_us,effective_ratio,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,rotations")
+		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,range_frac,range_len,duration_s,ops,throughput_ops_per_us,effective_ratio,range_scans,range_items,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,rotations")
 	}
-	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%.3f,%d,%d,%.4f,%d,%.3f,%d,%d\n",
+	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%d,%d,%d,%d,%.4f,%d,%.3f,%d,%d\n",
 		kind, m, res.Threads, res.Shards, res.CM, res.Dist, *update, *movePct, *biased, *keyRange,
+		*rangeFrac, *rangeLen,
 		res.Elapsed.Seconds(), res.Ops, res.Throughput, res.EffectiveRatio,
+		res.RangeOps, res.RangeItems,
 		res.STM.Commits, res.STM.Aborts, res.STM.AbortRate(), res.STM.Retries,
 		float64(res.STM.BackoffNanos)/1e6, res.STM.MaxOpReads, res.Rotations)
 	for si, sr := range res.PerShard {

@@ -348,6 +348,66 @@ func (t *Tree) walk(tx *stm.Tx, ref arena.Ref, visit func(*arena.Node)) {
 	t.walk(tx, tx.Read(&n.R), visit)
 }
 
+// Range visits every element with key in [lo, hi] (inclusive) in ascending
+// order; fn returning false stops the scan. It reports whether the scan ran
+// to the end of the interval. The interval is snapshotted in one
+// transaction and fn runs after it commits — once per element, never from
+// an aborted attempt — so fn may accumulate state freely.
+func (t *Tree) Range(th *stm.Thread, lo, hi uint64, fn func(k, v uint64) bool) bool {
+	var buf [][2]uint64
+	t.atomic(th, func(tx *stm.Tx) {
+		buf = buf[:0]
+		t.RangeTx(tx, lo, hi, func(k, v uint64) bool {
+			buf = append(buf, [2]uint64{k, v})
+			return true
+		})
+	})
+	for _, e := range buf {
+		if !fn(e[0], e[1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// RangeTx is the composable form of Range. Unlike the speculation-friendly
+// tree, keys here are transactional (deletion replaces them in place), so
+// the bounded traversal reads each visited key through the STM.
+func (t *Tree) RangeTx(tx *stm.Tx, lo, hi uint64, fn func(k, v uint64) bool) bool {
+	if lo > hi {
+		return true
+	}
+	return t.rangeWalk(tx, tx.Read(&t.root), lo, hi, fn)
+}
+
+func (t *Tree) rangeWalk(tx *stm.Tx, ref arena.Ref, lo, hi uint64, fn func(k, v uint64) bool) bool {
+	if ref == arena.Nil {
+		return true
+	}
+	n := t.node(ref)
+	k := tx.Read(&n.Key)
+	if lo < k {
+		if !t.rangeWalk(tx, tx.Read(&n.L), lo, hi, fn) {
+			return false
+		}
+	}
+	if lo <= k && k <= hi {
+		if !fn(k, tx.Read(&n.Val)) {
+			return false
+		}
+	}
+	if k < hi {
+		if !t.rangeWalk(tx, tx.Read(&n.R), lo, hi, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// EmptyHint reports, from one plain read, whether the tree was just observed
+// empty; read-only scans may use it to skip the tree without a transaction.
+func (t *Tree) EmptyHint() bool { return t.root.Plain() == arena.Nil }
+
 // CheckInvariants verifies (with plain reads; quiescent use only) that the
 // tree is a valid BST, that every stored height is exact, and that every
 // node satisfies the AVL balance condition.

@@ -60,11 +60,27 @@ type Workload struct {
 	Dist Dist
 	// ZipfS is the Zipf skew exponent (0 selects DefaultZipfS).
 	ZipfS float64
+	// RangeFrac is the fraction of all operations (0..1) that are ordered
+	// range scans over a window of the key space — the workload class the
+	// paper's elastic-transaction discussion motivates (traversal-heavy
+	// reads). The remaining (1 - RangeFrac) of operations draw the
+	// update/move/read mix exactly as before, so UpdatePercent is the
+	// update share of the non-scan operations (the overall update rate is
+	// diluted by the scan fraction) and existing configurations
+	// (RangeFrac == 0) reproduce bit-for-bit.
+	RangeFrac float64
+	// RangeLen is the key-space width of each scan window [lo, lo+RangeLen)
+	// (0 selects DefaultRangeLen). The number of elements visited is about
+	// half of it under the harness's half-full fill.
+	RangeLen uint64
 
 	// zipfCDF is the shared distribution table, computed once per Run and
 	// handed to every worker (it depends only on ZipfS and KeyRange).
 	zipfCDF []float64
 }
+
+// DefaultRangeLen is the scan-window width used when Workload.RangeLen is 0.
+const DefaultRangeLen = 100
 
 // prepareZipf populates the shared CDF table when the workload is Zipfian.
 func (wl *Workload) prepareZipf() {
@@ -135,6 +151,8 @@ type Result struct {
 	Ops              uint64  // operations completed
 	EffectiveUpdates uint64  // updates that modified the abstraction
 	EffectiveMoves   uint64  // moves that relocated a value
+	RangeOps         uint64  // ordered range scans completed
+	RangeItems       uint64  // elements visited by range scans in total
 	Throughput       float64 // operations per microsecond (paper's unit)
 	EffectiveRatio   float64 // effective updates / ops
 
@@ -275,6 +293,8 @@ func (r *Result) addWorker(w *Runner) {
 	r.Ops += w.Ops
 	r.EffectiveUpdates += w.EffUpdates
 	r.EffectiveMoves += w.EffMoves
+	r.RangeOps += w.RangeOps
+	r.RangeItems += w.RangeItems
 }
 
 func (r *Result) finish() {
@@ -318,12 +338,14 @@ func fillForest(f *forest.Forest, keyRange uint64, seed int64) {
 
 // Target abstracts what a Runner hammers: a bare tree bound to one STM
 // thread, or a forest handle that routes every key to its shard. The method
-// set is deliberately the per-goroutine accessor surface shared by both.
+// set is deliberately the per-goroutine accessor surface shared by both
+// (forest.Handle and repro.Handle satisfy it directly).
 type Target interface {
 	Insert(k, v uint64) bool
 	Delete(k uint64) bool
 	Contains(k uint64) bool
 	Move(src, dst uint64) bool
+	Range(lo, hi uint64, fn func(k, v uint64) bool) bool
 }
 
 // treeTarget adapts (trees.Map, *stm.Thread) to Target.
@@ -336,6 +358,9 @@ func (t treeTarget) Insert(k, v uint64) bool   { return t.m.Insert(t.th, k, v) }
 func (t treeTarget) Delete(k uint64) bool      { return t.m.Delete(t.th, k) }
 func (t treeTarget) Contains(k uint64) bool    { return t.m.Contains(t.th, k) }
 func (t treeTarget) Move(src, dst uint64) bool { return trees.Move(t.m, t.th, src, dst) }
+func (t treeTarget) Range(lo, hi uint64, fn func(k, v uint64) bool) bool {
+	return t.m.Range(t.th, lo, hi, fn)
+}
 
 // Runner executes one thread's operation stream against a Target; the Run
 // harness drives one per worker, and the root-level testing.B benchmarks
@@ -350,6 +375,8 @@ type Runner struct {
 	Ops        uint64 // operations completed
 	EffUpdates uint64 // updates that modified the abstraction
 	EffMoves   uint64 // moves that relocated a value
+	RangeOps   uint64 // ordered range scans completed
+	RangeItems uint64 // elements visited by range scans in total
 
 	// insert/delete alternation state for effective mode: keys this worker
 	// inserted and has not yet deleted.
@@ -383,6 +410,10 @@ func (w *Runner) Thread() *stm.Thread { return w.th }
 // Step executes one operation drawn from the workload mix.
 func (w *Runner) Step() {
 	defer func() { w.Ops++ }()
+	if w.wl.RangeFrac > 0 && w.rng.Float64() < w.wl.RangeFrac {
+		w.rangeScan()
+		return
+	}
 	roll := w.rng.Intn(100)
 	switch {
 	case roll < w.wl.MovePercent:
@@ -401,6 +432,29 @@ func (w *Runner) Step() {
 	default:
 		w.t.Contains(w.key(w.rng.Intn(2) == 0))
 	}
+}
+
+// rangeScan performs one ordered scan over a window of the key space
+// starting at a key drawn from the workload distribution, counting the
+// elements visited (the per-shard snapshot+merge cost on a forest, the
+// bounded in-order traversal on a bare tree).
+func (w *Runner) rangeScan() {
+	ln := w.wl.RangeLen
+	if ln == 0 {
+		ln = DefaultRangeLen
+	}
+	lo := w.key(false)
+	hi := lo + ln - 1
+	if hi < lo { // wrapped past the top of the key space
+		hi = ^uint64(0)
+	}
+	var items uint64
+	w.t.Range(lo, hi, func(_, _ uint64) bool {
+		items++
+		return true
+	})
+	w.RangeOps++
+	w.RangeItems += items
 }
 
 // effectiveUpdate alternates inserting a fresh key with deleting a

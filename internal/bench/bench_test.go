@@ -74,6 +74,64 @@ func TestMoveWorkload(t *testing.T) {
 	}
 }
 
+func TestRangeWorkload(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		o := quickOpts(trees.SFOpt)
+		o.Shards = shards
+		o.Duration = 60 * time.Millisecond
+		o.Workload.RangeFrac = 0.3
+		o.Workload.RangeLen = 64
+		res := Run(o)
+		if res.RangeOps == 0 {
+			t.Fatalf("shards=%d: no range scans despite 30%% range mix", shards)
+		}
+		if res.RangeItems == 0 {
+			t.Fatalf("shards=%d: range scans visited nothing on a half-full set", shards)
+		}
+		// A 64-wide window over a half-full universe visits ~32 elements.
+		mean := float64(res.RangeItems) / float64(res.RangeOps)
+		if mean < 8 || mean > 64 {
+			t.Fatalf("shards=%d: mean scan yield %.1f implausible for window 64", shards, mean)
+		}
+		if shards > 1 {
+			// Every scan touches every shard: each shard's routed-ops count
+			// must be at least the number of scans.
+			for si, sr := range res.PerShard {
+				if sr.Ops < res.RangeOps {
+					t.Fatalf("shard %d charged %d ops < %d scans (merge cost unaccounted)",
+						si, sr.Ops, res.RangeOps)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeFracZeroReproducesLegacyStream(t *testing.T) {
+	// The range mix must be a pure extension: with RangeFrac == 0, Step
+	// draws nothing extra from the random stream, so a deterministic
+	// single-threaded run reproduces the pre-range harness bit-for-bit.
+	// The golden values pin one such run; any unconditional extra draw in
+	// Step (or a change to fill/key ordering) shifts the whole stream and
+	// breaks them.
+	s := stm.New(stm.WithContentionManager(stm.Suicide()))
+	m := trees.New(trees.SF, s)
+	fill(m, s, 256, 7)
+	wl := Workload{KeyRange: 256, UpdatePercent: 30, Effective: true}
+	r := NewRunner(m, s.NewThread(), wl, 7)
+	for i := 0; i < 5000; i++ {
+		r.Step()
+	}
+	if r.RangeOps != 0 || r.RangeItems != 0 {
+		t.Fatalf("range counters nonzero without a range mix: %d/%d", r.RangeOps, r.RangeItems)
+	}
+	if r.EffUpdates != 1014 {
+		t.Fatalf("effective updates = %d, want golden 1014 (random stream shifted)", r.EffUpdates)
+	}
+	if size := m.Size(s.NewThread()); size != 119 {
+		t.Fatalf("final size = %d, want golden 119 (random stream shifted)", size)
+	}
+}
+
 func TestBiasedWorkloadRuns(t *testing.T) {
 	o := quickOpts(trees.NR)
 	o.Workload.Biased = true

@@ -1,0 +1,129 @@
+package forest
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stm"
+	"repro/internal/trees"
+)
+
+// This file implements move claims: the mechanism that makes the
+// compensation step of a cross-shard Move provably safe.
+//
+// A cross-shard Move first inserts the value provisionally at dst and only
+// then deletes src; when src turns out to have been removed concurrently,
+// the mover must withdraw its provisional dst entry. Checking "dst still
+// holds the moved value" is not enough: a third party may have deleted the
+// provisional entry and independently inserted its own entry that
+// coincidentally carries the same 64-bit value, and a value-only check
+// would then destroy that third party's entry (a value-ABA hazard).
+//
+// A claim closes the hazard with a transactional broken flag living in the
+// dst shard's STM domain:
+//
+//   - The mover registers a claim on dst before its provisional insert.
+//   - Every deletion of a key k on the forest (Handle.Delete, Op.Delete,
+//     the delete legs of Move) that actually removes an entry writes
+//     broken=1 into every claim registered on k, inside the very
+//     transaction that performs the removal. The claim lookup happens
+//     after the transaction's reads have observed the entry being removed,
+//     so if the removed entry is the mover's provisional one — which was
+//     inserted after the claim was registered — the claim is visible to
+//     the deleter (registration happens-before the insert's commit, which
+//     happens-before any read observing it).
+//   - The compensation reads the broken flag transactionally: broken=0
+//     therefore proves that no committed deletion ever removed the
+//     provisional entry, i.e. the entry currently at dst is still the
+//     mover's own, and withdrawing it cannot touch third-party state.
+//
+// When the flag reads 1 the mover cannot tell whose entry now sits at dst
+// and compensates by doing nothing: the value remains at dst (never lost,
+// never a spurious deletion of someone else's entry) — see Handle.Move for
+// the user-facing semantics of that outcome.
+//
+// Deletions pay one atomic load on their fast path (no claims registered
+// anywhere on the forest); the mutex-protected map is touched only while
+// cross-shard moves are actually in flight.
+
+// moveClaim is one registered cross-shard-move claim on a dst key. broken
+// is a transactional word in the dst shard's STM domain: deleters of dst
+// set it to 1 inside their deleting transaction, and the compensation
+// reads it inside the withdrawing transaction.
+type moveClaim struct {
+	broken stm.Word
+}
+
+// claimTable tracks the in-flight cross-shard-move claims of one forest,
+// keyed by dst key. Multiple concurrent movers may claim the same key (at
+// most one of their provisional inserts can succeed).
+type claimTable struct {
+	active atomic.Int64 // number of registered claims (deletion fast path)
+	mu     sync.Mutex
+	m      map[uint64][]*moveClaim
+}
+
+// register adds a claim on key k. It must be called before the provisional
+// insert begins so that any deleter observing the inserted entry also
+// observes the claim (map insert, then counter increment, both before the
+// insert transaction's first access).
+func (c *claimTable) register(k uint64) *moveClaim {
+	cl := &moveClaim{}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[uint64][]*moveClaim)
+	}
+	c.m[k] = append(c.m[k], cl)
+	c.mu.Unlock()
+	c.active.Add(1)
+	return cl
+}
+
+// unregister removes a claim previously registered on k.
+func (c *claimTable) unregister(k uint64, cl *moveClaim) {
+	c.mu.Lock()
+	claims := c.m[k]
+	for i, x := range claims {
+		if x == cl {
+			claims[i] = claims[len(claims)-1]
+			claims = claims[:len(claims)-1]
+			break
+		}
+	}
+	if len(claims) == 0 {
+		delete(c.m, k)
+	} else {
+		c.m[k] = claims
+	}
+	c.mu.Unlock()
+	c.active.Add(-1)
+}
+
+// lookup returns the claims currently registered on k (nil for none). The
+// fast path is one atomic load.
+func (c *claimTable) lookup(k uint64) []*moveClaim {
+	if c.active.Load() == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	claims := c.m[k]
+	out := make([]*moveClaim, len(claims))
+	copy(out, claims)
+	c.mu.Unlock()
+	return out
+}
+
+// deleteTx removes k from m within tx and, when the removal succeeds,
+// breaks every claim registered on k inside the same transaction. All
+// forest-level deletions must go through this helper (or replicate it);
+// deleting through the shard tree directly would reopen the value-ABA
+// hazard documented above.
+func (f *Forest) deleteTx(m trees.Map, tx *stm.Tx, k uint64) bool {
+	if !m.DeleteTx(tx, k) {
+		return false
+	}
+	for _, cl := range f.claims.lookup(k) {
+		tx.Write(&cl.broken, 1)
+	}
+	return true
+}

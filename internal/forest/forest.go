@@ -24,15 +24,25 @@
 //     executes as separate single-shard transactions ordered insert-first
 //     (read src, insert dst, delete src, compensating if src vanished), so
 //     the moved value is never lost but a concurrent observer can
-//     momentarily see it at both keys.
+//     momentarily see it at both keys. The compensation withdraws the
+//     provisional dst entry only under transactional proof that it is
+//     still the mover's own (see claims.go); otherwise the value stays at
+//     dst and Move reports failure.
 //   - Size and Keys compose per-shard snapshots; each shard's contribution
 //     is internally consistent but the shards are not cut at one instant.
+//   - Range visits [lo, hi] in ascending key order by k-way-merging one
+//     ordered snapshot per shard, under exactly the Size/Keys consistency
+//     contract: every shard's contribution is one consistent snapshot of
+//     the interval, but the shards are not cut at one instant, so a value
+//     moving between shards concurrently can be seen at both keys or at
+//     neither.
 //
 // With one shard a Forest is semantically identical to the bare tree.
 package forest
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sftree"
 	"repro/internal/stm"
@@ -51,7 +61,15 @@ type shard struct {
 type Forest struct {
 	kind   trees.Kind
 	shards []*shard
-	maint  bool // background maintenance currently enabled
+	// maintMu serializes every toggle of the maintenance goroutines (Close,
+	// and the pause/resume bracket of the statistics accessors): Close may
+	// be called concurrently with Stats/ShardStats, and without the lock a
+	// racing resume could restart maintenance after Close returned (besides
+	// the plain-field data race on maint itself).
+	maintMu sync.Mutex
+	maint   bool // background maintenance currently enabled; guarded by maintMu
+	// claims tracks in-flight cross-shard-move claims (see claims.go).
+	claims claimTable
 }
 
 // Option configures New.
@@ -114,8 +132,14 @@ func (f *Forest) Kind() trees.Kind { return f.kind }
 // Shards reports the number of partitions.
 func (f *Forest) Shards() int { return len(f.shards) }
 
-// Close stops all background maintenance. The forest remains readable.
+// Close stops all background maintenance. The forest remains fully usable
+// (readable and writable); only the structural upkeep stops. Closing an
+// already-closed forest is a documented no-op, and Close is safe to call
+// concurrently with Stats/ShardStats/MaintenanceStats — maintenance is
+// guaranteed stopped once Close and any overlapping accessors return.
 func (f *Forest) Close() {
+	f.maintMu.Lock()
+	defer f.maintMu.Unlock()
 	f.maint = false
 	for _, sh := range f.shards {
 		sh.stop()
@@ -125,9 +149,14 @@ func (f *Forest) Close() {
 // pauseMaintenance stops the running per-shard maintenance goroutines and
 // returns the function that restarts them. Per-thread STM counters are
 // plain fields readable only while their owning goroutine is quiet, so the
-// statistics accessors bracket themselves with this.
+// statistics accessors bracket themselves with this. The maintenance lock
+// is held until the returned resume function runs, so a concurrent Close
+// cannot interleave with the pause/resume bracket (and the resume can
+// never undo a Close).
 func (f *Forest) pauseMaintenance() func() {
+	f.maintMu.Lock()
 	if !f.maint {
+		f.maintMu.Unlock()
 		return func() {}
 	}
 	var resume []func()
@@ -138,9 +167,7 @@ func (f *Forest) pauseMaintenance() func() {
 		}
 	}
 	return func() {
-		if !f.maint { // a Close raced the pause; stay stopped
-			return
-		}
+		defer f.maintMu.Unlock()
 		for _, r := range resume {
 			r()
 		}

@@ -2,7 +2,6 @@ package forest
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/stm"
 	"repro/internal/trees"
@@ -84,10 +83,17 @@ func (h *Handle) Insert(k, v uint64) bool {
 	return sh.m.Insert(th, k, v)
 }
 
-// Delete removes k; false when absent.
+// Delete removes k; false when absent. A successful delete also breaks any
+// in-flight cross-shard-move claim on k inside the same transaction (see
+// claims.go), so Move compensation can never mistake a later entry at k for
+// its own. The claim check costs one atomic load on the fast path.
 func (h *Handle) Delete(k uint64) bool {
 	sh, th, _ := h.route(k)
-	return sh.m.Delete(th, k)
+	var ok bool
+	trees.Atomic(sh.m, th, func(tx *stm.Tx) {
+		ok = h.f.deleteTx(sh.m, tx, k)
+	})
+	return ok
 }
 
 // Get returns the value at k.
@@ -105,16 +111,25 @@ func (h *Handle) Contains(k uint64) bool {
 // Move relocates the value at src to dst; it succeeds only when src is
 // present and dst absent. When SameShard(src, dst) the move is one atomic
 // transaction (paper §5.4). Across shards it degrades to three single-shard
-// transactions — read src, insert dst, delete src — ordered so the value is
-// never lost: during the window a concurrent observer may see the value at
-// both keys, and if src is concurrently removed the provisional dst entry
-// is deleted again (only if it still holds the moved value). See the
-// package comment for the full semantics.
+// transactions — read src, insert dst, delete src — ordered so the moved
+// value is never lost: during the window a concurrent observer may see the
+// value at both keys.
+//
+// If src is concurrently removed before phase 3, the move fails and the
+// provisional dst entry is withdrawn — but only when it is provably still
+// this mover's own entry, established through a transactional move claim
+// (see claims.go). Without that proof (a concurrent deletion of dst
+// committed since the provisional insert, so the entry now at dst — if any
+// — may belong to a third party that coincidentally inserted the same
+// value), the compensation deliberately does nothing: Move returns false
+// and the moved value remains at dst. Callers needing to tidy up after a
+// contested false return can Delete(dst) themselves; the forest never
+// risks deleting a third party's entry.
 func (h *Handle) Move(src, dst uint64) bool {
 	ssh, sth, ssi := h.route(src)
 	dsi := h.f.ShardOf(dst)
 	if ssi == dsi {
-		return trees.Move(ssh.m, sth, src, dst)
+		return h.moveSameShard(ssh, sth, src, dst)
 	}
 	h.ops[dsi]++
 	dsh, dth := h.f.shards[dsi], h.thread(dsi)
@@ -123,42 +138,195 @@ func (h *Handle) Move(src, dst uint64) bool {
 	if !ok {
 		return false
 	}
-	// Phase 2: claim dst provisionally; an occupied dst fails the move with
-	// nothing changed yet.
+	// Phase 2: register a claim on dst, then insert provisionally. The
+	// claim must be registered before the insert so that every deleter that
+	// observes the provisional entry also observes (and breaks) the claim.
+	// An occupied dst fails the move with nothing changed yet.
+	cl := h.f.claims.register(dst)
+	defer h.f.claims.unregister(dst, cl)
 	if !dsh.m.Insert(dth, dst, v) {
 		return false
 	}
-	// Phase 3: take src out. If a concurrent operation removed it first,
-	// compensate by withdrawing the provisional dst entry — but only while
-	// it still holds our value, so a concurrent overwrite of dst survives.
-	if ssh.m.Delete(sth, src) {
+	// Phase 3: take src out — but only while it still holds the value read
+	// in phase 1 (breaking, in turn, any claim movers hold on src as their
+	// destination). A bare delete-by-key could consume an entry a third
+	// party re-inserted at src with a different value after a concurrent
+	// removal, destroying their data and planting the stale value at dst;
+	// the conditional delete instead treats a replaced src as vanished.
+	// (An equal-valued re-insert being taken is a legal linearization:
+	// their insert, then this move.) Full read tracking (CTL) keeps the
+	// value comparison validated at commit even on elastic domains.
+	var deleted bool
+	sth.AtomicMode(stm.CTL, func(tx *stm.Tx) {
+		deleted = false
+		if cur, ok := ssh.m.GetTx(tx, src); !ok || cur != v {
+			return
+		}
+		deleted = h.f.deleteTx(ssh.m, tx, src)
+	})
+	if deleted {
 		return true
 	}
-	trees.Atomic(dsh.m, dth, func(tx *stm.Tx) {
+	// Compensate: src vanished under us, so withdraw the provisional dst
+	// entry — but only under proof of ownership. An unbroken claim read in
+	// the withdrawing transaction guarantees no deletion of dst committed
+	// since our insert, hence the current entry is still ours (nothing but
+	// a deletion can displace it; the value re-check is defense in depth).
+	// The proof needs the broken read validated at commit, so the
+	// transaction runs under full read tracking (CTL) even when the
+	// domain defaults to elastic transactions — an elastic cut would drop
+	// the read and reopen the very hazard the claim closes.
+	dth.AtomicMode(stm.CTL, func(tx *stm.Tx) {
+		if tx.Read(&cl.broken) != 0 {
+			return // not provably ours any more; leave dst alone
+		}
 		if cur, ok := dsh.m.GetTx(tx, dst); ok && cur == v {
-			dsh.m.DeleteTx(tx, dst)
+			h.f.deleteTx(dsh.m, tx, dst)
 		}
 	})
 	return false
 }
 
-// Len counts the elements, one consistent snapshot per shard.
+// moveSameShard is the intra-shard move: the composition of paper §5.4 as
+// one atomic transaction, plus the forest's claim-breaking on the deleted
+// src (trees.Move cannot know about claims, so the composition is inlined
+// here).
+func (h *Handle) moveSameShard(sh *shard, th *stm.Thread, src, dst uint64) bool {
+	if src == dst {
+		return sh.m.Contains(th, src)
+	}
+	var ok bool
+	trees.Atomic(sh.m, th, func(tx *stm.Tx) {
+		ok = false
+		v, present := sh.m.GetTx(tx, src)
+		if !present || sh.m.ContainsTx(tx, dst) {
+			return
+		}
+		if !h.f.deleteTx(sh.m, tx, src) {
+			return
+		}
+		if !sh.m.InsertTxA(tx, dst, v) {
+			// dst was checked absent in this very transaction: only a
+			// doomed (zombie) attempt or an elastic cut of that check can
+			// see it occupied now. Never commit the half-move (the src
+			// delete is already buffered) — retry from scratch.
+			tx.Restart()
+		}
+		ok = true
+	})
+	return ok
+}
+
+// scanThread prepares shard si for a read-only scan: it charges the routed
+// operation and returns the shard's thread, or nil when the shard was just
+// observed empty and the handle has nothing registered there — an empty
+// shard contributes nothing to a scan, and skipping it avoids registering
+// an STM thread (which the shard's maintenance GC would forever after have
+// to inspect) with a domain the handle never otherwise touches.
+func (h *Handle) scanThread(si int) *stm.Thread {
+	if h.ths[si] == nil && trees.EmptyHint(h.f.shards[si].m) {
+		return nil
+	}
+	h.ops[si]++
+	return h.thread(si)
+}
+
+// Len counts the elements, one consistent snapshot per shard. Each scanned
+// shard is charged one routed operation (see OpsPerShard).
 func (h *Handle) Len() int {
 	n := 0
 	for si, sh := range h.f.shards {
-		n += sh.m.Size(h.thread(si))
+		th := h.scanThread(si)
+		if th == nil {
+			continue
+		}
+		n += sh.m.Size(th)
 	}
 	return n
 }
 
-// Keys returns the sorted keys, one consistent snapshot per shard.
+// Keys returns the sorted keys, one consistent snapshot per shard, merged
+// exactly as Range merges (each scanned shard charged one routed op).
 func (h *Handle) Keys() []uint64 {
 	var all []uint64
-	for si, sh := range h.f.shards {
-		all = append(all, sh.m.Keys(h.thread(si))...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	h.Range(0, ^uint64(0), func(k, _ uint64) bool {
+		all = append(all, k)
+		return true
+	})
 	return all
+}
+
+// kv is one element of a per-shard range snapshot.
+type kv struct{ k, v uint64 }
+
+// Range visits, in ascending key order, every element whose key lies in
+// [lo, hi] (both inclusive), calling fn(k, v) for each; fn returning false
+// stops the scan. It reports whether the scan ran to the end of the
+// interval. Keys are shard-routed by hash, so every shard intersects every
+// interval: Range takes one ordered snapshot of [lo, hi] per shard (each
+// internally consistent, the shards not cut at one instant — the same
+// contract as Len and Keys) and then merges the S sorted snapshots lazily,
+// k-way, while feeding fn. Shards observed empty are skipped without
+// opening a transaction; each scanned shard is charged one routed op.
+//
+// An early fn stop saves the remaining merge work but not the per-shard
+// snapshot collection, which is bounded by the interval width; callers
+// wanting "first n elements" scans should bound [lo, hi] accordingly.
+func (h *Handle) Range(lo, hi uint64, fn func(k, v uint64) bool) bool {
+	if lo > hi {
+		return true
+	}
+	snaps := make([][]kv, 0, len(h.f.shards))
+	for si, sh := range h.f.shards {
+		th := h.scanThread(si)
+		if th == nil {
+			continue
+		}
+		var snap []kv
+		// Full read tracking (CTL) regardless of the domain default, so
+		// each shard's snapshot is consistent (as Size/Keys promise); the
+		// in-transaction reset keeps retries from duplicating entries.
+		th.AtomicMode(stm.CTL, func(tx *stm.Tx) {
+			snap = snap[:0]
+			sh.m.RangeTx(tx, lo, hi, func(k, v uint64) bool {
+				snap = append(snap, kv{k, v})
+				return true
+			})
+		})
+		if len(snap) > 0 {
+			snaps = append(snaps, snap)
+		}
+	}
+	return mergeSnaps(snaps, fn)
+}
+
+// mergeSnaps merges the sorted per-shard snapshots, feeding fn in globally
+// ascending key order until fn stops it or the snapshots drain. Shard
+// routing is a function of the key, so no key appears in two snapshots and
+// the merged stream is strictly increasing. With the small shard counts a
+// forest runs (a handful to a few dozen) a linear min-pick per element
+// beats a heap's bookkeeping.
+func mergeSnaps(snaps [][]kv, fn func(k, v uint64) bool) bool {
+	idx := make([]int, len(snaps))
+	for {
+		best := -1
+		for i := range snaps {
+			if idx[i] >= len(snaps[i]) {
+				continue
+			}
+			if best == -1 || snaps[i][idx[i]].k < snaps[best][idx[best]].k {
+				best = i
+			}
+		}
+		if best == -1 {
+			return true
+		}
+		e := snaps[best][idx[best]]
+		idx[best]++
+		if !fn(e.k, e.v) {
+			return false
+		}
+	}
 }
 
 // Update runs fn as one atomic transaction on the shard owning the routing
@@ -191,8 +359,10 @@ func (o *Op) check(k uint64) {
 // Insert maps k to v within the transaction; false when present.
 func (o *Op) Insert(k, v uint64) bool { o.check(k); return o.m.InsertTxA(o.tx, k, v) }
 
-// Delete removes k within the transaction; false when absent.
-func (o *Op) Delete(k uint64) bool { o.check(k); return o.m.DeleteTx(o.tx, k) }
+// Delete removes k within the transaction; false when absent. Like
+// Handle.Delete it breaks any in-flight cross-shard-move claim on k inside
+// the transaction.
+func (o *Op) Delete(k uint64) bool { o.check(k); return o.f.deleteTx(o.m, o.tx, k) }
 
 // Get returns the value at k within the transaction.
 func (o *Op) Get(k uint64) (uint64, bool) { o.check(k); return o.m.GetTx(o.tx, k) }

@@ -1,0 +1,207 @@
+package forest
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/trees"
+)
+
+// crossShardPair returns two keys living on different shards (and, for
+// convenience, a third key co-located with neither constraint).
+func crossShardPair(t *testing.T, f *Forest) (a, b uint64) {
+	t.Helper()
+	a = 100
+	for k := uint64(101); k < 100000; k++ {
+		if !f.SameShard(a, k) {
+			return a, k
+		}
+	}
+	t.Fatal("no cross-shard pair found")
+	return 0, 0
+}
+
+// TestCrossShardMoveCompensationABA is the regression test for the
+// value-ABA hazard in the cross-shard Move compensation: before the move
+// claims (claims.go), the compensating delete removed dst whenever it
+// "still held the moved value", which could destroy a third party's
+// independently inserted entry that coincidentally carried the same value.
+//
+// The interferer cycles Delete(dst); Insert(dst, V); Get(dst)×m. Once its
+// insert succeeds it is the only legitimate deleter of dst until its own
+// Delete — the mover may withdraw dst only while the entry is provably its
+// own provisional one, which the interferer's entry never is (the
+// interferer's Delete broke the mover's claim inside the same transaction
+// that removed the provisional entry). Any vanished or foreign value
+// observed between the interferer's Insert and Delete is therefore a
+// spurious deletion. The srcDeleter keeps removing src so the mover's
+// phase 3 fails and the compensation path runs constantly.
+func TestCrossShardMoveCompensationABA(t *testing.T) {
+	// WithYield forces transaction overlap even on single-core hosts, so
+	// the interferer's delete+reinsert pair actually lands inside the
+	// mover's insert→compensate window.
+	f := New(trees.SFOpt, WithShards(4), WithoutMaintenance(), WithYield(2))
+	defer f.Close()
+	src, dst := crossShardPair(t, f)
+	const V = 7777
+
+	var stop atomic.Bool
+	var spurious atomic.Int64
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // interferer: owns dst between its Insert and its Delete
+		defer wg.Done()
+		h := f.NewHandle()
+		for !stop.Load() {
+			h.Delete(dst)
+			if h.Insert(dst, V) {
+				for j := 0; j < 8; j++ {
+					if v, ok := h.Get(dst); !ok || v != V {
+						spurious.Add(1)
+					}
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // srcDeleter: forces the mover into compensation
+		defer wg.Done()
+		h := f.NewHandle()
+		for !stop.Load() {
+			h.Delete(src)
+		}
+	}()
+	wg.Add(1)
+	go func() { // mover: cross-shard moves of the same value V
+		defer wg.Done()
+		h := f.NewHandle()
+		for !stop.Load() {
+			h.Insert(src, V)
+			h.Move(src, dst)
+		}
+	}()
+
+	time.Sleep(400 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if n := spurious.Load(); n != 0 {
+		t.Fatalf("%d spurious deletions of a third party's dst entry", n)
+	}
+}
+
+// TestCrossShardMovePingPong has several movers bouncing one token between
+// two cross-shard keys while a reader continuously checks the insert-first
+// ordering guarantee: the token is present at one of the keys at every
+// instant (it may transiently be at both, never at neither).
+func TestCrossShardMovePingPong(t *testing.T) {
+	f := New(trees.SF, WithShards(4), WithoutMaintenance(), WithYield(2))
+	defer f.Close()
+	a, b := crossShardPair(t, f)
+	const V = 31337
+
+	seed := f.NewHandle()
+	seed.Insert(a, V)
+
+	var stop atomic.Bool
+	var lost atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := f.NewHandle()
+			for !stop.Load() {
+				if !h.Move(a, b) {
+					h.Move(b, a)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // reader: the token must never be absent from both keys
+		defer wg.Done()
+		h := f.NewHandle()
+		for !stop.Load() {
+			misses := 0
+			for misses < 50 {
+				if h.Contains(a) || h.Contains(b) {
+					misses = -1
+					break
+				}
+				misses++
+			}
+			if misses >= 50 {
+				lost.Add(1)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(400 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+	if lost.Load() != 0 {
+		t.Fatal("token observed absent from both keys (value lost)")
+	}
+	// After all movers stop the token settles: present at a or b (both only
+	// if a contested compensation deliberately left a copy in place, which
+	// cannot happen here — the only deleters are the movers themselves,
+	// whose claims protocol resolves every move).
+	h := f.NewHandle()
+	ca, cb := h.Contains(a), h.Contains(b)
+	if !ca && !cb {
+		t.Fatal("token lost at quiescence")
+	}
+	if ca && cb {
+		// Both present is the documented contested-compensation leftover
+		// (never a loss); it needs a rare multi-mover interleaving, so just
+		// record it.
+		t.Logf("token present at both keys at quiescence (contested-move leftover)")
+	}
+}
+
+// TestCloseStatsRace hammers the statistics accessors concurrently with
+// (repeated) Close on a maintained multi-shard forest: the maint flag must
+// not be a data race (run under -race), double Close must be a no-op, and
+// once everything returns, maintenance must genuinely be stopped.
+func TestCloseStatsRace(t *testing.T) {
+	f := New(trees.SFOpt, WithShards(4))
+	h := f.NewHandle()
+	for k := uint64(0); k < 512; k++ {
+		h.Insert(k, k)
+		if k%2 == 0 {
+			h.Delete(k)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				f.Stats()
+				f.ShardStats()
+				f.MaintenanceStats()
+			}
+		}()
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Close() // racing and repeated Close must be safe no-ops
+		}()
+	}
+	wg.Wait()
+	f.Close()
+	// Maintenance must now be stopped for good: no pass may complete after
+	// the settle point even though the accessors above raced the Close.
+	passes := f.MaintenanceStats().Passes
+	time.Sleep(50 * time.Millisecond)
+	if after := f.MaintenanceStats().Passes; after != passes {
+		t.Fatalf("maintenance still running after Close (%d -> %d passes)", passes, after)
+	}
+}

@@ -346,8 +346,14 @@ func (t *Tree) Move(th *stm.Thread, src, dst uint64) bool {
 			return
 		}
 		if !t.InsertTx(tx, dst, v, &sc) {
-			// dst checked absent above within the same transaction.
-			panic("sftree: Move insert failed after absence check")
+			// dst was checked absent above within the same transaction:
+			// only a doomed (zombie) attempt or an elastic cut of that
+			// check can see it occupied now. Retry from scratch — under
+			// elastic transactions committing here would make the
+			// half-move durable (the cut ContainsTx read is exempt from
+			// commit validation), and panicking would crash on a state
+			// that legitimately occurs.
+			tx.Restart()
 		}
 		ok = true
 	})

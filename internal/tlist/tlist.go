@@ -167,3 +167,27 @@ func (l *List) EachTx(tx *stm.Tx, f func(k, v uint64)) {
 		cur = tx.Read(&c.next)
 	}
 }
+
+// RangeTx visits, in ascending key order, every entry whose key lies in
+// [lo, hi] (both inclusive), calling fn(k, v) for each; fn returning false
+// stops the scan. The sorted order lets the walk start from the first entry
+// at or after lo (locate) and end at the first key above hi, so the read
+// set covers only the prefix up to the end of the interval. RangeTx reports
+// whether the scan ran to the end of the interval.
+func (l *List) RangeTx(tx *stm.Tx, lo, hi uint64, fn func(k, v uint64) bool) bool {
+	if lo > hi {
+		return true
+	}
+	_, cur := l.locate(tx, lo)
+	for cur != 0 {
+		c := l.cell(cur)
+		if c.key > hi {
+			return true
+		}
+		if !fn(c.key, tx.Read(&c.val)) {
+			return false
+		}
+		cur = tx.Read(&c.next)
+	}
+	return true
+}

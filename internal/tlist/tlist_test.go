@@ -95,6 +95,57 @@ func TestEachVisitsInOrder(t *testing.T) {
 	}
 }
 
+func TestRangeTx(t *testing.T) {
+	s := stm.New()
+	th := s.NewThread()
+	l := New()
+	run(th, func(tx *stm.Tx) {
+		for _, k := range []uint64{2, 4, 6, 8, 10, 12} {
+			l.InsertTx(tx, k, k*10)
+		}
+	})
+	var got []uint64
+	run(th, func(tx *stm.Tx) {
+		got = got[:0]
+		if !l.RangeTx(tx, 4, 10, func(k, v uint64) bool {
+			if v != k*10 {
+				t.Errorf("value %d at key %d", v, k)
+			}
+			got = append(got, k)
+			return true
+		}) {
+			t.Error("full scan reported early stop")
+		}
+	})
+	want := []uint64{4, 6, 8, 10}
+	if len(got) != len(want) {
+		t.Fatalf("RangeTx(4,10) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RangeTx(4,10) = %v", got)
+		}
+	}
+	// Bounds between elements, inverted interval, early stop.
+	run(th, func(tx *stm.Tx) {
+		n := 0
+		l.RangeTx(tx, 3, 5, func(k, _ uint64) bool { n++; return true })
+		if n != 1 {
+			t.Errorf("RangeTx(3,5) visited %d", n)
+		}
+		if !l.RangeTx(tx, 9, 3, func(_, _ uint64) bool { t.Error("visited"); return true }) {
+			t.Error("inverted interval reported stop")
+		}
+		n = 0
+		if l.RangeTx(tx, 0, 100, func(_, _ uint64) bool { n++; return n < 2 }) {
+			t.Error("stopped scan reported completion")
+		}
+		if n != 2 {
+			t.Errorf("stopped scan visited %d", n)
+		}
+	})
+}
+
 func TestOracleProperty(t *testing.T) {
 	s := stm.New()
 	th := s.NewThread()

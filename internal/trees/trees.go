@@ -26,12 +26,27 @@ type Map interface {
 	Contains(th *stm.Thread, k uint64) bool
 	Size(th *stm.Thread) int
 	Keys(th *stm.Thread) []uint64
+	// Range visits, in ascending key order, every element whose key lies
+	// in [lo, hi] (both inclusive), calling fn(k, v) for each; fn returning
+	// false stops the scan early. Range reports whether the scan ran to the
+	// end of the interval (true) or was stopped by fn (false). The visited
+	// elements form one consistent snapshot of the interval (the same
+	// snapshot discipline as Size and Keys), and fn is invoked only after
+	// the snapshot transaction commits — exactly once per element, never
+	// from an aborted attempt — so it may accumulate state freely.
+	Range(th *stm.Thread, lo, hi uint64, fn func(k, v uint64) bool) bool
 
 	// Composable forms.
 	GetTx(tx *stm.Tx, k uint64) (uint64, bool)
 	ContainsTx(tx *stm.Tx, k uint64) bool
 	InsertTxA(tx *stm.Tx, k, v uint64) bool
 	DeleteTx(tx *stm.Tx, k uint64) bool
+	// RangeTx is the composable form of Range, for use inside an enclosing
+	// transaction (paper §5.4's reusability). Unlike Range's callback, fn
+	// here runs inside the transaction: it is re-executed when the
+	// enclosing transaction retries, so it must reset any accumulator at
+	// the point the transaction function restarts.
+	RangeTx(tx *stm.Tx, lo, hi uint64, fn func(k, v uint64) bool) bool
 }
 
 // Maintained is implemented by trees with a background maintenance thread
@@ -116,6 +131,25 @@ func Quiesce(m Map, maxPasses int) {
 	}
 }
 
+// EmptyHinter is implemented by trees that can report, from one plain read,
+// that they were just observed to hold no elements. The hint is
+// instantaneous — an "empty at the moment of the load" snapshot — so
+// read-only scans may use it to skip a tree entirely without opening a
+// transaction (or registering an STM thread with its domain). A false
+// result carries no information.
+type EmptyHinter interface {
+	EmptyHint() bool
+}
+
+// EmptyHint reports whether m was just observed empty; false when m cannot
+// tell cheaply.
+func EmptyHint(m Map) bool {
+	if eh, ok := m.(EmptyHinter); ok {
+		return eh.EmptyHint()
+	}
+	return false
+}
+
 // ElasticAware is implemented by trees that declare whether they tolerate
 // elastic (cut) read tracking. Trees without the method are treated as
 // elastic-safe (the speculation-friendly trees are, by design: immutable
@@ -161,8 +195,17 @@ func Move(m Map, th *stm.Thread, src, dst uint64) bool {
 		if !present || m.ContainsTx(tx, dst) {
 			return
 		}
-		if !m.DeleteTx(tx, src) || !m.InsertTxA(tx, dst, v) {
+		if !m.DeleteTx(tx, src) {
 			return
+		}
+		if !m.InsertTxA(tx, dst, v) {
+			// dst was checked absent in this very transaction: only a
+			// doomed (zombie) attempt or an elastic cut of that check can
+			// see it occupied now. Committing would make the half-move
+			// (the buffered src delete) durable and lose the value under
+			// elastic transactions, whose cut reads are exempt from commit
+			// validation — retry from scratch instead.
+			tx.Restart()
 		}
 		ok = true
 	})

@@ -1,7 +1,10 @@
 package trees
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/stm"
 )
@@ -72,6 +75,88 @@ func TestAllKindsConformance(t *testing.T) {
 	}
 }
 
+// TestRangeConformance checks the Range/RangeTx contract on every kind:
+// inclusive bounds, ascending order, deleted keys skipped, early stop, and
+// composability inside an enclosing transaction.
+func TestRangeConformance(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			s := stm.New()
+			m := New(kind, s)
+			th := s.NewThread()
+			for k := uint64(0); k < 200; k++ {
+				m.Insert(th, k, k+1000)
+			}
+			for k := uint64(0); k < 200; k += 3 {
+				m.Delete(th, k)
+			}
+			want := func(lo, hi uint64) []uint64 {
+				var out []uint64
+				for k := lo; k <= hi && k < 200; k++ {
+					if k%3 != 0 {
+						out = append(out, k)
+					}
+				}
+				return out
+			}
+			check := func(label string, got, want []uint64) {
+				t.Helper()
+				if len(got) != len(want) {
+					t.Fatalf("%s: got %v, want %v", label, got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s: got %v, want %v", label, got, want)
+					}
+				}
+			}
+			for _, iv := range [][2]uint64{{0, 199}, {50, 99}, {7, 7}, {198, 5000}, {3, 3}} {
+				var got []uint64
+				done := m.Range(th, iv[0], iv[1], func(k, v uint64) bool {
+					if v != k+1000 {
+						t.Fatalf("value %d at key %d", v, k)
+					}
+					got = append(got, k)
+					return true
+				})
+				if !done {
+					t.Fatalf("Range(%d,%d) reported early stop", iv[0], iv[1])
+				}
+				check("Range", got, want(iv[0], iv[1]))
+			}
+			// Inverted interval: no visits, completion reported.
+			if !m.Range(th, 9, 4, func(_, _ uint64) bool { t.Error("visited"); return true }) {
+				t.Fatal("inverted interval reported stop")
+			}
+			// Early stop.
+			n := 0
+			if m.Range(th, 0, 199, func(_, _ uint64) bool { n++; return n < 4 }) {
+				t.Fatal("stopped Range reported completion")
+			}
+			if n != 4 {
+				t.Fatalf("stopped Range visited %d", n)
+			}
+			// RangeTx composes: read a window and update inside one
+			// transaction; the scan must see the transaction's own writes.
+			Atomic(m, th, func(tx *stm.Tx) {
+				m.InsertTxA(tx, 500, 1)
+				var got []uint64
+				m.RangeTx(tx, 490, 510, func(k, _ uint64) bool {
+					got = append(got, k)
+					return true
+				})
+				if len(got) != 1 || got[0] != 500 {
+					t.Errorf("RangeTx missed own insert: %v", got)
+				}
+				m.DeleteTx(tx, 500)
+			})
+			if m.Contains(th, 500) {
+				t.Fatal("net-noop transaction left residue")
+			}
+		})
+	}
+}
+
 func TestLabelsMatchPaper(t *testing.T) {
 	want := map[Kind]string{
 		SF: "SFtree", SFOpt: "Opt SFtree", RB: "RBtree", AVL: "AVLtree", NR: "NRtree",
@@ -132,6 +217,58 @@ func TestAtomicDemotesElasticForUnsafeTrees(t *testing.T) {
 		if mode != stm.Elastic {
 			t.Fatalf("%s composed tx ran in %v, want Elastic", kind, mode)
 		}
+	}
+}
+
+// TestMoveElasticNoHalfCommit is the regression test for a value-loss bug
+// in the composed Move under elastic transactions: the ContainsTx(dst)
+// absence check is a cut read (exempt from commit validation), so when a
+// concurrent insert occupied dst between the check and the insert, Move
+// used to commit the buffered src delete while the dst insert had failed —
+// silently dropping the moved value. Move now restarts the transaction in
+// that state. A token bounces between two keys while an interferer makes
+// dst transiently occupied; the token must never be lost.
+func TestMoveElasticNoHalfCommit(t *testing.T) {
+	s := stm.New(stm.WithMode(stm.Elastic), stm.WithYield(2))
+	m := New(SF, s) // portable SF is elastic-safe, so Move runs elastic
+	const a, b = uint64(10), uint64(20)
+	const V, W = uint64(1), uint64(2)
+
+	seed := s.NewThread()
+	m.Insert(seed, a, V)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // interferer: makes b transiently occupied by its own W
+		defer wg.Done()
+		th := s.NewThread()
+		for !stop.Load() {
+			if m.Insert(th, b, W) {
+				m.Delete(th, b)
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // mover: bounces the V token between a and b
+		defer wg.Done()
+		th := s.NewThread()
+		for !stop.Load() {
+			if !Move(m, th, a, b) {
+				Move(m, th, b, a)
+			}
+		}
+	}()
+	time.Sleep(400 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	th := s.NewThread()
+	va, oka := m.Get(th, a)
+	vb, okb := m.Get(th, b)
+	hasV := (oka && va == V) || (okb && vb == V)
+	if !hasV {
+		t.Fatalf("token lost: a=(%d,%v) b=(%d,%v)", va, oka, vb, okb)
 	}
 }
 

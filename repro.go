@@ -46,6 +46,8 @@
 package repro
 
 import (
+	"sync"
+
 	"repro/internal/forest"
 	"repro/internal/sftree"
 	"repro/internal/stm"
@@ -106,11 +108,16 @@ const (
 // hash-sharded forest of them (WithShards). Create one with NewTree; every
 // goroutine accessing it must use its own Handle.
 type Tree struct {
-	s     *stm.STM       // single-domain path (shards == 1)
-	m     trees.Map      // single-domain path
-	f     *forest.Forest // sharded path (shards > 1)
-	stop  func()
-	maint bool // background maintenance currently enabled
+	s    *stm.STM       // single-domain path (shards == 1)
+	m    trees.Map      // single-domain path
+	f    *forest.Forest // sharded path (shards > 1)
+	stop func()
+	// maintMu serializes maintenance toggling: Close may be called
+	// concurrently with Stats, whose pause/resume bracket reads maint —
+	// without the lock that is a data race, and a racing resume could
+	// restart maintenance after Close returned.
+	maintMu sync.Mutex
+	maint   bool // background maintenance currently enabled; guarded by maintMu
 }
 
 // Option configures NewTree.
@@ -178,8 +185,14 @@ func NewTree(kind Kind, opts ...Option) *Tree {
 	return t
 }
 
-// Close stops background maintenance. The tree remains readable.
+// Close stops background maintenance. The tree remains fully usable
+// (readable and writable); only the structural upkeep stops. Closing an
+// already-closed tree is a documented no-op, and Close is safe to call
+// concurrently with Stats/MaintenanceStats — maintenance is guaranteed
+// stopped once Close and any overlapping accessors return.
 func (t *Tree) Close() {
+	t.maintMu.Lock()
+	defer t.maintMu.Unlock()
 	t.maint = false
 	t.stop()
 }
@@ -223,19 +236,19 @@ func (t *Tree) NewHandle() *Handle {
 
 // Stats returns the sum of all handles' STM statistics (over all shards).
 // A running maintenance goroutine is paused while its counters are read;
-// the caller's handles should be quiescent for exact values.
+// the caller's handles should be quiescent for exact values. Stats may be
+// called concurrently with Close (the maintenance lock serializes the
+// pause/resume bracket against it).
 func (t *Tree) Stats() stm.Stats {
 	if t.f != nil {
 		return t.f.Stats()
 	}
+	t.maintMu.Lock()
+	defer t.maintMu.Unlock()
 	if t.maint {
 		if mt, ok := t.m.(trees.Maintained); ok {
 			mt.Stop()
-			defer func() {
-				if t.maint { // a Close raced the pause; stay stopped
-					mt.Start()
-				}
-			}()
+			defer mt.Start()
 		}
 	}
 	return t.s.TotalStats()
@@ -297,7 +310,9 @@ func (h *Handle) Contains(k uint64) bool {
 // and on a sharded one when SameShard(src, dst) — the move is one atomic
 // transaction. Across shards it executes as separate single-shard
 // transactions ordered so the value is never lost; a concurrent observer
-// can momentarily see it at both keys.
+// can momentarily see it at both keys, and when the move loses a race for
+// its keys it fails without ever deleting a third party's entry (see
+// forest.Handle.Move for the exact contested-failure semantics).
 func (h *Handle) Move(src, dst uint64) bool {
 	if h.fh != nil {
 		return h.fh.Move(src, dst)
@@ -319,6 +334,26 @@ func (h *Handle) Keys() []uint64 {
 		return h.fh.Keys()
 	}
 	return h.t.m.Keys(h.th)
+}
+
+// Range visits, in ascending key order, every element whose key lies in
+// [lo, hi] (both inclusive), calling fn(k, v) for each; fn returning false
+// stops the scan early. Range reports whether the scan ran to the end of
+// the interval. On an unsharded tree the visited elements are one
+// consistent snapshot; on a sharded tree each shard's contribution is one
+// consistent snapshot merged in key order, but the shards are not cut at
+// one instant (the Keys/Len contract — see the forest package comment).
+func (h *Handle) Range(lo, hi uint64, fn func(k, v uint64) bool) bool {
+	if h.fh != nil {
+		return h.fh.Range(lo, hi, fn)
+	}
+	return h.t.m.Range(h.th, lo, hi, fn)
+}
+
+// Ascend visits every element in ascending key order; fn returning false
+// stops the scan. It is Range over the whole key space.
+func (h *Handle) Ascend(fn func(k, v uint64) bool) bool {
+	return h.Range(0, ^uint64(0), fn)
 }
 
 // Update runs fn as one atomic transaction; every operation on the Op

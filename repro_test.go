@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 )
 
 func allKinds() []Kind {
@@ -242,4 +243,95 @@ func TestWithContentionUnknownPanics(t *testing.T) {
 		}
 	}()
 	WithContention(ContentionPolicy("polite"))
+}
+
+func TestPublicAPIRangeAndAscend(t *testing.T) {
+	for _, kind := range allKinds() {
+		for _, shards := range []int{1, 8} {
+			tr := NewTree(kind, WithShards(shards))
+			h := tr.NewHandle()
+			for k := uint64(0); k < 100; k++ {
+				h.Insert(k, k*3)
+			}
+			for k := uint64(0); k < 100; k += 2 {
+				h.Delete(k)
+			}
+			var got []uint64
+			if !h.Range(10, 30, func(k, v uint64) bool {
+				if v != k*3 {
+					t.Errorf("%s/%d: value %d at key %d", kind, shards, v, k)
+				}
+				got = append(got, k)
+				return true
+			}) {
+				t.Fatalf("%s/%d: full-interval scan reported early stop", kind, shards)
+			}
+			want := []uint64{11, 13, 15, 17, 19, 21, 23, 25, 27, 29}
+			if len(got) != len(want) {
+				t.Fatalf("%s/%d: Range(10,30) = %v", kind, shards, got)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s/%d: Range(10,30) = %v", kind, shards, got)
+				}
+			}
+			n := 0
+			h.Ascend(func(_, _ uint64) bool { n++; return true })
+			if n != 50 || n != h.Len() {
+				t.Fatalf("%s/%d: Ascend visited %d, Len %d", kind, shards, n, h.Len())
+			}
+			// Early stop propagates through every layer.
+			n = 0
+			if h.Ascend(func(_, _ uint64) bool { n++; return n < 7 }) {
+				t.Fatalf("%s/%d: stopped Ascend reported completion", kind, shards)
+			}
+			if n != 7 {
+				t.Fatalf("%s/%d: stopped Ascend visited %d", kind, shards, n)
+			}
+			tr.Close()
+		}
+	}
+}
+
+// TestCloseStatsRace hammers Stats/MaintenanceStats concurrently with
+// repeated Close on both the single-domain and sharded paths: the maint
+// flag must not be a data race (run under -race), double Close must be a
+// no-op, and maintenance must be stopped for good once everything returns.
+func TestCloseStatsRace(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		tr := NewTree(SpeculationFriendly, WithShards(shards))
+		h := tr.NewHandle()
+		for k := uint64(0); k < 512; k++ {
+			h.Insert(k, k)
+			if k%2 == 0 {
+				h.Delete(k)
+			}
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 25; i++ {
+					tr.Stats()
+					tr.MaintenanceStats()
+				}
+			}()
+		}
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				tr.Close()
+			}()
+		}
+		wg.Wait()
+		tr.Close() // documented no-op on an already-closed tree
+		passes := tr.MaintenanceStats().Passes
+		time.Sleep(50 * time.Millisecond)
+		if after := tr.MaintenanceStats().Passes; after != passes {
+			t.Fatalf("shards=%d: maintenance still running after Close (%d -> %d passes)",
+				shards, passes, after)
+		}
+	}
 }

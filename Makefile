@@ -1,6 +1,8 @@
 GO ?= go
+BENCH_DURATION ?= 1s
+BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race vet ci bench-range
+.PHONY: all build test race vet ci bench-range bench-json
 
 all: build
 
@@ -26,5 +28,18 @@ vet:
 bench-range:
 	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 10 -range-frac 0.1 -range-len 100 -shards 1 -header
 	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 10 -range-frac 0.1 -range-len 100 -shards 8
+
+# Maintenance-efficiency benchmark points, recorded as one JSON artifact
+# per session (BENCH_<date>.json) so the perf trajectory is durable. The
+# rows compare the single-domain tree, the sharded forest with the default
+# pool, and the sharded forest with an explicitly small pool on the skewed
+# (Zipf) workload — the configuration the sub-linear-maintenance-CPU claim
+# is about (see the maint_* CSV columns).
+bench-json:
+	{ $(GO) run ./cmd/microbench -header -tree sf-opt -threads 4 -update 20 -duration $(BENCH_DURATION) ; \
+	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -shards 8 -dist zipf -duration $(BENCH_DURATION) ; \
+	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -shards 8 -maint-workers 2 -dist zipf -duration $(BENCH_DURATION) ; \
+	  $(GO) run ./cmd/microbench -tree sf -threads 4 -update 20 -shards 8 -maint-workers 2 -dist zipf -duration $(BENCH_DURATION) ; } \
+	| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
 
 ci: build vet test race

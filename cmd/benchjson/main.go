@@ -1,0 +1,99 @@
+// Command benchjson converts microbench CSV output into a JSON summary, so
+// the repository's performance trajectory can be recorded as one artifact
+// per benchmark session (see the Makefile's bench-json target, which writes
+// BENCH_<date>.json).
+//
+// It reads CSV from stdin: the first non-shard line must be the header
+// (microbench -header), subsequent lines are aggregate result rows.
+// Per-shard breakdown rows ("shard,<i>,...") are skipped — the summary
+// records the aggregate trajectory. Values that parse as numbers are
+// emitted as JSON numbers, everything else as strings.
+//
+//	microbench -header ... | benchjson -out BENCH_2026-07-29.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var header []string
+	var rows []map[string]any
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "shard,") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if header == nil {
+			header = fields
+			continue
+		}
+		if len(fields) != len(header) {
+			fmt.Fprintf(os.Stderr, "benchjson: row has %d fields, header has %d; skipping: %s\n",
+				len(fields), len(header), line)
+			continue
+		}
+		row := make(map[string]any, len(header))
+		for i, col := range header {
+			row[col] = parseValue(fields[i])
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if header == nil {
+		fmt.Fprintln(os.Stderr, "benchjson: no header line on stdin (run microbench with -header)")
+		os.Exit(1)
+	}
+
+	summary := map[string]any{
+		"generated_at": time.Now().UTC().Format(time.RFC3339),
+		"tool":         "microbench",
+		"rows":         rows,
+	}
+	enc, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d rows to %s\n", len(rows), *out)
+}
+
+// parseValue renders numeric CSV fields as JSON numbers and booleans as
+// booleans, leaving everything else a string.
+func parseValue(s string) any {
+	if s == "true" || s == "false" {
+		return s == "true"
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}

@@ -8,6 +8,7 @@
 //	microbench -tree nr -biased -update 20
 //	microbench -tree sf-opt -shards 8 -dist zipf -cm karma -threads 8
 //	microbench -tree sf-opt -shards 8 -range-frac 0.1 -range-len 200
+//	microbench -tree sf-opt -shards 16 -maint-workers 2 -dist zipf
 //
 // Trees: sf, sf-opt, rb, avl, nr. Modes: ctl, etl, elastic. Contention
 // managers: suicide, backoff, karma. Distributions: uniform, zipf.
@@ -19,6 +20,13 @@
 // snapshots and
 // merges all shards, so the per-shard rows' op counts include one touch per
 // shard per scan (the merge cost the forest pays for hash routing).
+//
+// -maint-workers sizes the shared maintenance worker pool of a sharded run
+// (0 = the forest default, min(shards, GOMAXPROCS/2)); the CSV reports the
+// maintenance-efficiency columns — hints emitted/coalesced/dropped,
+// targeted repairs vs full sweeps, pool busy time and worker utilization —
+// so the sub-linear-maintenance-CPU claim of hint-driven maintenance is
+// verifiable from the output alone.
 //
 // One aggregate CSV row is always printed; with -shards > 1 a per-shard
 // breakdown row ("shard,<i>,...") follows for each shard.
@@ -52,6 +60,7 @@ func main() {
 	zipfS := flag.Float64("zipf-s", bench.DefaultZipfS, "zipf skew exponent (with -dist zipf)")
 	rangeFrac := flag.Float64("range-frac", 0, "fraction of operations that are ordered range scans (0..1)")
 	rangeLen := flag.Uint64("range-len", bench.DefaultRangeLen, "key-space width of each range-scan window")
+	maintWorkers := flag.Int("maint-workers", 0, "shared maintenance pool size on a sharded run (0 = default)")
 	yieldEvery := flag.Int("yield", 0, "STM interleaving simulation: yield every N accesses (0 off)")
 	header := flag.Bool("header", false, "print the CSV header line first")
 	flag.Parse()
@@ -107,6 +116,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "microbench: -range-len must be >= 1")
 		os.Exit(2)
 	}
+	if *maintWorkers < 0 {
+		fmt.Fprintln(os.Stderr, "microbench: -maint-workers must be >= 0")
+		os.Exit(2)
+	}
 
 	res := bench.Run(bench.Options{
 		Kind:     kind,
@@ -124,22 +137,26 @@ func main() {
 			RangeFrac:     *rangeFrac,
 			RangeLen:      *rangeLen,
 		},
-		Seed:       *seed,
-		Shards:     *shards,
-		CM:         *cm,
-		YieldEvery: *yieldEvery,
+		Seed:         *seed,
+		Shards:       *shards,
+		CM:           *cm,
+		YieldEvery:   *yieldEvery,
+		MaintWorkers: *maintWorkers,
 	})
 
 	if *header {
-		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,range_frac,range_len,duration_s,ops,throughput_ops_per_us,effective_ratio,range_scans,range_items,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,rotations")
+		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,range_frac,range_len,duration_s,ops,throughput_ops_per_us,effective_ratio,range_scans,range_items,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,rotations,maint_workers,hints_emitted,hints_coalesced,hints_dropped,targeted_repairs,sweep_passes,maint_busy_ms,worker_util")
 	}
-	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%d,%d,%d,%d,%.4f,%d,%.3f,%d,%d\n",
+	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%d,%d,%d,%d,%.4f,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f\n",
 		kind, m, res.Threads, res.Shards, res.CM, res.Dist, *update, *movePct, *biased, *keyRange,
 		*rangeFrac, *rangeLen,
 		res.Elapsed.Seconds(), res.Ops, res.Throughput, res.EffectiveRatio,
 		res.RangeOps, res.RangeItems,
 		res.STM.Commits, res.STM.Aborts, res.STM.AbortRate(), res.STM.Retries,
-		float64(res.STM.BackoffNanos)/1e6, res.STM.MaxOpReads, res.Rotations)
+		float64(res.STM.BackoffNanos)/1e6, res.STM.MaxOpReads, res.Rotations,
+		res.Pool.Workers, res.TreeStats.HintsEmitted, res.TreeStats.HintsCoalesced,
+		res.TreeStats.HintsDropped, res.TreeStats.TargetedRepairs, res.TreeStats.Passes,
+		float64(res.Pool.BusyNanos)/1e6, res.WorkerUtilization())
 	for si, sr := range res.PerShard {
 		fmt.Printf("shard,%d,ops,%d,throughput_ops_per_us,%.3f,commits,%d,aborts,%d,abort_rate,%.4f\n",
 			si, sr.Ops, sr.Throughput, sr.STM.Commits, sr.STM.Aborts, sr.STM.AbortRate())

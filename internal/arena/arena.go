@@ -67,6 +67,13 @@ type Node struct {
 	RightH atomic.Int32
 	LocalH atomic.Int32
 
+	// Hint is the maintenance-hint dedup bit: set (CAS 0→1) when a hint for
+	// this node is enqueued, cleared when a maintenance worker consumes it,
+	// so a hot node never floods the bounded hint queue. Advisory only —
+	// a spurious clear (node recycled while a stale hint was queued) merely
+	// lets a duplicate hint through.
+	Hint atomic.Uint32
+
 	nextFree Ref // free-list link, guarded by the arena mutex
 }
 
@@ -161,6 +168,7 @@ func (a *Arena) Alloc(key, val uint64) Ref {
 	n.LeftH.Store(0)
 	n.RightH.Store(0)
 	n.LocalH.Store(1)
+	n.Hint.Store(0)
 	return r
 }
 
@@ -181,6 +189,7 @@ func (a *Arena) Reinit(r Ref, key, val uint64) {
 	n.LeftH.Store(0)
 	n.RightH.Store(0)
 	n.LocalH.Store(1)
+	n.Hint.Store(0)
 }
 
 // get resolves without the Nil check; caller holds the mutex or owns r.

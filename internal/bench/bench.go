@@ -115,6 +115,10 @@ type Options struct {
 	// transactions overlap even when the host has fewer cores than workers.
 	// 0 disables.
 	YieldEvery int
+	// MaintWorkers sizes the forest's shared maintenance worker pool
+	// (0 selects the forest default, min(shards, GOMAXPROCS/2)). Only
+	// meaningful with Shards > 1.
+	MaintWorkers int
 }
 
 // contentionManager resolves the run's contention manager, defaulting to
@@ -158,8 +162,51 @@ type Result struct {
 
 	STM       stm.Stats     // summed over worker threads (all shards)
 	PerShard  []ShardResult // per-shard breakdown (nil on the single path)
-	TreeStats sftree.Stats  // zero for non-SF trees
+	TreeStats sftree.Stats  // zero for non-SF trees; includes hint counters
 	Rotations uint64        // tree rotations (see trees.Rotations)
+	// Pool describes the maintenance scheduler: the forest's shared worker
+	// pool, or — on the single-domain path — the tree's own maintenance
+	// goroutine rendered as a one-worker pool (sweeps = passes), so the
+	// maintenance-efficiency columns stay comparable across shard counts.
+	Pool forest.PoolStats
+}
+
+// WorkerUtilization returns the fraction of the run's wall-clock ×
+// pool-size budget the maintenance workers spent busy (0 when no pool ran).
+func (r *Result) WorkerUtilization() float64 {
+	if r.Pool.Workers == 0 || r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Pool.BusyNanos) / (float64(r.Elapsed.Nanoseconds()) * float64(r.Pool.Workers))
+}
+
+// subTreeStats returns cur minus the pre-measurement base, so the reported
+// maintenance counters cover only the hammer phase (the fill and its
+// Quiesce drive plenty of maintenance of their own).
+func subTreeStats(cur, base sftree.Stats) sftree.Stats {
+	return sftree.Stats{
+		Rotations:       cur.Rotations - base.Rotations,
+		Removals:        cur.Removals - base.Removals,
+		Passes:          cur.Passes - base.Passes,
+		Freed:           cur.Freed - base.Freed,
+		FailedRot:       cur.FailedRot - base.FailedRot,
+		FailedRemove:    cur.FailedRemove - base.FailedRemove,
+		HintsEmitted:    cur.HintsEmitted - base.HintsEmitted,
+		HintsCoalesced:  cur.HintsCoalesced - base.HintsCoalesced,
+		HintsDropped:    cur.HintsDropped - base.HintsDropped,
+		TargetedRepairs: cur.TargetedRepairs - base.TargetedRepairs,
+		BusyNanos:       cur.BusyNanos - base.BusyNanos,
+	}
+}
+
+// subPoolStats subtracts the pre-measurement activity counters (size and
+// backlog are instantaneous, not cumulative).
+func subPoolStats(cur, base forest.PoolStats) forest.PoolStats {
+	cur.BusyNanos -= base.BusyNanos
+	cur.Wakeups -= base.Wakeups
+	cur.Sweeps -= base.Sweeps
+	cur.HintBatches -= base.HintBatches
+	return cur
 }
 
 // Run executes one benchmark: build, fill, start maintenance, hammer for
@@ -184,6 +231,12 @@ func Run(o Options) Result {
 
 	stopMaint := trees.Start(m)
 	defer stopMaint()
+	// Maintenance counters from the fill (and its Quiesce) are not part of
+	// the measurement; report hammer-phase deltas only.
+	var fillStats sftree.Stats
+	if sf, ok := m.(interface{ Stats() sftree.Stats }); ok {
+		fillStats = sf.Stats()
+	}
 
 	workers := make([]*Runner, o.Threads)
 	for i := range workers {
@@ -198,7 +251,14 @@ func Run(o Options) Result {
 	}
 	res.finish()
 	if sf, ok := m.(interface{ Stats() sftree.Stats }); ok {
-		res.TreeStats = sf.Stats()
+		res.TreeStats = subTreeStats(sf.Stats(), fillStats)
+	}
+	if _, ok := trees.HintMaintainedOf(m); ok {
+		res.Pool = forest.PoolStats{
+			Workers:   1,
+			BusyNanos: res.TreeStats.BusyNanos,
+			Sweeps:    res.TreeStats.Passes,
+		}
 	}
 	if rot, ok := trees.Rotations(m); ok {
 		res.Rotations = rot
@@ -210,12 +270,21 @@ func Run(o Options) Result {
 // per-shard breakdown of routed operations and STM statistics.
 func runForest(o Options) Result {
 	cm := o.contentionManager()
-	f := forest.New(o.Kind,
+	fopts := []forest.Option{
 		forest.WithShards(o.Shards),
 		forest.WithTMMode(o.Mode),
 		forest.WithContentionManager(cm),
-		forest.WithYield(o.YieldEvery))
+		forest.WithYield(o.YieldEvery),
+	}
+	if o.MaintWorkers > 0 {
+		fopts = append(fopts, forest.WithMaintWorkers(o.MaintWorkers))
+	}
+	f := forest.New(o.Kind, fopts...)
 	fillForest(f, o.Workload.KeyRange, o.Seed)
+	// The pool runs during the fill too; report hammer-phase deltas only,
+	// mirroring the single-domain path (keeps shard counts comparable).
+	fillStats := f.MaintenanceStats()
+	fillPool := f.PoolStats()
 
 	workers := make([]*Runner, o.Threads)
 	handles := make([]*forest.Handle, o.Threads)
@@ -224,8 +293,8 @@ func runForest(o Options) Result {
 		workers[i] = NewTargetRunner(handles[i], o.Workload, o.Seed+int64(i)*7919+1)
 	}
 	elapsed := hammer(workers, o.Duration)
-	// Stop the per-shard maintenance goroutines before reading statistics:
-	// thread counters are plain fields, exact only once their owner is quiet.
+	// Stop the maintenance worker pool before reading statistics: thread
+	// counters are plain fields, exact only once their owner is quiet.
 	f.Close()
 
 	res := newResult(o, cm, o.Shards, elapsed)
@@ -247,7 +316,8 @@ func runForest(o Options) Result {
 		res.PerShard[si].Throughput = float64(res.PerShard[si].Ops) / (float64(elapsed.Nanoseconds()) / 1e3)
 	}
 	res.finish()
-	res.TreeStats = f.MaintenanceStats()
+	res.TreeStats = subTreeStats(f.MaintenanceStats(), fillStats)
+	res.Pool = subPoolStats(f.PoolStats(), fillPool) // counters survive Close
 	if rot, ok := f.Rotations(); ok {
 		res.Rotations = rot
 	}

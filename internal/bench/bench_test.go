@@ -176,8 +176,17 @@ func TestRotationsReportedForSF(t *testing.T) {
 	o.Workload.UpdatePercent = 40
 	o.Duration = 80 * time.Millisecond
 	res := Run(o)
-	if res.TreeStats.Passes == 0 {
-		t.Fatal("maintenance never ran during the benchmark")
+	// TreeStats covers the hammer phase only (fill counters are
+	// subtracted). Under the hint-driven scheduler measured-phase activity
+	// shows up as targeted repairs and/or fallback sweeps; on a heavily
+	// oversubscribed host a full sweep may not complete within the window,
+	// so accept either signal — plus the hints that drive them.
+	ts := res.TreeStats
+	if ts.Passes == 0 && ts.TargetedRepairs == 0 && ts.BusyNanos == 0 {
+		t.Fatalf("maintenance never ran during the benchmark: %+v", ts)
+	}
+	if ts.HintsEmitted+ts.HintsCoalesced+ts.HintsDropped == 0 {
+		t.Fatalf("no hints published by a 40%% update run: %+v", ts)
 	}
 }
 

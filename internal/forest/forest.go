@@ -42,18 +42,36 @@ package forest
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/sftree"
 	"repro/internal/stm"
 	"repro/internal/trees"
 )
 
-// shard is one partition: a private STM domain and a tree living in it.
+// shard is one partition: a private STM domain and a tree living in it,
+// plus the per-shard scheduling state of the shared maintenance pool
+// (maint.go). mt is nil for kinds without maintenance.
 type shard struct {
-	stm  *stm.STM
-	m    trees.Map
-	stop func()
+	stm *stm.STM
+	m   trees.Map
+	mt  trees.HintMaintained
+
+	// claim serializes maintenance drivers: a pool worker owns the shard's
+	// maintenance (hint drain + sweep) only while holding the claim, which
+	// preserves the tree's single-driver contract under a shared pool.
+	claim atomic.Bool
+	// nextSweep is the unix-nano deadline of the shard's next fallback
+	// sweep; sweepGap is the current adaptive gap (capped exponential idle
+	// backoff, see maint.go). nextDrain paces hint-drain sessions so
+	// repairs batch up instead of issuing one structural transaction per
+	// committed update (maint.go's drainGap).
+	nextSweep atomic.Int64
+	sweepGap  atomic.Int64
+	nextDrain atomic.Int64
 }
 
 // Forest is a sharded transactional map from uint64 keys to uint64 values.
@@ -61,13 +79,20 @@ type shard struct {
 type Forest struct {
 	kind   trees.Kind
 	shards []*shard
-	// maintMu serializes every toggle of the maintenance goroutines (Close,
-	// and the pause/resume bracket of the statistics accessors): Close may
-	// be called concurrently with Stats/ShardStats, and without the lock a
-	// racing resume could restart maintenance after Close returned (besides
-	// the plain-field data race on maint itself).
+	// maintMu serializes every toggle of the maintenance worker pool
+	// (Close, and the pause/resume bracket of the statistics accessors and
+	// Quiesce): Close may be called concurrently with Stats/ShardStats, and
+	// without the lock a racing resume could restart maintenance after
+	// Close returned (besides the plain-field data race on maint itself).
 	maintMu sync.Mutex
 	maint   bool // background maintenance currently enabled; guarded by maintMu
+	// pool is the shared maintenance worker pool (nil when maintenance is
+	// disabled, stopped, or the kind has none); maintWorkers is its size.
+	// Both guarded by maintMu; pc accumulates pool counters across
+	// pause/resume generations.
+	pool         *maintPool
+	maintWorkers int
+	pc           poolCounters
 	// claims tracks in-flight cross-shard-move claims (see claims.go).
 	claims claimTable
 }
@@ -76,11 +101,12 @@ type Forest struct {
 type Option func(*cfg)
 
 type cfg struct {
-	shards      int
-	mode        stm.Mode
-	cm          stm.ContentionManager
-	maintenance bool
-	yieldEvery  int
+	shards       int
+	mode         stm.Mode
+	cm           stm.ContentionManager
+	maintenance  bool
+	maintWorkers int
+	yieldEvery   int
 }
 
 // WithShards sets the number of partitions (default 1; must be >= 1).
@@ -95,17 +121,35 @@ func WithContentionManager(cm stm.ContentionManager) Option {
 	return func(c *cfg) { c.cm = cm }
 }
 
-// WithoutMaintenance suppresses the per-shard maintenance goroutines; the
-// caller drives maintenance manually via Quiesce.
+// WithoutMaintenance suppresses the maintenance worker pool; the caller
+// drives maintenance manually via Quiesce.
 func WithoutMaintenance() Option { return func(c *cfg) { c.maintenance = false } }
+
+// WithMaintWorkers sets the size of the shared maintenance worker pool
+// (default min(shards, GOMAXPROCS/2), at least 1). The pool drains hint
+// queues across all shards and runs the fallback sweeps, so its size bounds
+// the forest's total maintenance CPU regardless of the shard count.
+func WithMaintWorkers(n int) Option {
+	return func(c *cfg) {
+		if n > 0 {
+			c.maintWorkers = n
+		}
+	}
+}
+
+// defaultMaintWorkers sizes the pool when WithMaintWorkers is not given.
+func defaultMaintWorkers(shards int) int {
+	return max(1, min(shards, runtime.GOMAXPROCS(0)/2))
+}
 
 // WithYield enables the STM interleaving simulation on every shard
 // (stm.WithYield).
 func WithYield(n int) Option { return func(c *cfg) { c.yieldEvery = n } }
 
 // New creates an empty forest of the given tree kind. Unless
-// WithoutMaintenance is given, each shard of a speculation-friendly kind
-// starts its own maintenance goroutine immediately; Close stops them all.
+// WithoutMaintenance is given, kinds with maintenance are serviced by a
+// shared pool of maintenance workers started immediately (WithMaintWorkers
+// sizes it); Close stops the pool.
 func New(kind trees.Kind, opts ...Option) *Forest {
 	c := cfg{shards: 1, mode: stm.CTL, maintenance: true}
 	for _, o := range opts {
@@ -114,14 +158,28 @@ func New(kind trees.Kind, opts ...Option) *Forest {
 	if c.shards < 1 {
 		panic(fmt.Sprintf("forest: shard count %d < 1", c.shards))
 	}
+	if c.maintWorkers == 0 {
+		c.maintWorkers = defaultMaintWorkers(c.shards)
+	}
 	f := &Forest{kind: kind, shards: make([]*shard, c.shards), maint: c.maintenance}
+	maintained := false
+	now := time.Now().UnixNano()
 	for i := range f.shards {
 		s := stm.New(stm.WithMode(c.mode), stm.WithContentionManager(c.cm), stm.WithYield(c.yieldEvery))
-		sh := &shard{stm: s, m: trees.New(kind, s), stop: func() {}}
-		if c.maintenance {
-			sh.stop = trees.Start(sh.m)
+		sh := &shard{stm: s, m: trees.New(kind, s)}
+		if mt, ok := trees.HintMaintainedOf(sh.m); ok {
+			sh.mt = mt
+			sh.sweepGap.Store(int64(sweepGapMin))
+			sh.nextSweep.Store(now)
+			maintained = true
 		}
 		f.shards[i] = sh
+	}
+	if c.maintenance && maintained {
+		f.maintWorkers = min(c.maintWorkers, c.shards)
+		f.startPool()
+	} else {
+		f.maint = false
 	}
 	return f
 }
@@ -132,7 +190,7 @@ func (f *Forest) Kind() trees.Kind { return f.kind }
 // Shards reports the number of partitions.
 func (f *Forest) Shards() int { return len(f.shards) }
 
-// Close stops all background maintenance. The forest remains fully usable
+// Close stops the maintenance worker pool. The forest remains fully usable
 // (readable and writable); only the structural upkeep stops. Closing an
 // already-closed forest is a documented no-op, and Close is safe to call
 // concurrently with Stats/ShardStats/MaintenanceStats — maintenance is
@@ -141,41 +199,39 @@ func (f *Forest) Close() {
 	f.maintMu.Lock()
 	defer f.maintMu.Unlock()
 	f.maint = false
-	for _, sh := range f.shards {
-		sh.stop()
+	if f.pool != nil {
+		f.pool.stop()
+		f.pool = nil
 	}
 }
 
-// pauseMaintenance stops the running per-shard maintenance goroutines and
-// returns the function that restarts them. Per-thread STM counters are
-// plain fields readable only while their owning goroutine is quiet, so the
-// statistics accessors bracket themselves with this. The maintenance lock
-// is held until the returned resume function runs, so a concurrent Close
-// cannot interleave with the pause/resume bracket (and the resume can
-// never undo a Close).
+// pauseMaintenance stops the maintenance worker pool and returns the
+// function that restarts it. Per-thread STM counters are plain fields
+// readable only while their owning goroutine is quiet, and the trees'
+// maintenance surface is single-driver, so both the statistics accessors
+// and Quiesce bracket themselves with this. The maintenance lock is held
+// until the returned resume function runs, so a concurrent Close cannot
+// interleave with the pause/resume bracket (and the resume can never undo
+// a Close).
 func (f *Forest) pauseMaintenance() func() {
 	f.maintMu.Lock()
-	if !f.maint {
+	if !f.maint || f.pool == nil {
 		f.maintMu.Unlock()
 		return func() {}
 	}
-	var resume []func()
-	for _, sh := range f.shards {
-		if mt, ok := sh.m.(trees.Maintained); ok {
-			mt.Stop()
-			resume = append(resume, mt.Start)
-		}
-	}
+	f.pool.stop()
+	f.pool = nil
 	return func() {
 		defer f.maintMu.Unlock()
-		for _, r := range resume {
-			r()
-		}
+		f.startPool()
 	}
 }
 
-// Quiesce drains maintenance work on every shard (up to maxPasses each).
+// Quiesce drains maintenance work on every shard (up to maxPasses each):
+// queued hints first, then full sweeps until clean. The worker pool is
+// paused for the duration (the per-tree drains are single-driver).
 func (f *Forest) Quiesce(maxPasses int) {
+	defer f.pauseMaintenance()()
 	for _, sh := range f.shards {
 		trees.Quiesce(sh.m, maxPasses)
 	}

@@ -1,0 +1,250 @@
+// Maintenance worker pool: the forest-level half of hint-driven
+// maintenance. Instead of one full-sweep goroutine per shard (a core burned
+// per shard, whole-tree traversals on cold shards), a small shared pool of
+// workers drains the shards' hint queues with targeted repairs and runs
+// each shard's fallback sweep on a capped exponential idle backoff. Workers
+// serialize per shard through a claim flag, preserving the trees'
+// single-maintenance-driver contract; hints arriving on any shard wake the
+// pool through the trees' notify callback.
+package forest
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sftree"
+)
+
+// Scheduling parameters. The batch quantum and sweep backoff bounds come
+// from the tree layer (sftree.MaintHintBatch, sftree.SweepGapMin/Max) so
+// the standalone tree's loop and this pool run the same schedule by
+// construction.
+const (
+	maintBatch  = sftree.MaintHintBatch
+	sweepGapMin = sftree.SweepGapMin
+	sweepGapMax = sftree.SweepGapMax
+	// drainGap paces hint-drain sessions per shard: hints younger than this
+	// wait and coalesce, bounding the rate of structural transactions the
+	// pool injects against the application's (each repair is a commit that
+	// can invalidate overlapping application transactions).
+	drainGap = 2 * time.Millisecond
+	// idleWaitMax caps a worker's idle sleep so a lost deadline estimate
+	// can never park a worker for long.
+	idleWaitMax = sweepGapMax
+)
+
+// poolCounters aggregates pool activity. It lives on the Forest, not the
+// pool, so counts survive the pause/resume cycles of the statistics
+// accessors.
+type poolCounters struct {
+	busyNanos   atomic.Uint64
+	wakeups     atomic.Uint64
+	sweeps      atomic.Uint64
+	hintBatches atomic.Uint64
+}
+
+// PoolStats is a snapshot of the maintenance worker pool's activity.
+type PoolStats struct {
+	// Workers is the configured pool size (0 when the forest runs no
+	// maintenance). The pool never runs more than this many maintenance
+	// goroutines regardless of the shard count.
+	Workers int
+	// BusyNanos is the cumulative time workers spent draining hints and
+	// sweeping; utilization over a window of length d with w workers is
+	// BusyNanos / (w·d).
+	BusyNanos uint64
+	// Wakeups counts idle workers woken by a hint-arrival notification.
+	Wakeups uint64
+	// Sweeps counts full fallback sweeps executed by the pool.
+	Sweeps uint64
+	// HintBatches counts shard claims that consumed at least one hint.
+	HintBatches uint64
+	// Backlog is the instantaneous number of queued hints across shards.
+	Backlog int
+}
+
+// PoolStats returns a snapshot of the pool's activity counters. Counters
+// and the configured Workers size accumulate across Stats-induced
+// pause/resume cycles and survive Close — Close freezes the numbers, it
+// does not zero them.
+func (f *Forest) PoolStats() PoolStats {
+	backlog := 0
+	for _, sh := range f.shards {
+		if sh.mt != nil {
+			backlog += sh.mt.HintBacklog()
+		}
+	}
+	return PoolStats{
+		Workers:     f.maintWorkers,
+		BusyNanos:   f.pc.busyNanos.Load(),
+		Wakeups:     f.pc.wakeups.Load(),
+		Sweeps:      f.pc.sweeps.Load(),
+		HintBatches: f.pc.hintBatches.Load(),
+		Backlog:     backlog,
+	}
+}
+
+// MaintWorkers reports the configured pool size.
+func (f *Forest) MaintWorkers() int { return f.maintWorkers }
+
+// maintPool is one generation of the worker pool (recreated on resume).
+type maintPool struct {
+	f    *Forest
+	wake chan struct{}
+	quit chan struct{}
+	wg   sync.WaitGroup
+	rr   atomic.Uint64 // rotating scan offset for fairness
+}
+
+// startPool creates and starts a pool generation. Caller holds maintMu.
+func (f *Forest) startPool() {
+	p := &maintPool{
+		f:    f,
+		wake: make(chan struct{}, f.maintWorkers),
+		quit: make(chan struct{}),
+	}
+	for _, sh := range f.shards {
+		if sh.mt != nil {
+			sh.mt.SetMaintNotify(p.notify)
+		}
+	}
+	p.wg.Add(f.maintWorkers)
+	for i := 0; i < f.maintWorkers; i++ {
+		go p.worker()
+	}
+	f.pool = p
+}
+
+// stop terminates the pool and waits for every worker to exit; afterwards
+// no goroutine drives any shard's maintenance. The trees' notify
+// registrations are cleared so commit hooks stop signaling (and pinning) a
+// dead pool generation; a later startPool re-registers against the new one.
+func (p *maintPool) stop() {
+	close(p.quit)
+	p.wg.Wait()
+	for _, sh := range p.f.shards {
+		if sh.mt != nil {
+			sh.mt.SetMaintNotify(nil)
+		}
+	}
+}
+
+// notify wakes up to one idle worker per pending token (the channel holds
+// at most one token per worker). Non-blocking: invoked from application
+// threads' commit hooks.
+func (p *maintPool) notify() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// worker scans shards for maintenance work until the pool stops, sleeping
+// — when a full scan finds nothing — until a hint notification or the
+// earliest fallback-sweep deadline.
+func (p *maintPool) worker() {
+	defer p.wg.Done()
+	for {
+		for p.scan() {
+			select {
+			case <-p.quit:
+				return
+			default:
+			}
+		}
+		d := p.nextWait()
+		timer := time.NewTimer(d)
+		select {
+		case <-p.quit:
+			timer.Stop()
+			return
+		case <-p.wake:
+			timer.Stop()
+			p.f.pc.wakeups.Add(1)
+		case <-timer.C:
+		}
+	}
+}
+
+// scan makes one fairness round over all shards, servicing every claimable
+// shard that has hint backlog or a due fallback sweep. It reports whether
+// any shard yielded work (the caller keeps scanning while true). The
+// rotating start offset keeps one hot shard from shadowing the others.
+func (p *maintPool) scan() bool {
+	shards := p.f.shards
+	start := int(p.rr.Add(1)) % len(shards)
+	busy := false
+	for i := 0; i < len(shards); i++ {
+		sh := shards[(start+i)%len(shards)]
+		if sh.mt == nil {
+			continue
+		}
+		now := time.Now().UnixNano()
+		backlog := sh.mt.HintBacklog() > 0 && now >= sh.nextDrain.Load()
+		sweepDue := now >= sh.nextSweep.Load()
+		if !backlog && !sweepDue {
+			continue
+		}
+		if !sh.claim.CompareAndSwap(false, true) {
+			continue // another worker is driving this shard right now
+		}
+		t0 := time.Now()
+		hints, work := 0, 0
+		if backlog {
+			hints, work = sh.mt.DrainHints(maintBatch)
+			sh.nextDrain.Store(time.Now().UnixNano() + int64(drainGap))
+			if hints > 0 {
+				p.f.pc.hintBatches.Add(1)
+			}
+		}
+		if sweepDue {
+			w := sh.mt.RunMaintenancePass()
+			p.f.pc.sweeps.Add(1)
+			// Adapt the fallback frequency: a productive sweep resets the
+			// gap, an idle one doubles it up to the cap.
+			gap := sh.sweepGap.Load()
+			if w > 0 {
+				gap = int64(sweepGapMin)
+			} else {
+				gap = min(2*gap, int64(sweepGapMax))
+			}
+			sh.sweepGap.Store(gap)
+			sh.nextSweep.Store(time.Now().UnixNano() + gap)
+			work += w
+		}
+		sh.claim.Store(false)
+		p.f.pc.busyNanos.Add(uint64(time.Since(t0)))
+		if hints > 0 || work > 0 {
+			busy = true
+		}
+	}
+	return busy
+}
+
+// nextWait returns how long an idle worker may sleep: until the earliest
+// fallback-sweep deadline — or pending-backlog drain deadline — over all
+// shards, clamped to (0, idleWaitMax]. A hint notification cuts the sleep
+// short through the wake channel.
+func (p *maintPool) nextWait() time.Duration {
+	earliest := int64(1<<63 - 1)
+	for _, sh := range p.f.shards {
+		if sh.mt == nil {
+			continue
+		}
+		if ns := sh.nextSweep.Load(); ns < earliest {
+			earliest = ns
+		}
+		if sh.mt.HintBacklog() > 0 {
+			// Paced-out backlog: wake for it when its drain gap expires.
+			if nd := sh.nextDrain.Load(); nd < earliest {
+				earliest = nd
+			}
+		}
+	}
+	d := time.Duration(earliest - time.Now().UnixNano())
+	if d < 100*time.Microsecond {
+		d = 100 * time.Microsecond
+	}
+	return min(d, idleWaitMax)
+}

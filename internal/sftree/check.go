@@ -103,6 +103,26 @@ func (t *Tree) balanceRec(ref arena.Ref, slack int) (int, error) {
 	return h, nil
 }
 
+// DeletedReachable counts reachable nodes whose logical-deletion flag is
+// set (plain reads; quiescent use). After a Quiesce every such node has two
+// children (§3.3: only ≤1-child deleted nodes are physically removed), and
+// after deleting every key and quiescing the count must reach zero.
+func (t *Tree) DeletedReachable() int {
+	return t.delRec(t.node(t.root).L.Plain())
+}
+
+func (t *Tree) delRec(ref arena.Ref) int {
+	if ref == arena.Nil {
+		return 0
+	}
+	n := t.node(ref)
+	c := 0
+	if n.Del.Plain() != 0 {
+		c = 1
+	}
+	return c + t.delRec(n.L.Plain()) + t.delRec(n.R.Plain())
+}
+
 // Height returns the actual height of the tree (plain reads; quiescent use).
 func (t *Tree) Height() int {
 	return t.heightRec(t.node(t.root).L.Plain())

@@ -1,0 +1,205 @@
+package sftree
+
+import (
+	"sync/atomic"
+
+	"repro/internal/arena"
+)
+
+// This file implements the hint side of the hint-driven maintenance
+// scheduler: application transactions publish, at commit time only (via
+// stm.Tx.OnCommit), small advisory hints — "a logical deletion committed at
+// key k", "the traversal crossed an imbalanced node at key k" — into a
+// bounded MPSC queue owned by the tree, and maintenance workers drain the
+// queue with targeted repair transactions (repair.go) instead of blind
+// whole-tree sweeps. Hints are best-effort by design: a full queue drops
+// them, a per-node dedup bit (arena.Node.Hint) coalesces repeats, and the
+// low-frequency fallback sweep guarantees eventual repair regardless.
+
+// Hint kinds, carried as the stm.Tx.OnCommit kind argument.
+const (
+	// hintRemove: a logical deletion committed at the hinted key; the node
+	// is a candidate for targeted physical removal (§3.2).
+	hintRemove uint64 = iota + 1
+	// hintRebalance: a structural change (new leaf) or an observed height
+	// imbalance at the hinted key; the root-to-key path wants height
+	// propagation and possibly rotations (§3.1).
+	hintRebalance
+)
+
+// hint is one queued maintenance request. key routes the targeted repair
+// (repairAt descends by key); ref is the node observed at emission time and
+// backs the dedup bit only — the repair never trusts it structurally.
+type hint struct {
+	key  uint64
+	ref  arena.Ref
+	kind uint64
+}
+
+// defaultHintCap is the hint-queue capacity (rounded up to a power of two).
+// Beyond it hints are dropped and the fallback sweep picks up the slack —
+// the queue is a fast path, not a ledger.
+const defaultHintCap = 1024
+
+// hintCell is one slot of the bounded queue ring.
+type hintCell struct {
+	seq atomic.Uint64
+	h   hint
+}
+
+// hintQueue is a bounded lock-free multi-producer queue (Vyukov's bounded
+// MPMC ring). Producers are the application threads firing commit hooks;
+// the consumer side is serialized externally (one maintenance driver per
+// tree at a time — the tree's own loop, a pool worker holding the shard
+// claim, or a Quiesce caller), but the queue tolerates MPMC so the claim
+// discipline is a scheduling concern, not a memory-safety one.
+type hintQueue struct {
+	mask uint64
+	enq  atomic.Uint64
+	deq  atomic.Uint64
+	buf  []hintCell
+}
+
+func newHintQueue(capacity int) *hintQueue {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	q := &hintQueue{mask: uint64(n - 1), buf: make([]hintCell, n)}
+	for i := range q.buf {
+		q.buf[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// push enqueues h, returning false when the queue is full.
+func (q *hintQueue) push(h hint) bool {
+	pos := q.enq.Load()
+	for {
+		cell := &q.buf[pos&q.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos:
+			if q.enq.CompareAndSwap(pos, pos+1) {
+				cell.h = h
+				cell.seq.Store(pos + 1)
+				return true
+			}
+			pos = q.enq.Load()
+		case seq < pos:
+			return false // full: the consumer has not freed this slot yet
+		default:
+			pos = q.enq.Load()
+		}
+	}
+}
+
+// pop dequeues one hint, returning ok=false when the queue is empty.
+func (q *hintQueue) pop() (hint, bool) {
+	pos := q.deq.Load()
+	for {
+		cell := &q.buf[pos&q.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos+1:
+			if q.deq.CompareAndSwap(pos, pos+1) {
+				h := cell.h
+				cell.seq.Store(pos + q.mask + 1)
+				return h, true
+			}
+			pos = q.deq.Load()
+		case seq < pos+1:
+			return hint{}, false
+		default:
+			pos = q.deq.Load()
+		}
+	}
+}
+
+// size estimates the number of queued hints (exact when quiescent).
+func (q *hintQueue) size() int {
+	e, d := q.enq.Load(), q.deq.Load()
+	if e <= d {
+		return 0
+	}
+	return int(e - d)
+}
+
+// OnTxCommit implements stm.CommitHook: it fires after an application
+// transaction that registered a hint commits, publishing the hint into the
+// queue. It runs on the committing application thread, outside the
+// transaction, so it must stay cheap: one CAS on the dedup bit, one ring
+// push, one non-blocking wake.
+func (t *Tree) OnTxCommit(kind, key, ref uint64) {
+	if t.hintq == nil {
+		return
+	}
+	if ref != arena.Nil {
+		if !t.node(ref).Hint.CompareAndSwap(0, 1) {
+			// A hint for this node is already queued; repairing once covers
+			// both.
+			t.hintsCoalesced.Add(1)
+			return
+		}
+	}
+	if !t.hintq.push(hint{key: key, ref: ref, kind: kind}) {
+		if ref != arena.Nil {
+			t.node(ref).Hint.Store(0)
+		}
+		t.hintsDropped.Add(1)
+		return
+	}
+	t.hintsEmitted.Add(1)
+	if fn := t.notify.Load(); fn != nil {
+		(*fn)()
+	}
+}
+
+// SetMaintNotify registers fn to be invoked (outside any transaction, on
+// the hinting thread) whenever a hint is enqueued. The forest's worker pool
+// uses it to wake a shared worker; the tree's own maintenance loop installs
+// a nudge of its wake channel. fn must be non-blocking. Passing nil
+// disables notification.
+func (t *Tree) SetMaintNotify(fn func()) {
+	if fn == nil {
+		t.notify.Store(nil)
+		return
+	}
+	t.notify.Store(&fn)
+}
+
+// HintBacklog reports the number of queued, not-yet-consumed hints.
+func (t *Tree) HintBacklog() int {
+	if t.hintq == nil {
+		return 0
+	}
+	return t.hintq.size()
+}
+
+// DrainHints consumes up to max queued hints, performing one targeted
+// repair (repair.go) per hint, wrapped in one §3.4 garbage-collection
+// epoch. It returns the number of hints consumed and the structural work
+// done (rotations + removals + nodes freed). Like RunMaintenancePass it is
+// single-driver: at most one goroutine may drive maintenance on a tree at
+// any instant (the forest pool's shard claim, or the tree's own loop).
+func (t *Tree) DrainHints(max int) (hints, work int) {
+	if t.hintq == nil || t.hintq.size() == 0 {
+		return 0, 0
+	}
+	t.collector.BeginEpoch(t.stm.Threads())
+	for hints < max {
+		h, ok := t.hintq.pop()
+		if !ok {
+			break
+		}
+		if h.ref != arena.Nil {
+			t.node(h.ref).Hint.Store(0)
+		}
+		hints++
+		work += t.repairAt(h.key)
+	}
+	freed := t.collector.TryFree()
+	t.freed.Add(uint64(freed))
+	t.targeted.Add(uint64(hints))
+	return hints, work + freed
+}

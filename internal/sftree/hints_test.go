@@ -1,0 +1,241 @@
+package sftree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/stm"
+)
+
+// TestHintTargetedRemoval: a committed delete publishes a removal hint, and
+// draining the hint physically removes the node without any full sweep.
+func TestHintTargetedRemoval(t *testing.T) {
+	for _, v := range []Variant{Portable, Optimized} {
+		t.Run(v.String(), func(t *testing.T) {
+			s := stm.New()
+			tr := New(s, WithVariant(v))
+			th := s.NewThread()
+			for i := uint64(0); i < 64; i++ {
+				tr.Insert(th, i, i)
+			}
+			tr.Quiesce(1 << 20) // settle the fill, drain its hints
+			base := tr.Stats()
+
+			// Delete a leaf-ish key: the hint must be queued.
+			if !tr.Delete(th, 63) {
+				t.Fatal("delete failed")
+			}
+			if tr.HintBacklog() == 0 {
+				t.Fatal("committed delete queued no hint")
+			}
+			hints, work := tr.DrainHints(16)
+			if hints == 0 {
+				t.Fatal("DrainHints consumed nothing")
+			}
+			if work == 0 {
+				t.Fatal("targeted repair did no structural work on a deleted leaf")
+			}
+			st := tr.Stats()
+			if st.Passes != base.Passes {
+				t.Fatalf("targeted repair ran a full sweep (passes %d -> %d)", base.Passes, st.Passes)
+			}
+			if st.Removals != base.Removals+1 {
+				t.Fatalf("removals = %d, want %d", st.Removals, base.Removals+1)
+			}
+			if st.TargetedRepairs == 0 {
+				t.Fatal("TargetedRepairs not counted")
+			}
+			if got := tr.DeletedReachable(); got != 0 {
+				t.Fatalf("deleted node still reachable after targeted repair (%d)", got)
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestHintAbortedTxPublishesNothing: hints ride stm.Tx.OnCommit, so an
+// attempt that restarts must not publish (only the committed attempt does,
+// exactly once).
+func TestHintAbortedTxPublishesNothing(t *testing.T) {
+	s := stm.New()
+	tr := New(s)
+	th := s.NewThread()
+	for i := uint64(0); i < 16; i++ {
+		tr.Insert(th, i, i)
+	}
+	tr.Quiesce(1 << 20)
+	emitted := tr.Stats().HintsEmitted
+
+	attempts := 0
+	th.Atomic(func(tx *stm.Tx) {
+		attempts++
+		ok := tr.DeleteTx(tx, 7)
+		if !ok {
+			t.Fatal("DeleteTx failed")
+		}
+		if attempts < 3 {
+			tx.Restart()
+		}
+	})
+	st := tr.Stats()
+	if got := st.HintsEmitted + st.HintsCoalesced + st.HintsDropped; got != emitted+1 {
+		t.Fatalf("hint published %d times across %d attempts, want exactly 1",
+			got-emitted, attempts)
+	}
+}
+
+// TestHintDedupCoalesces: while a hint for a node sits queued, further
+// hints for the same node fold into it via the per-node dedup bit.
+func TestHintDedupCoalesces(t *testing.T) {
+	s := stm.New()
+	tr := New(s)
+	th := s.NewThread()
+	// Insert then repeatedly delete/resurrect/delete the same key with no
+	// maintenance draining: the insert queues a hint on the node, and each
+	// later delete hints the very same node again.
+	tr.Insert(th, 7, 7)
+	for i := 0; i < 8; i++ {
+		tr.Delete(th, 7)
+		tr.Insert(th, 7, 7)
+	}
+	st := tr.Stats()
+	if st.HintsCoalesced == 0 {
+		t.Fatalf("no hint coalescing on repeated hints for one node: %+v", st)
+	}
+	if bl := tr.HintBacklog(); bl >= 17 {
+		t.Fatalf("coalescing left %d queued hints for one node", bl)
+	}
+}
+
+// TestQuiesceDrainsHintQueue: Quiesce consumes the queue, so a quiescent
+// tree has no backlog and is clean and balanced.
+func TestQuiesceDrainsHintQueue(t *testing.T) {
+	s := stm.New()
+	tr := New(s)
+	th := s.NewThread()
+	for i := uint64(0); i < 2048; i++ {
+		tr.Insert(th, i, i)
+	}
+	for i := uint64(0); i < 2048; i += 3 {
+		tr.Delete(th, i)
+	}
+	if !tr.Quiesce(1 << 20) {
+		t.Fatal("Quiesce did not converge")
+	}
+	if bl := tr.HintBacklog(); bl != 0 {
+		t.Fatalf("hint backlog %d after Quiesce", bl)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckBalanced(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStartStopConcurrent provokes the Stop/Stop double-wait race of the
+// unserialized lifecycle: many goroutines toggling Start/Stop/Quiesce
+// concurrently must neither deadlock nor panic, and the tree must end up
+// stoppable. Run under -race it also checks the lifecycle fields.
+func TestStartStopConcurrent(t *testing.T) {
+	s := stm.New()
+	tr := New(s)
+	th := s.NewThread()
+	for i := uint64(0); i < 512; i++ {
+		tr.Insert(th, i, i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				switch rng.Intn(3) {
+				case 0:
+					tr.Start()
+				case 1:
+					tr.Stop()
+				case 2:
+					tr.Stop()
+					tr.Start()
+				}
+			}
+		}(int64(g) * 131)
+	}
+	wg.Wait()
+	tr.Stop()
+	if tr.running.Load() {
+		t.Fatal("tree still running after final Stop")
+	}
+	// The lifecycle must still work after the storm.
+	tr.Start()
+	tr.Stop()
+}
+
+// TestHintQueueMPMC hammers the bounded queue from many producers against
+// one consumer, checking nothing is duplicated or invented.
+func TestHintQueueMPMC(t *testing.T) {
+	q := newHintQueue(64)
+	const producers = 4
+	const perProducer = 10000
+	var wg sync.WaitGroup
+	var pushed, dropped [producers]uint64
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if q.push(hint{key: uint64(p*perProducer + i)}) {
+					pushed[p]++
+				} else {
+					dropped[p]++
+				}
+			}
+		}(p)
+	}
+	doneProducing := make(chan struct{})
+	done := make(chan struct{})
+	var popped uint64
+	seen := make(map[uint64]bool)
+	take := func(h hint) {
+		if seen[h.key] {
+			t.Errorf("duplicate key %d", h.key)
+		}
+		seen[h.key] = true
+		popped++
+	}
+	go func() {
+		defer close(done)
+		for {
+			if h, ok := q.pop(); ok {
+				take(h)
+				continue
+			}
+			select {
+			case <-doneProducing:
+				for { // final drain
+					h, ok := q.pop()
+					if !ok {
+						return
+					}
+					take(h)
+				}
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(doneProducing)
+	<-done
+	var totalPushed uint64
+	for p := 0; p < producers; p++ {
+		totalPushed += pushed[p]
+	}
+	if popped != totalPushed {
+		t.Fatalf("popped %d != pushed %d", popped, totalPushed)
+	}
+}

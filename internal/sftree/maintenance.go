@@ -14,51 +14,126 @@ import (
 // starve — the pass itself is cheap, but it must stay interleaved.
 const maintYieldStride = 64
 
-// This file implements the maintenance ("rotator") thread of the paper:
-// a single background goroutine that continuously executes a depth-first
-// traversal of the tree to
-//
-//  1. propagate balance information (§3.1 "Propagation"): refresh each
-//     node's left-h/right-h from its children's local-h — these are plain
-//     node-local atomics that no abstract transaction reads, so propagation
-//     never conflicts;
-//  2. physically remove logically deleted nodes with at most one child
-//     (§3.2), each removal being its own transaction;
-//  3. perform node-local rotations where the estimated child heights differ
-//     by more than one (§3.1), each rotation being its own transaction —
-//     the distributed rotation mechanism; and
-//  4. garbage-collect unlinked nodes with the §3.4 epoch scheme.
+// Scheduling parameters of the hint-driven maintenance loop. The loop
+// prefers targeted repairs (DrainHints); full sweeps degrade to a fallback
+// run on a capped exponential backoff, so an idle or hint-covered tree
+// costs asymptotically no CPU while eventual propagation and GC-epoch
+// progress stay guaranteed.
+// They are exported so the forest's shared worker pool (internal/forest)
+// runs the very same schedule — one source of truth for both drivers.
+const (
+	// MaintHintBatch bounds how many hints one drain session consumes; on a
+	// forest it is also the fairness quantum of a pool worker's shard claim.
+	MaintHintBatch = 128
+	// SweepGapMin/Max bound the fallback-sweep backoff: after a sweep that
+	// found work the next is due SweepGapMin later; every idle sweep doubles
+	// the gap up to SweepGapMax.
+	SweepGapMin = time.Millisecond
+	SweepGapMax = 256 * time.Millisecond
+)
 
-// Start launches the maintenance goroutine. It is idempotent while running.
+// This file implements the maintenance ("rotator") side of the paper,
+// upgraded from the paper's single blind sweeper to a hint-driven scheduler:
+//
+//  1. targeted repairs — application transactions publish hints at commit
+//     (hints.go) and the maintenance driver repairs exactly the hinted
+//     root-to-key paths (repair.go): height propagation (§3.1), physical
+//     removal of logically deleted nodes with at most one child (§3.2) and
+//     node-local rotations (§3.1), each as its own transaction;
+//  2. fallback sweeps — the original depth-first traversal of the whole
+//     tree, now run at a low adaptive frequency (capped exponential idle
+//     backoff) to guarantee eventual repair of anything hints missed and to
+//     keep §3.4 garbage-collection epochs progressing;
+//  3. garbage collection of unlinked nodes with the §3.4 epoch scheme,
+//     performed by both paths.
+//
+// A Tree used standalone drives all of this from its own goroutine
+// (Start/Stop below); the shards of a forest are driven by the forest's
+// shared worker pool instead (internal/forest), through the same
+// DrainHints/RunMaintenancePass surface.
+
+// Start launches the maintenance goroutine. It is idempotent while running
+// and safe for concurrent callers (serialized against Stop).
 func (t *Tree) Start() {
-	if t.running.Swap(true) {
+	t.lifeMu.Lock()
+	defer t.lifeMu.Unlock()
+	if t.running.Load() {
 		return
 	}
 	t.stop.Store(false)
 	t.done = make(chan struct{})
+	t.running.Store(true)
+	// Hints arriving while the loop idles must wake it (hints.go). The
+	// registration is idempotent and deliberately left in place across
+	// Stop/Start cycles: nudging the 1-slot wake channel of a stopped loop
+	// is harmless.
+	t.SetMaintNotify(t.nudgeWake)
 	go t.maintLoop()
 }
 
 // Stop halts the maintenance goroutine and waits for it to finish its
-// current pass. It is a no-op when maintenance is not running.
+// current work. It is a no-op when maintenance is not running and safe for
+// concurrent callers: racing Stops serialize on the lifecycle lock, the
+// loser observing the goroutine already stopped instead of double-waiting
+// on done.
 func (t *Tree) Stop() {
 	t.stopEpoch.Add(1)
+	t.lifeMu.Lock()
+	defer t.lifeMu.Unlock()
 	if !t.running.Load() {
 		return
 	}
 	t.stop.Store(true)
+	t.nudgeWake() // break the loop out of its idle wait immediately
 	<-t.done
 	t.stop.Store(false) // leave manual RunMaintenancePass/Quiesce usable
 	t.running.Store(false)
 }
 
+// nudgeWake wakes the maintenance loop without blocking (the channel keeps
+// at most one pending token).
+func (t *Tree) nudgeWake() {
+	select {
+	case t.wake <- struct{}{}:
+	default:
+	}
+}
+
+// maintLoop is the tree's own maintenance driver: drain hints with targeted
+// repairs, run the fallback sweep when due, and otherwise sleep until a
+// hint arrives or the next sweep deadline — the sweep gap doubling (capped)
+// while the tree stays clean, so an idle tree costs ~0 CPU instead of the
+// fixed-period polling it used to burn.
 func (t *Tree) maintLoop() {
 	defer close(t.done)
+	sweepGap := SweepGapMin
+	nextSweep := time.Now()
 	for !t.stop.Load() {
-		if work := t.RunMaintenancePass(); work == 0 {
-			// Balanced and clean: avoid burning a core spinning over an
-			// idle tree.
-			time.Sleep(200 * time.Microsecond)
+		t0 := time.Now()
+		hints, work := t.DrainHints(MaintHintBatch)
+		if !t0.Before(nextSweep) {
+			w := t.RunMaintenancePass()
+			work += w
+			if w > 0 {
+				sweepGap = SweepGapMin
+			} else {
+				sweepGap = min(2*sweepGap, SweepGapMax)
+			}
+			nextSweep = time.Now().Add(sweepGap)
+		}
+		t.busyNanos.Add(uint64(time.Since(t0)))
+		if hints > 0 || work > 0 {
+			continue // stay hot while there is work
+		}
+		d := time.Until(nextSweep)
+		if d <= 0 {
+			continue
+		}
+		timer := time.NewTimer(d)
+		select {
+		case <-t.wake:
+			timer.Stop()
+		case <-timer.C:
 		}
 	}
 }
@@ -80,13 +155,14 @@ func (t *Tree) RunMaintenancePass() int {
 	return work + freed
 }
 
-// Quiesce runs maintenance passes until one does no work (or maxPasses is
-// hit), leaving the tree balanced and physically clean. A running
+// Quiesce drains maintenance work — queued hints and full passes — until a
+// round does no structural work (or maxPasses is hit), leaving the tree
+// balanced, physically clean and with an empty hint queue. A running
 // background maintenance goroutine is paused for the duration and resumed
-// afterwards (passes are single-driver, see RunMaintenancePass). Intended
-// for tests and for phase changes in benchmarks; concurrent updates may
-// legitimately prevent quiescence, hence the bound. Quiesce itself must be
-// called from one goroutine at a time.
+// afterwards (drains and passes are single-driver, see RunMaintenancePass).
+// Intended for tests and for phase changes in benchmarks; concurrent
+// updates may legitimately prevent quiescence, hence the bound. Quiesce
+// itself must be called from one goroutine at a time.
 func (t *Tree) Quiesce(maxPasses int) bool {
 	if t.running.Load() {
 		t.Stop()
@@ -100,7 +176,8 @@ func (t *Tree) Quiesce(maxPasses int) bool {
 		}()
 	}
 	for i := 0; i < maxPasses; i++ {
-		if t.RunMaintenancePass() == 0 {
+		_, hintWork := t.DrainHints(1 << 20)
+		if t.RunMaintenancePass()+hintWork == 0 {
 			return true
 		}
 	}
@@ -110,7 +187,7 @@ func (t *Tree) Quiesce(maxPasses int) bool {
 // maintain processes the subtree rooted at ref (a child of parentRef on the
 // side given by leftChild) and returns its estimated height plus the number
 // of structural changes performed. The traversal reads the structure with
-// plain atomic loads: the maintenance thread is the only structural writer
+// plain atomic loads: the maintenance driver is the only structural writer
 // besides leaf-appending inserts, so the nodes it walks cannot be unlinked
 // under it, and every actual modification is re-validated inside its own
 // transaction.
@@ -148,35 +225,10 @@ func (t *Tree) maintain(parentRef arena.Ref, leftChild bool, ref arena.Ref) (int
 	work := lw + rw
 
 	// Rebalance (§3.1): trigger when the estimated child heights differ by
-	// more than one. A double rotation is expressed as two node-local single
-	// rotations, each its own transaction, exactly in the spirit of the
-	// distributed rotation mechanism (Bougé et al.'s height-relaxed AVL).
-	switch {
-	case lh > rh+1:
-		if l := n.L.Plain(); l != arena.Nil {
-			ln := t.node(l)
-			if ln.RightH.Load() > ln.LeftH.Load() {
-				if t.rotateLeft(ref, true) {
-					work++
-				}
-			}
-			if t.rotateRight(parentRef, leftChild) {
-				work++
-			}
-		}
-	case rh > lh+1:
-		if r := n.R.Plain(); r != arena.Nil {
-			rn := t.node(r)
-			if rn.LeftH.Load() > rn.RightH.Load() {
-				if t.rotateRight(ref, false) {
-					work++
-				}
-			}
-			if t.rotateLeft(parentRef, leftChild) {
-				work++
-			}
-		}
-	}
+	// more than one; a double rotation is expressed as two node-local single
+	// rotations, each its own transaction (see repair.go's rebalance — the
+	// same decision drives targeted repairs).
+	work += t.rebalance(parentRef, leftChild, ref, lh, rh)
 	// The subtree root may have changed (rotation or removal); report the
 	// estimate of whatever the parent points at now.
 	var cur arena.Ref

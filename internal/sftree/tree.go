@@ -30,6 +30,7 @@ package sftree
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/arena"
@@ -61,7 +62,7 @@ func (v Variant) String() string {
 	return "SFtree"
 }
 
-// Stats counts the structural activity of the maintenance thread. All
+// Stats counts the structural activity of the maintenance subsystem. All
 // fields are monotonically increasing.
 type Stats struct {
 	Rotations    uint64 // successful single rotations (left or right)
@@ -70,6 +71,13 @@ type Stats struct {
 	Freed        uint64 // nodes reclaimed by the §3.4 collector
 	FailedRot    uint64 // rotation transactions that returned false
 	FailedRemove uint64 // removal transactions that returned false
+
+	// Hint-driven maintenance (hints.go / repair.go).
+	HintsEmitted    uint64 // hints published into the queue at commit
+	HintsCoalesced  uint64 // hints folded into an already-queued one (dedup bit)
+	HintsDropped    uint64 // hints discarded because the queue was full
+	TargetedRepairs uint64 // hints consumed by targeted repair transactions
+	BusyNanos       uint64 // time the tree's own maintenance loop spent working
 }
 
 // Add accumulates o into s (aggregation across the shards of a forest).
@@ -80,6 +88,11 @@ func (s *Stats) Add(o Stats) {
 	s.Freed += o.Freed
 	s.FailedRot += o.FailedRot
 	s.FailedRemove += o.FailedRemove
+	s.HintsEmitted += o.HintsEmitted
+	s.HintsCoalesced += o.HintsCoalesced
+	s.HintsDropped += o.HintsDropped
+	s.TargetedRepairs += o.TargetedRepairs
+	s.BusyNanos += o.BusyNanos
 }
 
 // Tree is a speculation-friendly binary search tree. All abstract operations
@@ -104,9 +117,26 @@ type Tree struct {
 	failedRot    atomic.Uint64
 	failedRemove atomic.Uint64
 
+	// Hint-driven maintenance state (hints.go). hintq is nil when hints are
+	// disabled (WithoutHints — the no-restructuring ablation); notify is the
+	// registered wake callback (SetMaintNotify).
+	hintq          *hintQueue
+	notify         atomic.Pointer[func()]
+	hintsEmitted   atomic.Uint64
+	hintsCoalesced atomic.Uint64
+	hintsDropped   atomic.Uint64
+	targeted       atomic.Uint64
+	busyNanos      atomic.Uint64
+
 	stop    atomic.Bool
 	done    chan struct{}
 	running atomic.Bool
+	// wake is nudged (non-blocking) when a hint arrives or Stop needs the
+	// maintenance loop out of its idle wait.
+	wake chan struct{}
+	// lifeMu serializes Start/Stop against each other, so concurrent
+	// callers cannot double-wait on done or leak a second goroutine.
+	lifeMu sync.Mutex
 	// stopEpoch counts Stop calls; Quiesce uses it to avoid resurrecting a
 	// maintenance goroutine that a concurrent Stop/Close meant to end.
 	stopEpoch atomic.Uint64
@@ -114,6 +144,9 @@ type Tree struct {
 	// maintVisits counts nodes visited by maintenance traversals; it is
 	// only touched by the single maintenance driver (see maintYieldStride).
 	maintVisits uint64
+	// repairPath is the reusable descent buffer of targeted repairs; like
+	// maintVisits it is touched only by the single maintenance driver.
+	repairPath []pathEnt
 }
 
 // Option configures a Tree.
@@ -121,16 +154,33 @@ type Option func(*cfg)
 
 type cfg struct {
 	variant Variant
+	hints   bool
+	hintCap int
 }
 
 // WithVariant selects the algorithm variant (default Portable).
 func WithVariant(v Variant) Option { return func(c *cfg) { c.variant = v } }
 
+// WithoutHints disables maintenance-hint emission entirely: abstract
+// operations register no commit hooks and the tree allocates no hint queue.
+// The no-restructuring ablation uses it; ordinary trees should not.
+func WithoutHints() Option { return func(c *cfg) { c.hints = false } }
+
+// WithHintCap sets the hint-queue capacity (rounded up to a power of two;
+// default 1024). A full queue drops hints — the fallback sweep covers them.
+func WithHintCap(n int) Option {
+	return func(c *cfg) {
+		if n > 0 {
+			c.hintCap = n
+		}
+	}
+}
+
 // New creates an empty tree attached to the given STM domain, with its own
 // node arena. The maintenance thread is not started; call Start or drive
 // RunMaintenancePass manually.
 func New(s *stm.STM, opts ...Option) *Tree {
-	c := cfg{variant: Portable}
+	c := cfg{variant: Portable, hints: true, hintCap: defaultHintCap}
 	for _, o := range opts {
 		o(&c)
 	}
@@ -140,6 +190,10 @@ func New(s *stm.STM, opts ...Option) *Tree {
 		ar:      ar,
 		variant: c.variant,
 		root:    ar.Alloc(MaxKey, 0),
+		wake:    make(chan struct{}, 1),
+	}
+	if c.hints {
+		t.hintq = newHintQueue(c.hintCap)
 	}
 	t.collector = arena.NewCollector(ar)
 	t.maintTh = s.NewThread()
@@ -158,12 +212,17 @@ func (t *Tree) STM() *stm.STM { return t.stm }
 // Stats returns a snapshot of the structural-activity counters.
 func (t *Tree) Stats() Stats {
 	return Stats{
-		Rotations:    t.rotations.Load(),
-		Removals:     t.removals.Load(),
-		Passes:       t.passes.Load(),
-		Freed:        t.freed.Load(),
-		FailedRot:    t.failedRot.Load(),
-		FailedRemove: t.failedRemove.Load(),
+		Rotations:       t.rotations.Load(),
+		Removals:        t.removals.Load(),
+		Passes:          t.passes.Load(),
+		Freed:           t.freed.Load(),
+		FailedRot:       t.failedRot.Load(),
+		FailedRemove:    t.failedRemove.Load(),
+		HintsEmitted:    t.hintsEmitted.Load(),
+		HintsCoalesced:  t.hintsCoalesced.Load(),
+		HintsDropped:    t.hintsDropped.Load(),
+		TargetedRepairs: t.targeted.Load(),
+		BusyNanos:       t.busyNanos.Load(),
 	}
 }
 
@@ -198,6 +257,25 @@ func (t *Tree) atomic(th *stm.Thread, fn func(*stm.Tx)) {
 	th.AtomicMode(mode, fn)
 }
 
+// findHinted is find plus the hint observation of hint-driven maintenance:
+// when the descent crosses a node whose height estimates differ by more
+// than one, a rebalance hint for that node is registered on the transaction
+// and published only if the transaction commits (stm.Tx.OnCommit). Only the
+// update operations observe — they traverse the same paths the reads do,
+// and keeping reads observation-free keeps the dominant operations of the
+// paper's mixes at zero hint overhead.
+func (t *Tree) findHinted(tx *stm.Tx, k uint64) arena.Ref {
+	if t.hintq == nil {
+		return t.find(tx, k, nil)
+	}
+	var obs pathObs
+	curr := t.find(tx, k, &obs)
+	if obs.ok {
+		tx.OnCommit(t, hintRebalance, obs.key, obs.ref)
+	}
+	return curr
+}
+
 // ---------------------------------------------------------------------------
 // Abstract operations (paper Algorithm 1, lines 23–44 and 60–70).
 // ---------------------------------------------------------------------------
@@ -213,7 +291,7 @@ func (t *Tree) Contains(th *stm.Thread, k uint64) bool {
 // transaction (paper §5.4's reusability).
 func (t *Tree) ContainsTx(tx *stm.Tx, k uint64) bool {
 	checkKey(k)
-	curr := t.find(tx, k)
+	curr := t.find(tx, k, nil)
 	n := t.node(curr)
 	if n.Key.Plain() != k {
 		return false
@@ -232,7 +310,7 @@ func (t *Tree) Get(th *stm.Thread, k uint64) (uint64, bool) {
 // GetTx is the composable form of Get.
 func (t *Tree) GetTx(tx *stm.Tx, k uint64) (uint64, bool) {
 	checkKey(k)
-	curr := t.find(tx, k)
+	curr := t.find(tx, k, nil)
 	n := t.node(curr)
 	if n.Key.Plain() != k {
 		return 0, false
@@ -262,7 +340,7 @@ func (t *Tree) Insert(th *stm.Thread, k, v uint64) bool {
 func (t *Tree) InsertTx(tx *stm.Tx, k, v uint64, sc *arena.Scratch) bool {
 	checkKey(k)
 	sc.ResetAttempt()
-	curr := t.find(tx, k)
+	curr := t.findHinted(tx, k)
 	n := t.node(curr)
 	if n.Key.Plain() == k {
 		if tx.Read(&n.Del) != 0 {
@@ -281,6 +359,12 @@ func (t *Tree) InsertTx(tx *stm.Tx, k, v uint64, sc *arena.Scratch) bool {
 		tx.Write(&n.R, ref)
 	}
 	sc.MarkLinked()
+	if t.hintq != nil {
+		// A new leaf stales the height estimates of its whole path; the
+		// hinted targeted repair re-propagates them (and rotates if the
+		// path went out of balance).
+		tx.OnCommit(t, hintRebalance, k, ref)
+	}
 	return true
 }
 
@@ -307,7 +391,7 @@ func (t *Tree) Delete(th *stm.Thread, k uint64) bool {
 // DeleteTx is the composable form of Delete.
 func (t *Tree) DeleteTx(tx *stm.Tx, k uint64) bool {
 	checkKey(k)
-	curr := t.find(tx, k)
+	curr := t.findHinted(tx, k)
 	n := t.node(curr)
 	if n.Key.Plain() != k {
 		return false
@@ -316,6 +400,11 @@ func (t *Tree) DeleteTx(tx *stm.Tx, k uint64) bool {
 		return false
 	}
 	tx.Write(&n.Del, 1)
+	if t.hintq != nil {
+		// Publish (only on commit) a removal hint so a maintenance worker
+		// unlinks the node promptly instead of a sweep finding it later.
+		tx.OnCommit(t, hintRemove, k, curr)
+	}
 	return true
 }
 

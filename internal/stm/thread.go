@@ -113,7 +113,11 @@ func (th *Thread) runAttempt(tx *Tx, fn func(*Tx)) (ok bool) {
 		}
 	}()
 	fn(tx)
-	return tx.commit()
+	if !tx.commit() {
+		return false
+	}
+	tx.runCommitHooks()
+	return true
 }
 
 // stall delays the thread for roughly d, yielding the processor instead of

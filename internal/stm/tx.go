@@ -29,6 +29,26 @@ type writeEntry struct {
 // structures (E-STM's "cut" preserves only the immediately preceding reads).
 const elasticWindow = 2
 
+// CommitHook receives a callback after a transaction commits (see
+// Tx.OnCommit). Implementations must be safe for concurrent use: hooks run
+// on the committing thread, outside the transaction, with no locks held.
+type CommitHook interface {
+	// OnTxCommit is invoked once per registered (kind, a, b) triple after
+	// the registering transaction's writes became visible.
+	OnTxCommit(kind, a, b uint64)
+}
+
+// maxCommitHooks bounds the per-transaction hook buffer. Hooks are advisory
+// (maintenance hints); registrations beyond the bound are silently dropped
+// rather than allocating.
+const maxCommitHooks = 4
+
+// commitHookEntry is one registered post-commit callback.
+type commitHookEntry struct {
+	h          CommitHook
+	kind, a, b uint64
+}
+
 // Tx is a transaction descriptor. It is owned by a Thread and reused across
 // attempts and operations; user code receives it from Atomic/AtomicMode and
 // must not retain it past the enclosing call.
@@ -46,6 +66,11 @@ type Tx struct {
 	window   [elasticWindow]readEntry
 	windowN  int
 	hasWrite bool
+
+	// Post-commit hooks registered by the current attempt (Tx.OnCommit).
+	// Discarded on abort, run exactly once after a successful commit.
+	hooks  [maxCommitHooks]commitHookEntry
+	nHooks int
 }
 
 // begin resets the descriptor for a fresh attempt.
@@ -56,6 +81,37 @@ func (tx *Tx) begin(mode Mode) {
 	tx.writes = tx.writes[:0]
 	tx.windowN = 0
 	tx.hasWrite = false
+	tx.nHooks = 0
+}
+
+// OnCommit registers h to be called with (kind, a, b) after this transaction
+// commits; a hook registered by an attempt that aborts is discarded with the
+// attempt, which makes OnCommit the publication point for side effects that
+// must only happen for committed transactions (the speculation-friendly
+// tree's maintenance hints). Duplicate registrations within one attempt are
+// folded, and registrations beyond a small fixed capacity are dropped — the
+// mechanism is for advisory signals, not for reliable delivery.
+func (tx *Tx) OnCommit(h CommitHook, kind, a, b uint64) {
+	for i := 0; i < tx.nHooks; i++ {
+		e := &tx.hooks[i]
+		if e.h == h && e.kind == kind && e.a == a && e.b == b {
+			return
+		}
+	}
+	if tx.nHooks == len(tx.hooks) {
+		return
+	}
+	tx.hooks[tx.nHooks] = commitHookEntry{h: h, kind: kind, a: a, b: b}
+	tx.nHooks++
+}
+
+// runCommitHooks fires the registered hooks after a successful commit.
+func (tx *Tx) runCommitHooks() {
+	for i := 0; i < tx.nHooks; i++ {
+		e := tx.hooks[i]
+		e.h.OnTxCommit(e.kind, e.a, e.b)
+	}
+	tx.nHooks = 0
 }
 
 // Mode reports the mode of the running transaction.

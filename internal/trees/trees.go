@@ -58,6 +58,41 @@ type Maintained interface {
 	Quiesce(maxPasses int) bool
 }
 
+// HintMaintained is implemented by trees whose maintenance can be driven by
+// an external scheduler (the forest's shared worker pool) instead of their
+// own goroutine: bounded targeted hint repairs, full fallback sweeps, a
+// backlog probe for scheduling, and a wake callback fired when hints
+// arrive. All four driver methods (DrainHints, RunMaintenancePass, and
+// Maintained's Quiesce) are single-driver: the scheduler must guarantee at
+// most one goroutine drives a given tree at any instant.
+type HintMaintained interface {
+	Maintained
+	// DrainHints consumes up to max queued hints with targeted repairs,
+	// returning the hints consumed and the structural work done.
+	DrainHints(max int) (hints, work int)
+	// RunMaintenancePass executes one full fallback sweep, returning the
+	// structural work done.
+	RunMaintenancePass() int
+	// HintBacklog reports the number of queued, unconsumed hints.
+	HintBacklog() int
+	// SetMaintNotify registers a non-blocking callback invoked whenever a
+	// hint is enqueued (nil disables).
+	SetMaintNotify(fn func())
+}
+
+// HintMaintainedOf returns m's hint-maintenance surface when the tree
+// actually performs maintenance. The no-restructuring ablation satisfies
+// HintMaintained with no-ops (it must remain registry-compatible) and is
+// excluded here, so schedulers and statistics never report workers for a
+// tree that by definition does no structural work.
+func HintMaintainedOf(m Map) (HintMaintained, bool) {
+	if _, ok := m.(*nrtree.Tree); ok {
+		return nil, false
+	}
+	mt, ok := m.(HintMaintained)
+	return mt, ok
+}
+
 // Kind names a tree library with the labels of the paper's figures.
 type Kind string
 

@@ -112,6 +112,10 @@ type Tree struct {
 	m    trees.Map      // single-domain path
 	f    *forest.Forest // sharded path (shards > 1)
 	stop func()
+	// maintWorkers is the configured maintenance-scheduler size of the
+	// single-domain path (1 when a maintenance goroutine was started, 0
+	// otherwise); immutable after NewTree, reported by MaintPoolStats.
+	maintWorkers int
 	// maintMu serializes maintenance toggling: Close may be called
 	// concurrently with Stats, whose pause/resume bracket reads maint —
 	// without the lock that is a data race, and a racing resume could
@@ -124,10 +128,11 @@ type Tree struct {
 type Option func(*treeCfg)
 
 type treeCfg struct {
-	mode        stm.Mode
-	maintenance bool
-	shards      int
-	cm          stm.ContentionManager
+	mode         stm.Mode
+	maintenance  bool
+	shards       int
+	maintWorkers int
+	cm           stm.ContentionManager
 }
 
 // WithTMMode selects the TM algorithm (default CommitTimeLocking).
@@ -143,6 +148,15 @@ func WithoutMaintenance() Option { return func(c *treeCfg) { c.maintenance = fal
 // are confined to one shard (see Handle.UpdateShard and Tree.SameShard),
 // and Move is atomic only within a shard.
 func WithShards(n int) Option { return func(c *treeCfg) { c.shards = n } }
+
+// WithMaintWorkers sets the size of the shared maintenance worker pool of a
+// sharded tree (default min(shards, GOMAXPROCS/2), at least 1). The pool
+// drains commit-time maintenance hints across all shards with targeted
+// repair transactions and runs the low-frequency fallback sweeps, so total
+// maintenance CPU is bounded by the pool size rather than the shard count.
+// Ignored on unsharded trees, whose single maintenance goroutine plays the
+// same role.
+func WithMaintWorkers(n int) Option { return func(c *treeCfg) { c.maintWorkers = n } }
 
 // WithContention selects the contention-management policy consulted between
 // an aborted transaction attempt and its retry (default ContentionBackoff).
@@ -169,6 +183,9 @@ func NewTree(kind Kind, opts ...Option) *Tree {
 			forest.WithTMMode(cfg.mode),
 			forest.WithContentionManager(cfg.cm),
 		}
+		if cfg.maintWorkers > 0 {
+			fopts = append(fopts, forest.WithMaintWorkers(cfg.maintWorkers))
+		}
 		if !cfg.maintenance {
 			fopts = append(fopts, forest.WithoutMaintenance())
 		}
@@ -181,6 +198,9 @@ func NewTree(kind Kind, opts ...Option) *Tree {
 	if cfg.maintenance {
 		t.stop = trees.Start(m)
 		t.maint = true
+		if _, ok := trees.HintMaintainedOf(m); ok {
+			t.maintWorkers = 1
+		}
 	}
 	return t
 }
@@ -256,6 +276,8 @@ func (t *Tree) Stats() stm.Stats {
 
 // MaintenanceStats returns structural-activity counters for
 // speculation-friendly kinds, summed over shards (zero value otherwise).
+// Beyond the paper-era sweep counters it reports the hint-driven fields:
+// hints emitted, coalesced and dropped, and targeted repairs performed.
 func (t *Tree) MaintenanceStats() sftree.Stats {
 	if t.f != nil {
 		return t.f.MaintenanceStats()
@@ -264,6 +286,36 @@ func (t *Tree) MaintenanceStats() sftree.Stats {
 		return sf.Stats()
 	}
 	return sftree.Stats{}
+}
+
+// MaintPoolStats reports the maintenance scheduler's activity: worker
+// count, busy time, hint wakeups, fallback sweeps and current hint backlog.
+type MaintPoolStats = forest.PoolStats
+
+// MaintPoolStats returns a snapshot of the maintenance scheduler. On a
+// sharded tree it describes the shared worker pool; on an unsharded tree it
+// is synthesized from the single maintenance goroutine's counters (one
+// worker, sweeps = passes) so callers can treat both uniformly. Workers is
+// the configured scheduler size (0 when the tree was built without
+// maintenance) and, like the counters, survives Close — Close freezes the
+// numbers, it does not zero them.
+func (t *Tree) MaintPoolStats() MaintPoolStats {
+	if t.f != nil {
+		return t.f.PoolStats()
+	}
+	ps := MaintPoolStats{}
+	mt, maintained := trees.HintMaintainedOf(t.m)
+	if !maintained {
+		return ps
+	}
+	ps.Workers = t.maintWorkers
+	if sf, ok := t.m.(interface{ Stats() sftree.Stats }); ok {
+		st := sf.Stats()
+		ps.BusyNanos = st.BusyNanos
+		ps.Sweeps = st.Passes
+	}
+	ps.Backlog = mt.HintBacklog()
+	return ps
 }
 
 // Handle is a per-goroutine accessor to a Tree.

@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DURATION ?= 1s
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race vet ci bench-range bench-json
+.PHONY: all build test race vet ci bench-range bench-xact bench-json
 
 all: build
 
@@ -12,13 +12,14 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrency-critical packages (the STM, the
-# speculation-friendly tree, the tree registry with the elastic-move
-# regression, the sharded forest, and the public facade with its
-# Close/Stats and cross-shard Move stress tests). The timeout guards
-# against a stress test livelocking under the detector's serialization.
+# Race-detector pass over the concurrency-critical packages (the STM with
+# its prepared-transaction tests, the speculation-friendly tree, the tree
+# registry with the elastic-move regression, the sharded forest with the
+# cross-shard transaction oracle and Move tortures, the ftx coordinator,
+# and the public facade). The timeout guards against a stress test
+# livelocking under the detector's serialization.
 race:
-	$(GO) test -race -timeout 10m ./internal/stm ./internal/sftree ./internal/trees ./internal/forest .
+	$(GO) test -race -timeout 10m ./internal/stm ./internal/sftree ./internal/trees ./internal/forest ./internal/ftx .
 
 vet:
 	$(GO) vet ./...
@@ -29,17 +30,32 @@ bench-range:
 	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 10 -range-frac 0.1 -range-len 100 -shards 1 -header
 	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 10 -range-frac 0.1 -range-len 100 -shards 8
 
-# Maintenance-efficiency benchmark points, recorded as one JSON artifact
-# per session (BENCH_<date>.json) so the perf trajectory is durable. The
-# rows compare the single-domain tree, the sharded forest with the default
-# pool, and the sharded forest with an explicitly small pool on the skewed
-# (Zipf) workload — the configuration the sub-linear-maintenance-CPU claim
-# is about (see the maint_* CSV columns).
+# Cross-shard transfer microbenchmark points: the multi-key transfer
+# workload at one shard (every transaction on the coordinator's
+# single-shard fallback) and at eight (the shard-ordered two-phase commit),
+# with the cross-shard dial at both extremes. The xact_* CSV columns report
+# the coordinator's commit/abort/fallback/intent-conflict accounting.
+bench-xact:
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -xact-frac 0.2 -shards 1 -header
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -xact-frac 0.2 -shards 8
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -xact-frac 0.2 -xact-cross 0 -shards 8
+
+# Maintenance-efficiency and cross-shard-transaction benchmark points,
+# recorded as one JSON artifact per session (BENCH_<date>.json) so the perf
+# trajectory is durable (the scheduled bench workflow uploads the same
+# artifact weekly). The first rows compare the single-domain tree, the
+# sharded forest with the default pool, and the sharded forest with an
+# explicitly small pool on the skewed (Zipf) workload — the configuration
+# the sub-linear-maintenance-CPU claim is about (see the maint_* CSV
+# columns); the last two measure the multi-key transfer workload at shards
+# 1 and 8 (see the xact_* columns).
 bench-json:
 	{ $(GO) run ./cmd/microbench -header -tree sf-opt -threads 4 -update 20 -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -shards 8 -dist zipf -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -shards 8 -maint-workers 2 -dist zipf -duration $(BENCH_DURATION) ; \
-	  $(GO) run ./cmd/microbench -tree sf -threads 4 -update 20 -shards 8 -maint-workers 2 -dist zipf -duration $(BENCH_DURATION) ; } \
+	  $(GO) run ./cmd/microbench -tree sf -threads 4 -update 20 -shards 8 -maint-workers 2 -dist zipf -duration $(BENCH_DURATION) ; \
+	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -xact-frac 0.2 -shards 1 -duration $(BENCH_DURATION) ; \
+	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -xact-frac 0.2 -shards 8 -duration $(BENCH_DURATION) ; } \
 	| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
 
 ci: build vet test race

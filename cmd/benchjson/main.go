@@ -7,7 +7,9 @@
 // (microbench -header), subsequent lines are aggregate result rows.
 // Per-shard breakdown rows ("shard,<i>,...") are skipped — the summary
 // records the aggregate trajectory. Values that parse as numbers are
-// emitted as JSON numbers, everything else as strings.
+// emitted as JSON numbers, everything else as strings. The mapping is
+// column-name driven, so new microbench columns (most recently the xact_*
+// cross-shard-transaction counters) flow into the JSON unchanged.
 //
 //	microbench -header ... | benchjson -out BENCH_2026-07-29.json
 package main

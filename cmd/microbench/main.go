@@ -9,6 +9,7 @@
 //	microbench -tree sf-opt -shards 8 -dist zipf -cm karma -threads 8
 //	microbench -tree sf-opt -shards 8 -range-frac 0.1 -range-len 200
 //	microbench -tree sf-opt -shards 16 -maint-workers 2 -dist zipf
+//	microbench -tree sf-opt -shards 8 -xact-frac 0.2 -xact-keys 4 -xact-cross 0.5
 //
 // Trees: sf, sf-opt, rb, avl, nr. Modes: ctl, etl, elastic. Contention
 // managers: suicide, backoff, karma. Distributions: uniform, zipf.
@@ -21,12 +22,24 @@
 // merges all shards, so the per-shard rows' op counts include one touch per
 // shard per scan (the merge cost the forest pays for hash routing).
 //
+// -xact-frac makes the given fraction of all operations multi-key transfer
+// transactions: each reads -xact-keys keys through the cross-shard
+// transaction coordinator (internal/ftx) and atomically moves one unit of
+// value from the richest present key to the poorest. -xact-cross is the
+// cross-shard dial: that fraction of transfers draws keys freely over the
+// key space (on a sharded run, almost surely spanning shards and paying
+// the shard-ordered two-phase commit), the rest are confined to one shard
+// and take the coordinator's single-shard fallback. The xact_* CSV columns
+// report completed transfers, units moved, and the coordinator's
+// commit/fallback/abort/intent-conflict accounting.
+//
 // -maint-workers sizes the shared maintenance worker pool of a sharded run
 // (0 = the forest default, min(shards, GOMAXPROCS/2)); the CSV reports the
 // maintenance-efficiency columns — hints emitted/coalesced/dropped,
 // targeted repairs vs full sweeps, pool busy time and worker utilization —
 // so the sub-linear-maintenance-CPU claim of hint-driven maintenance is
-// verifiable from the output alone.
+// verifiable from the output alone. -maint-pacing sweeps the per-shard
+// hint-drain pacing gap (forest.WithMaintPacing; 0 keeps the 2ms default).
 //
 // One aggregate CSV row is always printed; with -shards > 1 a per-shard
 // breakdown row ("shard,<i>,...") follows for each shard.
@@ -60,7 +73,11 @@ func main() {
 	zipfS := flag.Float64("zipf-s", bench.DefaultZipfS, "zipf skew exponent (with -dist zipf)")
 	rangeFrac := flag.Float64("range-frac", 0, "fraction of operations that are ordered range scans (0..1)")
 	rangeLen := flag.Uint64("range-len", bench.DefaultRangeLen, "key-space width of each range-scan window")
+	xactFrac := flag.Float64("xact-frac", 0, "fraction of operations that are multi-key transfer transactions (0..1)")
+	xactKeys := flag.Int("xact-keys", bench.DefaultXactKeys, "keys touched by each transfer transaction (>= 2)")
+	xactCross := flag.Float64("xact-cross", 1, "fraction of transfers drawn freely across shards; the rest are confined to one shard (0..1)")
 	maintWorkers := flag.Int("maint-workers", 0, "shared maintenance pool size on a sharded run (0 = default)")
+	maintPacing := flag.Duration("maint-pacing", 0, "per-shard hint-drain pacing gap on a sharded run (0 = forest default, 2ms)")
 	yieldEvery := flag.Int("yield", 0, "STM interleaving simulation: yield every N accesses (0 off)")
 	header := flag.Bool("header", false, "print the CSV header line first")
 	flag.Parse()
@@ -120,6 +137,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "microbench: -maint-workers must be >= 0")
 		os.Exit(2)
 	}
+	if *xactFrac < 0 || *xactFrac >= 1 {
+		fmt.Fprintln(os.Stderr, "microbench: -xact-frac must be in [0, 1)")
+		os.Exit(2)
+	}
+	if *rangeFrac+*xactFrac >= 1 {
+		fmt.Fprintln(os.Stderr, "microbench: -range-frac + -xact-frac must be < 1 (the remainder is the plain operation mix)")
+		os.Exit(2)
+	}
+	if *xactKeys < 2 {
+		fmt.Fprintln(os.Stderr, "microbench: -xact-keys must be >= 2")
+		os.Exit(2)
+	}
+	if *xactCross < 0 || *xactCross > 1 {
+		fmt.Fprintln(os.Stderr, "microbench: -xact-cross must be in [0, 1]")
+		os.Exit(2)
+	}
+	if *maintPacing < 0 {
+		fmt.Fprintln(os.Stderr, "microbench: -maint-pacing must be >= 0")
+		os.Exit(2)
+	}
 
 	res := bench.Run(bench.Options{
 		Kind:     kind,
@@ -136,22 +173,28 @@ func main() {
 			ZipfS:         *zipfS,
 			RangeFrac:     *rangeFrac,
 			RangeLen:      *rangeLen,
+			XactFrac:      *xactFrac,
+			XactKeys:      *xactKeys,
+			XactCrossFrac: *xactCross,
 		},
 		Seed:         *seed,
 		Shards:       *shards,
 		CM:           *cm,
 		YieldEvery:   *yieldEvery,
 		MaintWorkers: *maintWorkers,
+		MaintPacing:  *maintPacing,
 	})
 
 	if *header {
-		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,range_frac,range_len,duration_s,ops,throughput_ops_per_us,effective_ratio,range_scans,range_items,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,rotations,maint_workers,hints_emitted,hints_coalesced,hints_dropped,targeted_repairs,sweep_passes,maint_busy_ms,worker_util")
+		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,range_frac,range_len,xact_frac,xact_keys,xact_cross,duration_s,ops,throughput_ops_per_us,effective_ratio,range_scans,range_items,xact_ops,xact_moved,xact_commits,xact_fallbacks,xact_aborts,xact_intent_conflicts,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,rotations,maint_workers,hints_emitted,hints_coalesced,hints_dropped,targeted_repairs,sweep_passes,maint_busy_ms,worker_util")
 	}
-	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%d,%d,%d,%d,%.4f,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f\n",
+	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%d,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f\n",
 		kind, m, res.Threads, res.Shards, res.CM, res.Dist, *update, *movePct, *biased, *keyRange,
-		*rangeFrac, *rangeLen,
+		*rangeFrac, *rangeLen, *xactFrac, *xactKeys, *xactCross,
 		res.Elapsed.Seconds(), res.Ops, res.Throughput, res.EffectiveRatio,
 		res.RangeOps, res.RangeItems,
+		res.XactOps, res.XactMoves, res.Xact.Commits, res.Xact.Fallbacks,
+		res.Xact.Aborts, res.Xact.IntentConflicts,
 		res.STM.Commits, res.STM.Aborts, res.STM.AbortRate(), res.STM.Retries,
 		float64(res.STM.BackoffNanos)/1e6, res.STM.MaxOpReads, res.Rotations,
 		res.Pool.Workers, res.TreeStats.HintsEmitted, res.TreeStats.HintsCoalesced,

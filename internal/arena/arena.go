@@ -67,11 +67,13 @@ type Node struct {
 	RightH atomic.Int32
 	LocalH atomic.Int32
 
-	// Hint is the maintenance-hint dedup bit: set (CAS 0→1) when a hint for
-	// this node is enqueued, cleared when a maintenance worker consumes it,
-	// so a hot node never floods the bounded hint queue. Advisory only —
-	// a spurious clear (node recycled while a stale hint was queued) merely
-	// lets a duplicate hint through.
+	// Hint is the maintenance-hint dedup word: it holds the priority of
+	// the hint currently queued for this node (0 none, 1 rebalance,
+	// 2 removal — sftree's hint levels), so a hot node never floods the
+	// bounded hint queue and a removal is never folded into a queued
+	// lower-priority rebalance. Cleared when a maintenance worker consumes
+	// the owning hint. Advisory only — a spurious clear (node recycled
+	// while a stale hint was queued) merely lets a duplicate hint through.
 	Hint atomic.Uint32
 
 	nextFree Ref // free-list link, guarded by the arena mutex

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/forest"
+	"repro/internal/ftx"
 	"repro/internal/sftree"
 	"repro/internal/stm"
 	"repro/internal/trees"
@@ -73,6 +74,24 @@ type Workload struct {
 	// (0 selects DefaultRangeLen). The number of elements visited is about
 	// half of it under the harness's half-full fill.
 	RangeLen uint64
+	// XactFrac is the fraction of all operations (0..1) that are multi-key
+	// transfer transactions: each reads XactKeys keys through the
+	// cross-shard transaction coordinator and atomically moves one unit of
+	// value from the richest present key to the poorest. Like RangeFrac it
+	// dilutes the remaining mix, so existing configurations (XactFrac == 0)
+	// reproduce bit-for-bit.
+	XactFrac float64
+	// XactKeys is the number of keys each transfer touches (0 selects
+	// DefaultXactKeys; minimum 2).
+	XactKeys int
+	// XactCrossFrac is the cross-shard dial: the fraction of transfers
+	// (0..1) whose keys are drawn freely over the whole key space — on a
+	// sharded run, almost surely spanning shards and paying the full
+	// two-phase commit. The rest are confined to the first key's shard
+	// (SameShard routing) and commit through the coordinator's single-shard
+	// fallback. Irrelevant on unsharded runs, where every transfer falls
+	// back.
+	XactCrossFrac float64
 
 	// zipfCDF is the shared distribution table, computed once per Run and
 	// handed to every worker (it depends only on ZipfS and KeyRange).
@@ -81,6 +100,10 @@ type Workload struct {
 
 // DefaultRangeLen is the scan-window width used when Workload.RangeLen is 0.
 const DefaultRangeLen = 100
+
+// DefaultXactKeys is the per-transfer key count used when Workload.XactKeys
+// is 0.
+const DefaultXactKeys = 4
 
 // prepareZipf populates the shared CDF table when the workload is Zipfian.
 func (wl *Workload) prepareZipf() {
@@ -119,6 +142,10 @@ type Options struct {
 	// (0 selects the forest default, min(shards, GOMAXPROCS/2)). Only
 	// meaningful with Shards > 1.
 	MaintWorkers int
+	// MaintPacing overrides the forest's per-shard hint-drain pacing gap
+	// (0 keeps the forest default of 2ms; forest.WithMaintPacing). Only
+	// meaningful with Shards > 1.
+	MaintPacing time.Duration
 }
 
 // contentionManager resolves the run's contention manager, defaulting to
@@ -157,8 +184,17 @@ type Result struct {
 	EffectiveMoves   uint64  // moves that relocated a value
 	RangeOps         uint64  // ordered range scans completed
 	RangeItems       uint64  // elements visited by range scans in total
+	XactOps          uint64  // multi-key transfer transactions completed
+	XactMoves        uint64  // transfers that actually moved a unit
 	Throughput       float64 // operations per microsecond (paper's unit)
 	EffectiveRatio   float64 // effective updates / ops
+
+	// Xact is the cross-shard coordinator's own accounting, summed over
+	// workers: total commits, the subset that took the single-shard
+	// fallback fast path, retried aborts and intent conflicts. On the
+	// single-domain path every transfer is a fallback commit by
+	// construction.
+	Xact ftx.Stats
 
 	STM       stm.Stats     // summed over worker threads (all shards)
 	PerShard  []ShardResult // per-shard breakdown (nil on the single path)
@@ -220,6 +256,12 @@ func Run(o Options) Result {
 	if o.Workload.KeyRange < 2 {
 		panic("bench: KeyRange must be >= 2")
 	}
+	if o.Workload.RangeFrac+o.Workload.XactFrac >= 1 {
+		// Step draws one uniform variate against the two fractions back to
+		// back; overlapping dials would silently starve the plain mix while
+		// the result reports the nominal values.
+		panic("bench: RangeFrac + XactFrac must be < 1")
+	}
 	o.Workload.prepareZipf() // one shared CDF table for all workers
 	if o.Shards > 1 {
 		return runForest(o)
@@ -278,6 +320,9 @@ func runForest(o Options) Result {
 	}
 	if o.MaintWorkers > 0 {
 		fopts = append(fopts, forest.WithMaintWorkers(o.MaintWorkers))
+	}
+	if o.MaintPacing > 0 {
+		fopts = append(fopts, forest.WithMaintPacing(o.MaintPacing))
 	}
 	f := forest.New(o.Kind, fopts...)
 	fillForest(f, o.Workload.KeyRange, o.Seed)
@@ -365,6 +410,11 @@ func (r *Result) addWorker(w *Runner) {
 	r.EffectiveMoves += w.EffMoves
 	r.RangeOps += w.RangeOps
 	r.RangeItems += w.RangeItems
+	r.XactOps += w.XactOps
+	r.XactMoves += w.XactMoves
+	if xs, ok := w.t.(XactStatser); ok {
+		r.Xact.Add(xs.XactStats())
+	}
 }
 
 func (r *Result) finish() {
@@ -416,21 +466,43 @@ type Target interface {
 	Contains(k uint64) bool
 	Move(src, dst uint64) bool
 	Range(lo, hi uint64, fn func(k, v uint64) bool) bool
+	// SameShard reports key co-location (always true on unsharded targets);
+	// the transfer workload's cross-shard dial steers key selection with it.
+	SameShard(k1, k2 uint64) bool
+	// Atomic runs fn as one atomic multi-key transaction (the cross-shard
+	// coordinator on a forest, its single-shard fallback on a bare tree).
+	Atomic(fn func(t *ftx.Tx) error) error
 }
 
-// treeTarget adapts (trees.Map, *stm.Thread) to Target.
+// XactStatser is the optional coordinator-statistics surface of a Target
+// (forest.Handle, repro.Handle and treeTarget all provide it); Run sums it
+// into Result.Xact.
+type XactStatser interface {
+	XactStats() ftx.Stats
+}
+
+// treeTarget adapts (trees.Map, *stm.Thread) to Target, with a one-shard
+// coordinator for the transfer workload.
 type treeTarget struct {
-	m  trees.Map
-	th *stm.Thread
+	m     trees.Map
+	th    *stm.Thread
+	coord *ftx.Coordinator
 }
 
-func (t treeTarget) Insert(k, v uint64) bool   { return t.m.Insert(t.th, k, v) }
-func (t treeTarget) Delete(k uint64) bool      { return t.m.Delete(t.th, k) }
-func (t treeTarget) Contains(k uint64) bool    { return t.m.Contains(t.th, k) }
-func (t treeTarget) Move(src, dst uint64) bool { return trees.Move(t.m, t.th, src, dst) }
-func (t treeTarget) Range(lo, hi uint64, fn func(k, v uint64) bool) bool {
+func newTreeTarget(m trees.Map, th *stm.Thread) *treeTarget {
+	return &treeTarget{m: m, th: th, coord: ftx.NewCoordinator(ftx.Single(m, th))}
+}
+
+func (t *treeTarget) Insert(k, v uint64) bool   { return t.m.Insert(t.th, k, v) }
+func (t *treeTarget) Delete(k uint64) bool      { return t.m.Delete(t.th, k) }
+func (t *treeTarget) Contains(k uint64) bool    { return t.m.Contains(t.th, k) }
+func (t *treeTarget) Move(src, dst uint64) bool { return trees.Move(t.m, t.th, src, dst) }
+func (t *treeTarget) Range(lo, hi uint64, fn func(k, v uint64) bool) bool {
 	return t.m.Range(t.th, lo, hi, fn)
 }
+func (t *treeTarget) SameShard(k1, k2 uint64) bool           { return true }
+func (t *treeTarget) Atomic(fn func(tx *ftx.Tx) error) error { return t.coord.Run(fn) }
+func (t *treeTarget) XactStats() ftx.Stats                   { return t.coord.Stats() }
 
 // Runner executes one thread's operation stream against a Target; the Run
 // harness drives one per worker, and the root-level testing.B benchmarks
@@ -447,17 +519,21 @@ type Runner struct {
 	EffMoves   uint64 // moves that relocated a value
 	RangeOps   uint64 // ordered range scans completed
 	RangeItems uint64 // elements visited by range scans in total
+	XactOps    uint64 // multi-key transfer transactions completed
+	XactMoves  uint64 // transfers that actually moved a unit
 
 	// insert/delete alternation state for effective mode: keys this worker
 	// inserted and has not yet deleted.
 	owned    []uint64
 	doInsert bool
+	// xkeys is the reusable per-transfer key buffer.
+	xkeys []uint64
 }
 
 // NewRunner creates a Runner hammering a bare tree through one STM thread,
 // with its own deterministic random stream.
 func NewRunner(m trees.Map, th *stm.Thread, wl Workload, seed int64) *Runner {
-	r := NewTargetRunner(treeTarget{m: m, th: th}, wl, seed)
+	r := NewTargetRunner(newTreeTarget(m, th), wl, seed)
 	r.th = th
 	return r
 }
@@ -480,9 +556,16 @@ func (w *Runner) Thread() *stm.Thread { return w.th }
 // Step executes one operation drawn from the workload mix.
 func (w *Runner) Step() {
 	defer func() { w.Ops++ }()
-	if w.wl.RangeFrac > 0 && w.rng.Float64() < w.wl.RangeFrac {
-		w.rangeScan()
-		return
+	if w.wl.RangeFrac > 0 || w.wl.XactFrac > 0 {
+		p := w.rng.Float64()
+		if p < w.wl.RangeFrac {
+			w.rangeScan()
+			return
+		}
+		if p < w.wl.RangeFrac+w.wl.XactFrac {
+			w.xact()
+			return
+		}
 	}
 	roll := w.rng.Intn(100)
 	switch {
@@ -525,6 +608,82 @@ func (w *Runner) rangeScan() {
 	})
 	w.RangeOps++
 	w.RangeItems += items
+}
+
+// xact performs one multi-key transfer transaction: read XactKeys keys
+// through the cross-shard coordinator and atomically move one unit of
+// value from the richest present key to the poorest. The cross-shard dial
+// (Workload.XactCrossFrac) decides whether the keys are drawn freely over
+// the key space or confined to the first key's shard (the coordinator's
+// single-shard fallback path).
+func (w *Runner) xact() {
+	n := w.wl.XactKeys
+	if n < 2 {
+		n = DefaultXactKeys
+	}
+	cross := w.rng.Float64() < w.wl.XactCrossFrac
+	keys := w.xkeys[:0]
+	first := w.key(false)
+	keys = append(keys, first)
+pick:
+	for draws := 0; len(keys) < n && draws < 16*n; draws++ {
+		k := w.key(false)
+		if !cross {
+			// Confine to the first key's shard, bounded rejection sampling;
+			// give up after a while so tiny key ranges cannot spin forever.
+			for tries := 0; !w.t.SameShard(first, k); tries++ {
+				if tries >= 64 {
+					break pick
+				}
+				k = w.key(false)
+			}
+		}
+		dup := false
+		for _, have := range keys {
+			if have == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			keys = append(keys, k)
+		}
+	}
+	w.xkeys = keys
+	if len(keys) < 2 {
+		return
+	}
+	moved := false
+	w.t.Atomic(func(tx *ftx.Tx) error {
+		moved = false
+		var rich, poor uint64
+		var richV, poorV uint64
+		found := 0
+		for _, k := range keys {
+			v, ok := tx.Get(k)
+			if !ok {
+				continue
+			}
+			if found == 0 || v > richV {
+				rich, richV = k, v
+			}
+			if found == 0 || v < poorV {
+				poor, poorV = k, v
+			}
+			found++
+		}
+		if found < 2 || rich == poor || richV == 0 {
+			return nil // nothing to transfer; commits as a read-only xact
+		}
+		tx.Put(rich, richV-1)
+		tx.Put(poor, poorV+1)
+		moved = true
+		return nil
+	})
+	w.XactOps++
+	if moved {
+		w.XactMoves++
+	}
 }
 
 // effectiveUpdate alternates inserting a fresh key with deleting a

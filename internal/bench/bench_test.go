@@ -106,6 +106,51 @@ func TestRangeWorkload(t *testing.T) {
 	}
 }
 
+func TestXactWorkload(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		o := quickOpts(trees.SFOpt)
+		o.Shards = shards
+		o.Duration = 60 * time.Millisecond
+		o.Workload.XactFrac = 0.3
+		o.Workload.XactKeys = 4
+		o.Workload.XactCrossFrac = 1
+		res := Run(o)
+		if res.XactOps == 0 {
+			t.Fatalf("shards=%d: no transfer transactions despite 30%% xact mix", shards)
+		}
+		if res.XactMoves == 0 {
+			t.Fatalf("shards=%d: no transfer moved a unit on a half-full set", shards)
+		}
+		if res.Xact.Commits != res.XactOps {
+			t.Fatalf("shards=%d: coordinator commits %d != completed transfers %d",
+				shards, res.Xact.Commits, res.XactOps)
+		}
+		if shards == 1 && res.Xact.Fallbacks != res.Xact.Commits {
+			t.Fatalf("single-domain transfers must all take the fallback path: %+v", res.Xact)
+		}
+		if shards > 1 && res.Xact.Fallbacks == res.Xact.Commits {
+			t.Fatalf("shards=%d with a free key draw never crossed shards: %+v", shards, res.Xact)
+		}
+	}
+}
+
+func TestXactCrossDial(t *testing.T) {
+	// With the dial at 0, every transfer is confined to one shard and must
+	// commit through the fallback path.
+	o := quickOpts(trees.SF)
+	o.Shards = 8
+	o.Duration = 60 * time.Millisecond
+	o.Workload.XactFrac = 0.5
+	o.Workload.XactCrossFrac = 0
+	res := Run(o)
+	if res.XactOps == 0 {
+		t.Fatal("no transfers")
+	}
+	if res.Xact.Fallbacks != res.Xact.Commits {
+		t.Fatalf("cross dial 0 still produced cross-shard commits: %+v", res.Xact)
+	}
+}
+
 func TestRangeFracZeroReproducesLegacyStream(t *testing.T) {
 	// The range mix must be a pure extension: with RangeFrac == 0, Step
 	// draws nothing extra from the random stream, so a deterministic

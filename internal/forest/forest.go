@@ -12,22 +12,23 @@
 //
 // # Atomicity semantics
 //
-// A forest deliberately trades global atomicity for scalability:
-//
 //   - Single-key operations (Insert, Delete, Get, Contains) are exactly as
 //     atomic as on the underlying tree: one transaction on one shard.
-//   - Composite transactions (Handle.Update) are routed to a single shard —
-//     the shard owning the routing key — and are fully atomic there. Keys
-//     from other shards must not be touched inside the transaction (the Op
+//   - Composite single-shard transactions (Handle.Update) are routed to the
+//     shard owning the routing key and are fully atomic there. Keys from
+//     other shards must not be touched inside the transaction (the Op
 //     methods panic if they are); use SameShard to check co-location first.
-//   - Move(src, dst) is atomic when SameShard(src, dst); across shards it
-//     executes as separate single-shard transactions ordered insert-first
-//     (read src, insert dst, delete src, compensating if src vanished), so
-//     the moved value is never lost but a concurrent observer can
-//     momentarily see it at both keys. The compensation withdraws the
-//     provisional dst entry only under transactional proof that it is
-//     still the mover's own (see claims.go); otherwise the value stays at
-//     dst and Move reports failure.
+//   - Composite cross-shard transactions (Handle.Atomic) may read and write
+//     any keys and commit atomically — all effects or none — through the
+//     internal/ftx coordinator's shard-ordered two-phase commit over the
+//     per-shard STM domains. When every touched key lands on one shard the
+//     coordinator falls back to a single ordinary transaction, so Atomic
+//     costs the 2PC machinery only when a transaction actually spans
+//     shards; SameShard-routed Update remains the cheapest composition.
+//   - Move(src, dst) is atomic always: one single-shard transaction when
+//     SameShard(src, dst), one cross-shard ftx transaction otherwise. (The
+//     pre-ftx best-effort insert-first/compensate protocol and its move
+//     claims are gone.)
 //   - Size and Keys compose per-shard snapshots; each shard's contribution
 //     is internally consistent but the shards are not cut at one instant.
 //   - Range visits [lo, hi] in ascending key order by k-way-merging one
@@ -47,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ftx"
 	"repro/internal/sftree"
 	"repro/internal/stm"
 	"repro/internal/trees"
@@ -59,6 +61,11 @@ type shard struct {
 	stm *stm.STM
 	m   trees.Map
 	mt  trees.HintMaintained
+
+	// intents is the shard's cross-shard-commit intent table: every
+	// coordinator (Handle.Atomic) of the forest claims its touched keys
+	// here for the prepare→finalize window (see internal/ftx).
+	intents ftx.IntentTable
 
 	// claim serializes maintenance drivers: a pool worker owns the shard's
 	// maintenance (hint drain + sweep) only while holding the claim, which
@@ -93,8 +100,9 @@ type Forest struct {
 	pool         *maintPool
 	maintWorkers int
 	pc           poolCounters
-	// claims tracks in-flight cross-shard-move claims (see claims.go).
-	claims claimTable
+	// drainPacing is the per-shard hint-drain pacing gap of the maintenance
+	// pool (WithMaintPacing); immutable after New.
+	drainPacing time.Duration
 }
 
 // Option configures New.
@@ -106,6 +114,7 @@ type cfg struct {
 	cm           stm.ContentionManager
 	maintenance  bool
 	maintWorkers int
+	maintPacing  time.Duration
 	yieldEvery   int
 }
 
@@ -142,6 +151,20 @@ func defaultMaintWorkers(shards int) int {
 	return max(1, min(shards, runtime.GOMAXPROCS(0)/2))
 }
 
+// WithMaintPacing sets the per-shard hint-drain pacing gap of the shared
+// maintenance pool (default 2ms): hints younger than the gap wait and
+// coalesce, bounding the rate of structural transactions maintenance
+// injects against the application's. 0 disables pacing (every scan with
+// backlog drains immediately); negative values are ignored. Exposed so the
+// benchmark harness can sweep the gap against abort rates.
+func WithMaintPacing(d time.Duration) Option {
+	return func(c *cfg) {
+		if d >= 0 {
+			c.maintPacing = d
+		}
+	}
+}
+
 // WithYield enables the STM interleaving simulation on every shard
 // (stm.WithYield).
 func WithYield(n int) Option { return func(c *cfg) { c.yieldEvery = n } }
@@ -151,7 +174,7 @@ func WithYield(n int) Option { return func(c *cfg) { c.yieldEvery = n } }
 // shared pool of maintenance workers started immediately (WithMaintWorkers
 // sizes it); Close stops the pool.
 func New(kind trees.Kind, opts ...Option) *Forest {
-	c := cfg{shards: 1, mode: stm.CTL, maintenance: true}
+	c := cfg{shards: 1, mode: stm.CTL, maintenance: true, maintPacing: drainGap}
 	for _, o := range opts {
 		o(&c)
 	}
@@ -161,7 +184,7 @@ func New(kind trees.Kind, opts ...Option) *Forest {
 	if c.maintWorkers == 0 {
 		c.maintWorkers = defaultMaintWorkers(c.shards)
 	}
-	f := &Forest{kind: kind, shards: make([]*shard, c.shards), maint: c.maintenance}
+	f := &Forest{kind: kind, shards: make([]*shard, c.shards), maint: c.maintenance, drainPacing: c.maintPacing}
 	maintained := false
 	now := time.Now().UnixNano()
 	for i := range f.shards {

@@ -3,6 +3,7 @@ package forest
 import (
 	"fmt"
 
+	"repro/internal/ftx"
 	"repro/internal/stm"
 	"repro/internal/trees"
 )
@@ -12,9 +13,10 @@ import (
 // partitions never registers with the others. Handles are not safe for
 // concurrent use; create one per goroutine.
 type Handle struct {
-	f   *Forest
-	ths []*stm.Thread // cached per-shard threads, created on first touch
-	ops []uint64      // operations routed to each shard
+	f     *Forest
+	ths   []*stm.Thread    // cached per-shard threads, created on first touch
+	ops   []uint64         // operations routed to each shard
+	coord *ftx.Coordinator // cross-shard transaction coordinator, on first Atomic
 }
 
 // NewHandle returns a handle with no shard threads allocated yet.
@@ -77,23 +79,19 @@ func (h *Handle) ShardStats() []stm.Stats {
 	return out
 }
 
+// SameShard reports whether k1 and k2 are co-located (see Forest.SameShard).
+func (h *Handle) SameShard(k1, k2 uint64) bool { return h.f.SameShard(k1, k2) }
+
 // Insert maps k to v; false when k was already present.
 func (h *Handle) Insert(k, v uint64) bool {
 	sh, th, _ := h.route(k)
 	return sh.m.Insert(th, k, v)
 }
 
-// Delete removes k; false when absent. A successful delete also breaks any
-// in-flight cross-shard-move claim on k inside the same transaction (see
-// claims.go), so Move compensation can never mistake a later entry at k for
-// its own. The claim check costs one atomic load on the fast path.
+// Delete removes k; false when absent.
 func (h *Handle) Delete(k uint64) bool {
 	sh, th, _ := h.route(k)
-	var ok bool
-	trees.Atomic(sh.m, th, func(tx *stm.Tx) {
-		ok = h.f.deleteTx(sh.m, tx, k)
-	})
-	return ok
+	return sh.m.Delete(th, k)
 }
 
 // Get returns the value at k.
@@ -109,22 +107,12 @@ func (h *Handle) Contains(k uint64) bool {
 }
 
 // Move relocates the value at src to dst; it succeeds only when src is
-// present and dst absent. When SameShard(src, dst) the move is one atomic
-// transaction (paper §5.4). Across shards it degrades to three single-shard
-// transactions — read src, insert dst, delete src — ordered so the moved
-// value is never lost: during the window a concurrent observer may see the
-// value at both keys.
-//
-// If src is concurrently removed before phase 3, the move fails and the
-// provisional dst entry is withdrawn — but only when it is provably still
-// this mover's own entry, established through a transactional move claim
-// (see claims.go). Without that proof (a concurrent deletion of dst
-// committed since the provisional insert, so the entry now at dst — if any
-// — may belong to a third party that coincidentally inserted the same
-// value), the compensation deliberately does nothing: Move returns false
-// and the moved value remains at dst. Callers needing to tidy up after a
-// contested false return can Delete(dst) themselves; the forest never
-// risks deleting a third party's entry.
+// present and dst absent, and it is atomic regardless of where the keys
+// live. When SameShard(src, dst) the move is one ordinary transaction
+// (paper §5.4); across shards it runs as one cross-shard ftx transaction
+// (see Atomic), so a concurrent observer never sees the value at both keys
+// or at neither — the pre-ftx insert-first/compensate protocol and its
+// claim table are gone.
 func (h *Handle) Move(src, dst uint64) bool {
 	ssh, sth, ssi := h.route(src)
 	dsi := h.f.ShardOf(dst)
@@ -132,65 +120,25 @@ func (h *Handle) Move(src, dst uint64) bool {
 		return h.moveSameShard(ssh, sth, src, dst)
 	}
 	h.ops[dsi]++
-	dsh, dth := h.f.shards[dsi], h.thread(dsi)
-	// Phase 1: read the value to move.
-	v, ok := ssh.m.Get(sth, src)
-	if !ok {
-		return false
-	}
-	// Phase 2: register a claim on dst, then insert provisionally. The
-	// claim must be registered before the insert so that every deleter that
-	// observes the provisional entry also observes (and breaks) the claim.
-	// An occupied dst fails the move with nothing changed yet.
-	cl := h.f.claims.register(dst)
-	defer h.f.claims.unregister(dst, cl)
-	if !dsh.m.Insert(dth, dst, v) {
-		return false
-	}
-	// Phase 3: take src out — but only while it still holds the value read
-	// in phase 1 (breaking, in turn, any claim movers hold on src as their
-	// destination). A bare delete-by-key could consume an entry a third
-	// party re-inserted at src with a different value after a concurrent
-	// removal, destroying their data and planting the stale value at dst;
-	// the conditional delete instead treats a replaced src as vanished.
-	// (An equal-valued re-insert being taken is a legal linearization:
-	// their insert, then this move.) Full read tracking (CTL) keeps the
-	// value comparison validated at commit even on elastic domains.
-	var deleted bool
-	sth.AtomicMode(stm.CTL, func(tx *stm.Tx) {
-		deleted = false
-		if cur, ok := ssh.m.GetTx(tx, src); !ok || cur != v {
-			return
+	var ok bool
+	// The error return is unused: the closure always returns nil, and a
+	// nil-returning Atomic cannot fail (it retries until commit).
+	_ = h.Atomic(func(t *ftx.Tx) error {
+		ok = false
+		v, present := t.Get(src)
+		if !present || t.Contains(dst) {
+			return nil
 		}
-		deleted = h.f.deleteTx(ssh.m, tx, src)
+		t.Delete(src)
+		t.Put(dst, v)
+		ok = true
+		return nil
 	})
-	if deleted {
-		return true
-	}
-	// Compensate: src vanished under us, so withdraw the provisional dst
-	// entry — but only under proof of ownership. An unbroken claim read in
-	// the withdrawing transaction guarantees no deletion of dst committed
-	// since our insert, hence the current entry is still ours (nothing but
-	// a deletion can displace it; the value re-check is defense in depth).
-	// The proof needs the broken read validated at commit, so the
-	// transaction runs under full read tracking (CTL) even when the
-	// domain defaults to elastic transactions — an elastic cut would drop
-	// the read and reopen the very hazard the claim closes.
-	dth.AtomicMode(stm.CTL, func(tx *stm.Tx) {
-		if tx.Read(&cl.broken) != 0 {
-			return // not provably ours any more; leave dst alone
-		}
-		if cur, ok := dsh.m.GetTx(tx, dst); ok && cur == v {
-			h.f.deleteTx(dsh.m, tx, dst)
-		}
-	})
-	return false
+	return ok
 }
 
 // moveSameShard is the intra-shard move: the composition of paper §5.4 as
-// one atomic transaction, plus the forest's claim-breaking on the deleted
-// src (trees.Move cannot know about claims, so the composition is inlined
-// here).
+// one atomic transaction.
 func (h *Handle) moveSameShard(sh *shard, th *stm.Thread, src, dst uint64) bool {
 	if src == dst {
 		return sh.m.Contains(th, src)
@@ -202,7 +150,7 @@ func (h *Handle) moveSameShard(sh *shard, th *stm.Thread, src, dst uint64) bool 
 		if !present || sh.m.ContainsTx(tx, dst) {
 			return
 		}
-		if !h.f.deleteTx(sh.m, tx, src) {
+		if !sh.m.DeleteTx(tx, src) {
 			return
 		}
 		if !sh.m.InsertTxA(tx, dst, v) {
@@ -215,6 +163,55 @@ func (h *Handle) moveSameShard(sh *shard, th *stm.Thread, src, dst uint64) bool 
 		ok = true
 	})
 	return ok
+}
+
+// ftxDomain adapts a Handle to the cross-shard coordinator's Domain
+// interface. Shard accesses charge the handle's routed-operation counter,
+// so OpsPerShard reflects coordinator traffic too (approximately: one
+// charge per shard touch, including commit-phase touches and retries).
+type ftxDomain struct{ h *Handle }
+
+func (d ftxDomain) Shards() int          { return len(d.h.f.shards) }
+func (d ftxDomain) ShardOf(k uint64) int { return d.h.f.ShardOf(k) }
+
+func (d ftxDomain) Shard(si int) ftx.Shard {
+	d.h.ops[si]++
+	return ftx.Shard{
+		Map:     d.h.f.shards[si].m,
+		Thread:  d.h.thread(si),
+		Intents: &d.h.f.shards[si].intents,
+	}
+}
+
+// Atomic runs fn as one atomic cross-shard transaction: fn may read and
+// write keys on any shard through the buffering ftx.Tx, and every effect
+// commits atomically — all or none — via the internal/ftx coordinator's
+// shard-ordered two-phase commit. A non-nil error from fn aborts the
+// transaction with nothing applied and is returned verbatim; otherwise
+// Atomic retries on conflict (through the shards' contention managers)
+// until it commits and returns nil. Like Update's fn, Atomic's fn may be
+// re-executed and must be free of side effects beyond the Tx and locals it
+// re-assigns.
+//
+// When every key fn touches lands on one shard, the transaction commits as
+// one ordinary single-shard transaction (no intents, no prepare); for
+// hot-path compositions whose keys are known co-located, SameShard-routed
+// Update remains cheaper still because it skips the coordinator's read
+// buffering too.
+func (h *Handle) Atomic(fn func(t *ftx.Tx) error) error {
+	if h.coord == nil {
+		h.coord = ftx.NewCoordinator(ftxDomain{h: h})
+	}
+	return h.coord.Run(fn)
+}
+
+// XactStats reports this handle's cross-shard coordinator activity
+// (zero value before the first Atomic call).
+func (h *Handle) XactStats() ftx.Stats {
+	if h.coord == nil {
+		return ftx.Stats{}
+	}
+	return h.coord.Stats()
 }
 
 // scanThread prepares shard si for a read-only scan: it charges the routed
@@ -359,10 +356,8 @@ func (o *Op) check(k uint64) {
 // Insert maps k to v within the transaction; false when present.
 func (o *Op) Insert(k, v uint64) bool { o.check(k); return o.m.InsertTxA(o.tx, k, v) }
 
-// Delete removes k within the transaction; false when absent. Like
-// Handle.Delete it breaks any in-flight cross-shard-move claim on k inside
-// the transaction.
-func (o *Op) Delete(k uint64) bool { o.check(k); return o.f.deleteTx(o.m, o.tx, k) }
+// Delete removes k within the transaction; false when absent.
+func (o *Op) Delete(k uint64) bool { o.check(k); return o.m.DeleteTx(o.tx, k) }
 
 // Get returns the value at k within the transaction.
 func (o *Op) Get(k uint64) (uint64, bool) { o.check(k); return o.m.GetTx(o.tx, k) }

@@ -24,10 +24,11 @@ const (
 	maintBatch  = sftree.MaintHintBatch
 	sweepGapMin = sftree.SweepGapMin
 	sweepGapMax = sftree.SweepGapMax
-	// drainGap paces hint-drain sessions per shard: hints younger than this
-	// wait and coalesce, bounding the rate of structural transactions the
-	// pool injects against the application's (each repair is a commit that
-	// can invalidate overlapping application transactions).
+	// drainGap is the default per-shard hint-drain pacing gap: hints
+	// younger than it wait and coalesce, bounding the rate of structural
+	// transactions the pool injects against the application's (each repair
+	// is a commit that can invalidate overlapping application
+	// transactions). WithMaintPacing overrides it per forest.
 	drainGap = 2 * time.Millisecond
 	// idleWaitMax caps a worker's idle sleep so a lost deadline estimate
 	// can never park a worker for long.
@@ -193,7 +194,7 @@ func (p *maintPool) scan() bool {
 		hints, work := 0, 0
 		if backlog {
 			hints, work = sh.mt.DrainHints(maintBatch)
-			sh.nextDrain.Store(time.Now().UnixNano() + int64(drainGap))
+			sh.nextDrain.Store(time.Now().UnixNano() + int64(p.f.drainPacing))
 			if hints > 0 {
 				p.f.pc.hintBatches.Add(1)
 			}

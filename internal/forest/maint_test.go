@@ -177,6 +177,37 @@ func TestMaintPoolTargetsHints(t *testing.T) {
 	}
 }
 
+// TestMaintPacingOption: WithMaintPacing overrides the per-shard
+// hint-drain pacing gap (default 2ms), including down to zero, and a
+// paced-out forest still drains its hints.
+func TestMaintPacingOption(t *testing.T) {
+	if f := New(trees.SFOpt, WithShards(2), WithoutMaintenance()); f.drainPacing != drainGap {
+		t.Fatalf("default pacing %v, want %v", f.drainPacing, drainGap)
+	}
+	if f := New(trees.SFOpt, WithShards(2), WithoutMaintenance(), WithMaintPacing(0)); f.drainPacing != 0 {
+		t.Fatalf("pacing %v after WithMaintPacing(0), want 0", f.drainPacing)
+	}
+	if f := New(trees.SFOpt, WithShards(2), WithoutMaintenance(), WithMaintPacing(-1)); f.drainPacing != drainGap {
+		t.Fatalf("negative pacing accepted: %v", f.drainPacing)
+	}
+	f := New(trees.SFOpt, WithShards(2), WithMaintWorkers(1), WithMaintPacing(10*time.Millisecond))
+	defer f.Close()
+	h := f.NewHandle()
+	for k := uint64(0); k < 512; k++ {
+		h.Insert(k, k)
+	}
+	for k := uint64(0); k < 512; k += 2 {
+		h.Delete(k)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.MaintenanceStats().Removals == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no removals under a 10ms drain pacing: %+v", f.MaintenanceStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // TestMaintPoolStopsOnClose: after Close no maintenance runs — counters
 // freeze even under further updates (the regression guard the per-shard
 // goroutine design had, retargeted at the pool).

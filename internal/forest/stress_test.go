@@ -24,20 +24,20 @@ func crossShardPair(t *testing.T, f *Forest) (a, b uint64) {
 }
 
 // TestCrossShardMoveCompensationABA is the regression test for the
-// value-ABA hazard in the cross-shard Move compensation: before the move
-// claims (claims.go), the compensating delete removed dst whenever it
-// "still held the moved value", which could destroy a third party's
-// independently inserted entry that coincidentally carried the same value.
+// value-ABA hazard of the pre-ftx cross-shard Move: the old insert-first/
+// compensate protocol could, without its move claims, destroy a third
+// party's independently inserted dst entry that coincidentally carried the
+// moved value. Move now runs as one atomic ftx transaction, which must
+// make the hazard structurally impossible — the mover never deletes dst at
+// all, and a Move whose keys were raced away commits nothing — but the
+// torture stays as a regression net: a buggy coordinator that published a
+// partial write set or replayed a stale read would surface here.
 //
 // The interferer cycles Delete(dst); Insert(dst, V); Get(dst)×m. Once its
 // insert succeeds it is the only legitimate deleter of dst until its own
-// Delete — the mover may withdraw dst only while the entry is provably its
-// own provisional one, which the interferer's entry never is (the
-// interferer's Delete broke the mover's claim inside the same transaction
-// that removed the provisional entry). Any vanished or foreign value
-// observed between the interferer's Insert and Delete is therefore a
-// spurious deletion. The srcDeleter keeps removing src so the mover's
-// phase 3 fails and the compensation path runs constantly.
+// Delete, so any vanished or foreign value observed between its Insert and
+// its Delete is a spurious deletion. The srcDeleter keeps removing src so
+// the mover constantly loses the race and aborts.
 func TestCrossShardMoveCompensationABA(t *testing.T) {
 	// WithYield forces transaction overlap even on single-core hosts, so
 	// the interferer's delete+reinsert pair actually lands inside the
@@ -93,9 +93,11 @@ func TestCrossShardMoveCompensationABA(t *testing.T) {
 }
 
 // TestCrossShardMovePingPong has several movers bouncing one token between
-// two cross-shard keys while a reader continuously checks the insert-first
-// ordering guarantee: the token is present at one of the keys at every
-// instant (it may transiently be at both, never at neither).
+// two cross-shard keys while a reader continuously checks it never
+// vanishes. Under the ftx-backed atomic Move the token is at exactly one
+// key at every committed instant; the reader's two lookups are separate
+// transactions, so it tolerates a bounded number of between-lookup hops
+// before declaring the token lost.
 func TestCrossShardMovePingPong(t *testing.T) {
 	f := New(trees.SF, WithShards(4), WithoutMaintenance(), WithYield(2))
 	defer f.Close()
@@ -146,20 +148,16 @@ func TestCrossShardMovePingPong(t *testing.T) {
 	if lost.Load() != 0 {
 		t.Fatal("token observed absent from both keys (value lost)")
 	}
-	// After all movers stop the token settles: present at a or b (both only
-	// if a contested compensation deliberately left a copy in place, which
-	// cannot happen here — the only deleters are the movers themselves,
-	// whose claims protocol resolves every move).
+	// After all movers stop the token settles at exactly one key: the
+	// ftx-backed Move is atomic, so the old contested-compensation
+	// "present at both" leftover can no longer occur.
 	h := f.NewHandle()
 	ca, cb := h.Contains(a), h.Contains(b)
 	if !ca && !cb {
 		t.Fatal("token lost at quiescence")
 	}
 	if ca && cb {
-		// Both present is the documented contested-compensation leftover
-		// (never a loss); it needs a rare multi-mover interleaving, so just
-		// record it.
-		t.Logf("token present at both keys at quiescence (contested-move leftover)")
+		t.Fatal("token present at both keys at quiescence: a Move published a partial write set")
 	}
 }
 

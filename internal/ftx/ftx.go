@@ -1,0 +1,397 @@
+// Package ftx implements cross-shard atomic transactions: a forest-level
+// coordinator that lets one transaction read and write keys owned by
+// different STM-domain shards, committing all of its effects atomically or
+// none of them. It is the layer the ROADMAP's "forest-level 2PC or intent
+// log" item asked for: where the sharded forest used to offer only
+// best-effort two-phase compensation for its one composed cross-shard
+// operation (Move), ftx gives arbitrary multi-key transactions —
+// transfer/ledger-style workloads — over the whole key space.
+//
+// # Programming model
+//
+//	err := ftx.Run(domain, func(t *ftx.Tx) error {
+//		v, ok := t.Get(src)
+//		if !ok || t.Contains(dst) {
+//			return errSkip // any non-nil error: nothing is applied
+//		}
+//		t.Delete(src)
+//		t.Put(dst, v)
+//		return nil
+//	})
+//
+// The function body executes against a buffering Tx: Get/Contains read
+// through to the owning shard (one committed read transaction per distinct
+// key, cached for repeatable reads), Put/Delete/Insert buffer their effect
+// locally. Nothing touches shared state until fn returns nil; returning an
+// error aborts the transaction with nothing applied. Like stm.Thread.Atomic,
+// fn may be re-executed when the commit loses a conflict, so it must be free
+// of side effects beyond the Tx and locals it re-assigns.
+//
+// # Commit protocol
+//
+// Commit is a deterministic shard-ordered two-phase commit over the
+// per-shard STM domains:
+//
+//  1. Intents. The coordinator registers an exclusive intent on every
+//     touched key (reads and writes) in its per-shard intent table, in
+//     ascending (shard, key) order. Intents are what serializes conflicting
+//     ftx transactions with each other: two coordinators sharing a key can
+//     never both be inside their prepare window, which closes the
+//     cross-shard read-write cycles that per-shard validation alone cannot
+//     see. A conflict releases everything and retries through the
+//     contention manager.
+//  2. Prepare. For each participating shard in ascending shard index, the
+//     coordinator runs one sub-transaction (stm.Thread.Prepare, always CTL)
+//     that re-reads every logged read — aborting if any differs from what
+//     fn observed — and applies the buffered writes, then holds the
+//     attempt at its lock point: validated, write-locked, unpublished.
+//  3. Finalize or roll back. Once every shard is prepared the coordinator
+//     finalizes them all (stm.Prepared.Finalize, ascending); if any shard
+//     fails to prepare, the already-prepared shards are dropped
+//     (stm.Prepared.Drop) with nothing published anywhere, and the whole
+//     transaction re-executes after a contention-manager stall.
+//
+// # Why this is atomic and deadlock-free
+//
+// Atomicity: a shard's sub-transaction holds all of its write locks from
+// prepare to finalize, so no concurrent shard-local transaction can read or
+// overwrite any word the coordinator is about to publish — a reader of a
+// half-committed state necessarily touches a locked word and aborts. All
+// logged reads were simultaneously valid at the first shard's lock point
+// (each was validated at its own shard's prepare, and intents plus the held
+// locks keep conflicting ftx commits out of the whole window), which makes
+// that lock point the transaction's serialization point.
+//
+// Deadlock-freedom: nothing in the protocol blocks while holding a
+// resource. Intent acquisition is try-acquire in a deterministic global
+// order (ascending shard, then key) and releases everything on conflict;
+// prepare's lock acquisition is try-lock (a lost CAS aborts the attempt);
+// finalize releases locks unconditionally. Livelock between contenders is
+// damped by the same pluggable contention-manager backoff the STM's
+// lifecycle engine uses, and the ascending orders make the common conflict
+// pattern (two transfers over the same accounts) resolve by one side
+// winning the lowest-ordered intent.
+//
+// Single-shard transactions — including every transaction on a one-shard
+// domain — skip the protocol entirely and commit as one ordinary atomic
+// transaction (the fallback fast path, counted in Stats.Fallbacks).
+package ftx
+
+import (
+	"sort"
+
+	"repro/internal/stm"
+	"repro/internal/trees"
+)
+
+// Shard is the caller-local access surface of one participating shard: the
+// shard's tree, the calling goroutine's STM thread registered with the
+// shard's domain, and the shard's intent table (shared by every coordinator
+// of the forest).
+type Shard struct {
+	Map     trees.Map
+	Thread  *stm.Thread
+	Intents *IntentTable
+}
+
+// Domain is the sharded substrate a coordinator drives. forest.Handle
+// adapts itself to it; Single wraps a bare (map, thread) pair as the
+// degenerate one-shard domain.
+//
+// Shard(si) may be called repeatedly for the same index and must return a
+// consistent view; like the rest of the per-goroutine accessor surface it
+// is not safe for concurrent use.
+type Domain interface {
+	// Shards reports the number of partitions.
+	Shards() int
+	// ShardOf returns the index of the shard owning key k.
+	ShardOf(k uint64) int
+	// Shard returns the access surface of shard si.
+	Shard(si int) Shard
+}
+
+// Stats counts a coordinator's activity. All fields are monotonically
+// increasing; Commits-Fallbacks is the number of genuine cross-shard
+// two-phase commits.
+type Stats struct {
+	// Commits counts committed transactions (both protocol paths).
+	Commits uint64
+	// Fallbacks counts the subset of Commits that took the single-shard
+	// fast path: every touched key lived on one shard, so the transaction
+	// committed as one ordinary atomic transaction with no intents, no
+	// prepare and no cross-shard window.
+	Fallbacks uint64
+	// Aborts counts failed commit attempts that were retried: read
+	// revalidation mismatches, lost lock races, and intent conflicts.
+	Aborts uint64
+	// IntentConflicts counts the subset of Aborts caused by another
+	// coordinator's intent on a shared key.
+	IntentConflicts uint64
+	// UserAborts counts transactions abandoned because fn returned an
+	// error (nothing applied, not retried).
+	UserAborts uint64
+}
+
+// Add accumulates o into s (aggregation across coordinators).
+func (s *Stats) Add(o Stats) {
+	s.Commits += o.Commits
+	s.Fallbacks += o.Fallbacks
+	s.Aborts += o.Aborts
+	s.IntentConflicts += o.IntentConflicts
+	s.UserAborts += o.UserAborts
+}
+
+// Coordinator runs cross-shard transactions against one Domain. Like the
+// handle it is built from, a Coordinator belongs to one goroutine.
+type Coordinator struct {
+	d     Domain
+	stats Stats
+}
+
+// NewCoordinator returns a coordinator for d.
+func NewCoordinator(d Domain) *Coordinator { return &Coordinator{d: d} }
+
+// Stats returns a snapshot of the coordinator's counters.
+func (c *Coordinator) Stats() Stats { return c.stats }
+
+// Run executes fn as one atomic cross-shard transaction (see the package
+// comment for the protocol), retrying on conflict until it commits. It
+// returns nil on commit; a non-nil error from fn aborts the transaction
+// with nothing applied and is returned verbatim.
+func (c *Coordinator) Run(fn func(*Tx) error) error {
+	retries := 0
+	for {
+		t := newTx(c.d)
+		if err := fn(t); err != nil {
+			c.stats.UserAborts++
+			return err
+		}
+		parts := t.participants()
+		if c.commit(parts) {
+			if len(parts) > 0 {
+				cm := parts[0].sh.Thread.STM().ContentionManager()
+				cm.OnCommit(parts[0].sh.Thread, retries)
+			}
+			return nil
+		}
+		c.stats.Aborts++
+		retries++
+		if len(parts) > 0 {
+			// Stall through the lowest participating shard's contention
+			// manager, charging the retry to that shard's thread.
+			parts[0].sh.Thread.CoordinatedAbort(retries)
+		}
+	}
+}
+
+// Run executes fn as one atomic cross-shard transaction on a throwaway
+// coordinator; callers who want Stats keep a Coordinator instead.
+func Run(d Domain, fn func(*Tx) error) error {
+	return NewCoordinator(d).Run(fn)
+}
+
+// single is the degenerate one-shard Domain.
+type single struct {
+	sh Shard
+}
+
+func (s *single) Shards() int        { return 1 }
+func (s *single) ShardOf(uint64) int { return 0 }
+func (s *single) Shard(int) Shard    { return s.sh }
+
+// Single wraps one (map, thread) pair as a one-shard Domain: every
+// transaction on it commits through the single-shard fast path, which makes
+// the cross-shard API usable — and its cost comparable — on unsharded
+// trees.
+func Single(m trees.Map, th *stm.Thread) Domain {
+	return &single{sh: Shard{Map: m, Thread: th, Intents: &IntentTable{}}}
+}
+
+// commit drives one attempt of the two-phase protocol over the
+// participants, returning true when everything published.
+func (c *Coordinator) commit(parts []*participant) bool {
+	switch len(parts) {
+	case 0:
+		// fn touched nothing: an empty transaction commits trivially.
+		c.stats.Commits++
+		c.stats.Fallbacks++
+		return true
+	case 1:
+		return c.commitSingle(parts[0])
+	default:
+		return c.commitCross(parts)
+	}
+}
+
+// commitSingle is the fallback fast path: one participating shard, one
+// ordinary atomic transaction. STM-level conflicts retry inside AtomicMode
+// as usual; only a read-revalidation mismatch (the world moved since fn
+// ran) escapes to the coordinator for full re-execution.
+func (c *Coordinator) commitSingle(p *participant) bool {
+	sh := p.sh
+	ok := false
+	// Full read tracking (CTL) regardless of the domain default: every
+	// replayed read must be validated at commit, and an elastic cut would
+	// drop exactly the validation the protocol depends on.
+	sh.Thread.AtomicMode(stm.CTL, func(tx *stm.Tx) {
+		ok = replayReads(sh.Map, tx, p.reads)
+		if !ok {
+			return // commit read-only; the coordinator re-executes fn
+		}
+		applyWrites(sh.Map, tx, p.writes)
+	})
+	if ok {
+		c.stats.Commits++
+		c.stats.Fallbacks++
+	}
+	return ok
+}
+
+// commitCross is the shard-ordered two-phase commit.
+func (c *Coordinator) commitCross(parts []*participant) bool {
+	if !acquireIntents(c, parts) {
+		c.stats.IntentConflicts++
+		return false
+	}
+	defer releaseIntents(c, parts)
+
+	prepared := make([]*stm.Prepared, 0, len(parts))
+	// A foreign panic out of a later shard's prepare (a bug in user code,
+	// e.g. a buffered Put of a tree-reserved key) must not leave earlier
+	// shards' prepared write locks behind — that would wedge every other
+	// transaction touching those words forever. Prepare itself releases
+	// the panicking attempt's own locks; this unwinds the rest.
+	defer func() {
+		if r := recover(); r != nil {
+			for i := len(prepared) - 1; i >= 0; i-- {
+				if prepared[i] != nil {
+					prepared[i].Drop()
+				}
+			}
+			panic(r)
+		}
+	}()
+	for _, p := range parts {
+		p := p
+		pr, ok := p.sh.Thread.Prepare(func(tx *stm.Tx) {
+			if !replayReads(p.sh.Map, tx, p.reads) {
+				tx.Restart()
+			}
+			applyWrites(p.sh.Map, tx, p.writes)
+		})
+		if !ok {
+			for i := len(prepared) - 1; i >= 0; i-- {
+				prepared[i].Drop()
+			}
+			return false
+		}
+		prepared = append(prepared, pr)
+	}
+	for i, pr := range prepared {
+		pr.Finalize()
+		prepared[i] = nil // finalized: no longer droppable by the unwind path
+	}
+	c.stats.Commits++
+	return true
+}
+
+// replayReads re-performs every logged read inside tx, reporting whether
+// the world still matches what fn observed. The reads join tx's read set,
+// so a "still matches" answer is validated at the transaction's lock point.
+func replayReads(m trees.Map, tx *stm.Tx, reads []readRec) bool {
+	for i := range reads {
+		r := &reads[i]
+		v, present := m.GetTx(tx, r.key)
+		if present != r.present || (present && v != r.val) {
+			return false
+		}
+	}
+	return true
+}
+
+// setterTx is the optional upsert entry point a tree may provide
+// (sftree.Tree does); without it a buffered put replays as delete+insert.
+type setterTx interface {
+	SetTx(tx *stm.Tx, k, v uint64)
+}
+
+// applyWrites replays the buffered writes inside tx, in ascending key
+// order.
+func applyWrites(m trees.Map, tx *stm.Tx, writes []writeRec) {
+	st, hasSet := m.(setterTx)
+	for i := range writes {
+		w := &writes[i]
+		if w.del {
+			m.DeleteTx(tx, w.key)
+			continue
+		}
+		if hasSet {
+			st.SetTx(tx, w.key, w.val)
+			continue
+		}
+		m.DeleteTx(tx, w.key)
+		if !m.InsertTxA(tx, w.key, w.val) {
+			// The key was deleted (or read absent) in this very
+			// transaction: only a doomed (zombie) attempt can see it
+			// occupied now. Never publish the half-applied write set —
+			// retry from scratch.
+			tx.Restart()
+		}
+	}
+}
+
+// participant is one shard's share of a transaction: its logged reads and
+// buffered writes, each sorted ascending by key.
+type participant struct {
+	si     int
+	sh     Shard
+	reads  []readRec
+	writes []writeRec
+	// touched is the sorted union of read and written keys — the shard's
+	// share of the transaction's intent footprint.
+	touched []uint64
+}
+
+// participants splits the transaction's read log and write buffer by
+// owning shard, sorted ascending by shard index (the deterministic prepare
+// order) and by key within each shard (the deterministic intent and replay
+// order).
+func (t *Tx) participants() []*participant {
+	byShard := make(map[int]*participant)
+	get := func(si int) *participant {
+		p := byShard[si]
+		if p == nil {
+			p = &participant{si: si, sh: t.d.Shard(si)}
+			byShard[si] = p
+		}
+		return p
+	}
+	for _, r := range t.reads {
+		p := get(t.d.ShardOf(r.key))
+		p.reads = append(p.reads, r)
+	}
+	for k, w := range t.writes {
+		p := get(t.d.ShardOf(k))
+		p.writes = append(p.writes, writeRec{key: k, val: w.val, del: w.del})
+	}
+	parts := make([]*participant, 0, len(byShard))
+	for _, p := range byShard {
+		sort.Slice(p.reads, func(i, j int) bool { return p.reads[i].key < p.reads[j].key })
+		sort.Slice(p.writes, func(i, j int) bool { return p.writes[i].key < p.writes[j].key })
+		seen := make(map[uint64]struct{}, len(p.reads)+len(p.writes))
+		for _, r := range p.reads {
+			seen[r.key] = struct{}{}
+		}
+		for _, w := range p.writes {
+			seen[w.key] = struct{}{}
+		}
+		p.touched = make([]uint64, 0, len(seen))
+		for k := range seen {
+			p.touched = append(p.touched, k)
+		}
+		sort.Slice(p.touched, func(i, j int) bool { return p.touched[i] < p.touched[j] })
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].si < parts[j].si })
+	return parts
+}

@@ -1,0 +1,86 @@
+package ftx
+
+import "sync"
+
+// IntentTable is one shard's table of in-flight cross-shard commit
+// intents: an exclusive per-key claim a coordinator holds over its whole
+// prepare→finalize window. One table lives on each forest shard, shared by
+// every coordinator (handle) of the forest.
+//
+// Intents are what serializes conflicting ftx transactions against each
+// other. Per-shard prepare validation catches any shard-local conflict,
+// but two cross-shard transactions can form a read-write cycle no single
+// shard sees (T1 reads X on shard a and writes Y on shard b while T2
+// writes X and reads Y): each one's reads validate at its own lock points,
+// yet the pair has no serial order. Covering *every* touched key — reads
+// included — with an exclusive intent makes any such pair conflict on a
+// key and keeps at least one of them out of its prepare window entirely.
+//
+// Plain single-shard transactions never consult the table; they are
+// serialized against a prepared sub-transaction by the STM's word locks
+// alone. The table is a coordination device between coordinators, not a
+// lock the data path pays for.
+type IntentTable struct {
+	mu sync.Mutex
+	m  map[uint64]*Coordinator // key → holder; lazily allocated
+}
+
+// tryAcquire claims k for owner, reporting success. A key the owner
+// already holds re-acquires trivially (a key both read and written is
+// touched once per role).
+func (it *IntentTable) tryAcquire(k uint64, owner *Coordinator) bool {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if cur, held := it.m[k]; held {
+		return cur == owner
+	}
+	if it.m == nil {
+		it.m = make(map[uint64]*Coordinator)
+	}
+	it.m[k] = owner
+	return true
+}
+
+// release drops owner's claim on k (a no-op if owner does not hold it).
+func (it *IntentTable) release(k uint64, owner *Coordinator) {
+	it.mu.Lock()
+	if it.m[k] == owner {
+		delete(it.m, k)
+	}
+	it.mu.Unlock()
+}
+
+// acquireIntents claims every touched key of every participant for c, in
+// the deterministic global order (ascending shard index, ascending key
+// within a shard). On the first conflict it releases everything already
+// acquired and reports failure — no hold-and-wait, hence no deadlock; the
+// coordinator stalls through the contention manager and retries.
+func acquireIntents(c *Coordinator, parts []*participant) bool {
+	for pi, p := range parts {
+		for ki, k := range p.touched {
+			if p.sh.Intents.tryAcquire(k, c) {
+				continue
+			}
+			for j := 0; j < ki; j++ {
+				p.sh.Intents.release(p.touched[j], c)
+			}
+			for j := 0; j < pi; j++ {
+				q := parts[j]
+				for _, qk := range q.touched {
+					q.sh.Intents.release(qk, c)
+				}
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// releaseIntents drops every intent acquireIntents claimed.
+func releaseIntents(c *Coordinator, parts []*participant) {
+	for _, p := range parts {
+		for _, k := range p.touched {
+			p.sh.Intents.release(k, c)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package ftx
+
+import (
+	"repro/internal/stm"
+	"repro/internal/trees"
+)
+
+// readRec is one logged execution-phase read: the key and the committed
+// (value, presence) fn observed. At commit every logged read is re-read
+// inside the owning shard's sub-transaction; any difference aborts the
+// attempt and re-executes fn.
+type readRec struct {
+	key     uint64
+	val     uint64
+	present bool
+}
+
+// writeRec is the buffered final state of one written key: a put of val,
+// or a deletion.
+type writeRec struct {
+	key uint64
+	val uint64
+	del bool
+}
+
+// Tx is the buffering transaction handed to Run's fn. Reads go through to
+// the owning shard (one committed read-only transaction per distinct key,
+// cached so repeated reads are repeatable and free); writes buffer their
+// per-key final state locally. The Tx provides read-your-writes: a read of
+// a key the transaction has written sees the buffered effect, not the
+// shard.
+//
+// A Tx is only valid inside the fn invocation it was passed to; fn may run
+// multiple times (each time with a fresh Tx), so it must not have side
+// effects beyond the Tx and locals it re-assigns.
+type Tx struct {
+	d      Domain
+	reads  map[uint64]readRec
+	writes map[uint64]writeRec
+}
+
+func newTx(d Domain) *Tx {
+	return &Tx{
+		d:      d,
+		reads:  make(map[uint64]readRec),
+		writes: make(map[uint64]writeRec),
+	}
+}
+
+// read returns the logged read for k, reading through to the owning shard
+// on first touch.
+func (t *Tx) read(k uint64) readRec {
+	if r, ok := t.reads[k]; ok {
+		return r
+	}
+	sh := t.d.Shard(t.d.ShardOf(k))
+	r := readRec{key: k}
+	trees.Atomic(sh.Map, sh.Thread, func(tx *stm.Tx) {
+		r.val, r.present = sh.Map.GetTx(tx, k)
+	})
+	t.reads[k] = r
+	return r
+}
+
+// Get returns the value at k as observed by this transaction.
+func (t *Tx) Get(k uint64) (uint64, bool) {
+	if w, ok := t.writes[k]; ok {
+		if w.del {
+			return 0, false
+		}
+		return w.val, true
+	}
+	r := t.read(k)
+	return r.val, r.present
+}
+
+// Contains reports whether k is present as observed by this transaction.
+func (t *Tx) Contains(k uint64) bool {
+	_, ok := t.Get(k)
+	return ok
+}
+
+// Put maps k to v unconditionally (an upsert). It performs no read: a
+// blind Put of a key the transaction never read adds nothing to the
+// validation set.
+func (t *Tx) Put(k, v uint64) {
+	t.writes[k] = writeRec{key: k, val: v}
+}
+
+// Insert maps k to v if k is absent as observed by this transaction,
+// reporting whether it did.
+func (t *Tx) Insert(k, v uint64) bool {
+	if t.Contains(k) {
+		return false
+	}
+	t.writes[k] = writeRec{key: k, val: v}
+	return true
+}
+
+// Delete removes k, reporting whether it was present as observed by this
+// transaction.
+func (t *Tx) Delete(k uint64) bool {
+	if w, ok := t.writes[k]; ok {
+		if w.del {
+			return false
+		}
+		t.writes[k] = writeRec{key: k, del: true}
+		return true
+	}
+	if !t.read(k).present {
+		// Logged as absent: the commit validates it stayed absent, so the
+		// no-op outcome linearizes correctly with no buffered write.
+		return false
+	}
+	t.writes[k] = writeRec{key: k, del: true}
+	return true
+}

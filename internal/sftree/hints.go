@@ -29,17 +29,66 @@ const (
 
 // hint is one queued maintenance request. key routes the targeted repair
 // (repairAt descends by key); ref is the node observed at emission time and
-// backs the dedup bit only — the repair never trusts it structurally.
+// backs the dedup word only — the repair never trusts it structurally.
 type hint struct {
 	key  uint64
 	ref  arena.Ref
 	kind uint64
 }
 
+// Values of the per-node dedup word (arena.Node.Hint): the priority of the
+// hint currently queued for the node. Ordered so that "an equal or higher
+// value is queued" means the new hint may coalesce.
+const (
+	hintBitRebalance uint32 = 1
+	hintBitRemove    uint32 = 2
+)
+
 // defaultHintCap is the hint-queue capacity (rounded up to a power of two).
 // Beyond it hints are dropped and the fallback sweep picks up the slack —
 // the queue is a fast path, not a ledger.
 const defaultHintCap = 1024
+
+// hintPQ is the two-level priority front of the hint queue: removal hints
+// drain strictly before rebalance hints. Physical removals are the hints
+// with correctness-adjacent urgency (a logically deleted node sits on every
+// traversal path until unlinked, and delete-heavy phases grow the tree
+// until removals land), while rebalance hints are pure heuristics — so a
+// burst of rebalance noise must never delay a removal. Each priority level
+// is its own bounded Vyukov ring of the configured capacity; within a level
+// hints stay FIFO.
+type hintPQ struct {
+	remove    *hintQueue
+	rebalance *hintQueue
+}
+
+func newHintPQ(capacity int) *hintPQ {
+	return &hintPQ{
+		remove:    newHintQueue(capacity),
+		rebalance: newHintQueue(capacity),
+	}
+}
+
+// push enqueues h at its kind's priority, returning false when that
+// level's ring is full.
+func (q *hintPQ) push(h hint) bool {
+	if h.kind == hintRemove {
+		return q.remove.push(h)
+	}
+	return q.rebalance.push(h)
+}
+
+// pop dequeues the highest-priority queued hint: removals first, then
+// rebalances; ok=false when both levels are empty.
+func (q *hintPQ) pop() (hint, bool) {
+	if h, ok := q.remove.pop(); ok {
+		return h, true
+	}
+	return q.rebalance.pop()
+}
+
+// size estimates the number of queued hints across both levels.
+func (q *hintPQ) size() int { return q.remove.size() + q.rebalance.size() }
 
 // hintCell is one slot of the bounded queue ring.
 type hintCell struct {
@@ -135,11 +184,37 @@ func (t *Tree) OnTxCommit(kind, key, ref uint64) {
 		return
 	}
 	if ref != arena.Nil {
-		if !t.node(ref).Hint.CompareAndSwap(0, 1) {
-			// A hint for this node is already queued; repairing once covers
-			// both.
-			t.hintsCoalesced.Add(1)
-			return
+		// The per-node dedup word records the priority of the queued hint
+		// (0 none, 1 rebalance, 2 removal). Folding is only safe downward:
+		// a rebalance hint folds into anything queued (a removal's
+		// targeted repair settles and rebalances the whole root-to-key
+		// path anyway), but a removal must never fold into an
+		// already-queued rebalance — that would demote it to the
+		// low-priority level, exactly the inversion the two-level queue
+		// exists to prevent (insert-then-delete produces the pattern
+		// constantly). A removal arriving over a queued rebalance upgrades
+		// the word and enqueues at the removal level as an extra entry
+		// (ref Nil, so its drain does not clear a word the rebalance entry
+		// still owns); further removals then coalesce into it.
+		n := t.node(ref)
+		want := uint32(hintBitRebalance)
+		if kind == hintRemove {
+			want = hintBitRemove
+		}
+		for {
+			cur := n.Hint.Load()
+			if cur >= want {
+				// A hint of equal or higher priority is already queued;
+				// repairing once covers both.
+				t.hintsCoalesced.Add(1)
+				return
+			}
+			if n.Hint.CompareAndSwap(cur, want) {
+				if cur != 0 {
+					ref = arena.Nil // upgrade: the queued entry keeps the word
+				}
+				break
+			}
 		}
 	}
 	if !t.hintq.push(hint{key: key, ref: ref, kind: kind}) {

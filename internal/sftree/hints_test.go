@@ -176,6 +176,98 @@ func TestStartStopConcurrent(t *testing.T) {
 	tr.Stop()
 }
 
+// TestHintPriorityDrainOrder enqueues interleaved removal and rebalance
+// hints and asserts the drain order: every removal hint comes out before
+// any rebalance hint, and each kind stays FIFO within itself — so a burst
+// of rebalance noise can never delay physical removals.
+func TestHintPriorityDrainOrder(t *testing.T) {
+	q := newHintPQ(64)
+	const n = 10
+	for i := uint64(0); i < n; i++ {
+		// Interleave: rebalance first so a kind-blind FIFO would fail.
+		if !q.push(hint{key: 1000 + i, kind: hintRebalance}) {
+			t.Fatal("rebalance push failed")
+		}
+		if !q.push(hint{key: i, kind: hintRemove}) {
+			t.Fatal("remove push failed")
+		}
+	}
+	if got := q.size(); got != 2*n {
+		t.Fatalf("size %d, want %d", got, 2*n)
+	}
+	var order []hint
+	for {
+		h, ok := q.pop()
+		if !ok {
+			break
+		}
+		order = append(order, h)
+	}
+	if len(order) != 2*n {
+		t.Fatalf("drained %d hints, want %d", len(order), 2*n)
+	}
+	for i, h := range order {
+		if i < n {
+			if h.kind != hintRemove {
+				t.Fatalf("position %d drained kind %d, want all removals first", i, h.kind)
+			}
+			if h.key != uint64(i) {
+				t.Fatalf("removal drained out of FIFO order: position %d key %d", i, h.key)
+			}
+		} else {
+			if h.kind != hintRebalance {
+				t.Fatalf("position %d drained kind %d, want rebalance", i, h.kind)
+			}
+			if h.key != 1000+uint64(i-n) {
+				t.Fatalf("rebalance drained out of FIFO order: position %d key %d", i, h.key)
+			}
+		}
+	}
+}
+
+// TestHintPriorityRemovalSurvivesRebalanceBurst fills the rebalance level
+// to the brim and checks a removal hint still enqueues and drains first:
+// the levels have independent capacity.
+func TestHintPriorityRemovalSurvivesRebalanceBurst(t *testing.T) {
+	q := newHintPQ(8) // ring capacity 8 per level
+	for i := uint64(0); ; i++ {
+		if !q.push(hint{key: i, kind: hintRebalance}) {
+			break // rebalance level full
+		}
+	}
+	if !q.push(hint{key: 42, kind: hintRemove}) {
+		t.Fatal("removal hint dropped because the rebalance level was full")
+	}
+	h, ok := q.pop()
+	if !ok || h.kind != hintRemove || h.key != 42 {
+		t.Fatalf("first drained hint %+v, want the removal", h)
+	}
+}
+
+// TestHintRemoveNeverDemotedByDedup: a removal hint for a node whose dedup
+// bit is already held by a queued rebalance hint (the insert-then-delete
+// pattern) must still enqueue at the removal level instead of folding into
+// the low-priority hint.
+func TestHintRemoveNeverDemotedByDedup(t *testing.T) {
+	s := stm.New()
+	tr := New(s)
+	th := s.NewThread()
+	// Insert queues a rebalance hint for the new leaf and sets its dedup
+	// bit; the following delete's removal hint hits the set bit.
+	tr.Insert(th, 7, 7)
+	if tr.hintq.remove.size() != 0 {
+		t.Fatal("insert queued a removal hint")
+	}
+	tr.Delete(th, 7)
+	if tr.hintq.remove.size() == 0 {
+		t.Fatal("removal hint was folded into the queued rebalance hint (demoted to low priority)")
+	}
+	h, ok := tr.hintq.pop()
+	if !ok || h.kind != hintRemove {
+		t.Fatalf("first drained hint %+v, want the removal", h)
+	}
+}
+
 // TestHintQueueMPMC hammers the bounded queue from many producers against
 // one consumer, checking nothing is duplicated or invented.
 func TestHintQueueMPMC(t *testing.T) {

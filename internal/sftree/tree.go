@@ -120,7 +120,7 @@ type Tree struct {
 	// Hint-driven maintenance state (hints.go). hintq is nil when hints are
 	// disabled (WithoutHints — the no-restructuring ablation); notify is the
 	// registered wake callback (SetMaintNotify).
-	hintq          *hintQueue
+	hintq          *hintPQ
 	notify         atomic.Pointer[func()]
 	hintsEmitted   atomic.Uint64
 	hintsCoalesced atomic.Uint64
@@ -193,7 +193,7 @@ func New(s *stm.STM, opts ...Option) *Tree {
 		wake:    make(chan struct{}, 1),
 	}
 	if c.hints {
-		t.hintq = newHintQueue(c.hintCap)
+		t.hintq = newHintPQ(c.hintCap)
 	}
 	t.collector = arena.NewCollector(ar)
 	t.maintTh = s.NewThread()
@@ -377,6 +377,42 @@ func (t *Tree) InsertTx(tx *stm.Tx, k, v uint64, sc *arena.Scratch) bool {
 func (t *Tree) InsertTxA(tx *stm.Tx, k, v uint64) bool {
 	var sc arena.Scratch
 	return t.InsertTx(tx, k, v, &sc)
+}
+
+// SetTx maps k to v within the enclosing transaction regardless of whether
+// k is present (an upsert): a live node's value is overwritten in place, a
+// logically deleted node is resurrected, and an absent key gains a new
+// leaf. It is the write-replay entry point of the cross-shard transaction
+// coordinator (internal/ftx), which buffers each written key's final state
+// and needs to apply it without knowing presence; trees without SetTx pay
+// a delete+insert pair instead. Allocation follows InsertTxA's discipline
+// (tree-managed scratch, the same bounded leak profile on aborted linking
+// attempts).
+func (t *Tree) SetTx(tx *stm.Tx, k, v uint64) {
+	checkKey(k)
+	curr := t.findHinted(tx, k)
+	n := t.node(curr)
+	if n.Key.Plain() == k {
+		if tx.Read(&n.Del) != 0 {
+			// Logical resurrection, exactly as InsertTx's same-key path.
+			tx.Write(&n.Del, 0)
+		}
+		tx.Write(&n.Val, v)
+		return
+	}
+	var sc arena.Scratch
+	ref := sc.Take(t.ar, k, v)
+	if k < n.Key.Plain() {
+		tx.Write(&n.L, ref)
+	} else {
+		tx.Write(&n.R, ref)
+	}
+	sc.MarkLinked()
+	if t.hintq != nil {
+		// A new leaf stales the height estimates of its whole path (see
+		// InsertTx).
+		tx.OnCommit(t, hintRebalance, k, ref)
+	}
 }
 
 // Delete removes k from the set, returning true when k was present. The

@@ -1,0 +1,200 @@
+package stm
+
+// Two-phase transaction support: a transaction attempt can be driven to a
+// *prepared* state — reads validated, write locks acquired, writes still
+// unpublished — and later either finalized (published) or dropped (rolled
+// back). This is the STM-side half of the forest's cross-shard transaction
+// coordinator (internal/ftx): the coordinator prepares one sub-transaction
+// per participating shard, in ascending shard order, and finalizes them all
+// only once every shard has reached its lock point.
+//
+// Correctness sketch. prepare() is exactly the first half of commit():
+// commit-time lock acquirement over the write set, then the clock draw,
+// then full read-set validation. A prepared transaction therefore holds
+// every write lock it will ever need, so between prepare and finalize no
+// concurrent transaction can read or overwrite any word the prepared
+// transaction is about to publish (readers of a locked word spin briefly
+// and abort; writers lose the lock CAS and abort). The transaction's
+// serialization point is its lock point: all of its reads were
+// simultaneously valid there, its clock position was drawn there (see
+// prepare's comment for why drawing it any later breaks concurrent
+// commits' wv == rv+1 shortcut), and its writes become visible later —
+// published by finalize() with the lock-point version — under the
+// protection of the held locks.
+
+// Prepared is a transaction attempt held at its lock point. Exactly one of
+// Finalize or Drop must be called, on the same goroutine that called
+// Prepare; the owning Thread cannot start another transaction until then.
+type Prepared struct {
+	th   *Thread
+	done bool
+}
+
+// Prepare runs fn once as a CTL transaction attempt on th and, instead of
+// committing, holds the attempt prepared: reads validated, write locks
+// acquired, writes buffered but unpublished. It returns (nil, false) when
+// the attempt aborts — a validation failure, a lost lock race, or an
+// explicit Tx.Restart — leaving no locks behind; Prepare itself never
+// retries and never consults the contention manager (the caller owns the
+// retry policy — see Thread.CoordinatedAbort).
+//
+// fn runs under the same contract as AtomicMode's fn: transactional
+// accesses only, no side effects beyond locals, impossible observations
+// answered with Tx.Restart. The operation accounting (pending flag,
+// completed-operation counter, MaxOpReads) opened by Prepare is closed by
+// Finalize or Drop, so the §3.4 garbage collector treats the whole
+// prepared window as one in-flight operation and frees nothing the
+// prepared transaction may still reference.
+func (th *Thread) Prepare(fn func(*Tx)) (*Prepared, bool) {
+	if th.inAtomic {
+		panic("stm: Prepare inside a running transaction; compose by passing *Tx instead")
+	}
+	th.inAtomic = true
+	th.pending.Store(true)
+	th.opReads = 0
+	tx := &th.tx
+	tx.begin(CTL)
+	if !th.runPrepareAttempt(tx, fn) {
+		th.finishPreparedOp()
+		return nil, false
+	}
+	return &Prepared{th: th}, true
+}
+
+// runPrepareAttempt executes one attempt of fn and tries to reach the lock
+// point, converting the abort panic into a false return (the prepared-state
+// analogue of runAttempt).
+func (th *Thread) runPrepareAttempt(tx *Tx, fn func(*Tx)) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == abortSignal {
+				ok = false
+				return
+			}
+			// A foreign panic (bug in user code) must not leave write
+			// locks behind.
+			tx.releaseLocks()
+			panic(r)
+		}
+	}()
+	fn(tx)
+	return tx.prepare()
+}
+
+// finishPreparedOp closes the operation accounting opened by Prepare.
+func (th *Thread) finishPreparedOp() {
+	if th.opReads > th.stats.MaxOpReads {
+		th.stats.MaxOpReads = th.opReads
+	}
+	th.opCount.Add(1)
+	th.pending.Store(false)
+	th.inAtomic = false
+}
+
+// Finalize publishes the prepared writes and releases the locks, completing
+// the transaction. Registered commit hooks (Tx.OnCommit) fire now — a
+// prepared-then-dropped attempt publishes nothing, exactly like an aborted
+// Atomic attempt.
+func (p *Prepared) Finalize() {
+	if p.done {
+		panic("stm: Finalize on a completed Prepared transaction")
+	}
+	p.done = true
+	tx := &p.th.tx
+	tx.finalizePrepared()
+	tx.runCommitHooks()
+	p.th.finishPreparedOp()
+}
+
+// Drop aborts the prepared transaction: locks are released with their
+// pre-lock metadata restored, the buffered writes are discarded, and the
+// attempt is counted as an abort.
+func (p *Prepared) Drop() {
+	if p.done {
+		panic("stm: Drop on a completed Prepared transaction")
+	}
+	p.done = true
+	tx := &p.th.tx
+	tx.releaseLocks()
+	tx.nHooks = 0
+	p.th.stats.Aborts++
+	p.th.finishPreparedOp()
+}
+
+// CoordinatedAbort charges one abort→retry transition to the thread and
+// consults the domain's contention manager, exactly as the transaction-
+// lifecycle engine does between attempts of an Atomic operation. External
+// transaction coordinators (the cross-shard ftx layer) call it when a
+// multi-domain attempt fails, so coordinator retries obey the same
+// pluggable policy — and surface in the same Stats counters — as
+// single-domain retries.
+func (th *Thread) CoordinatedAbort(retries int) {
+	th.stats.Retries++
+	th.stm.cm.OnAbort(th, retries)
+}
+
+// prepare drives the attempt to its lock point: acquire the write locks
+// (commit-time locking), draw the transaction's clock position, then
+// validate the full read set — the same lock→clock→validate order as
+// commit(). On failure the attempt is rolled back and counted as an abort.
+//
+// Two details differ from commit and both are load-bearing:
+//
+//   - prepare always validates; publication happens later, so the
+//     wv == rv+1 shortcut does not apply to the prepared transaction
+//     itself.
+//   - the write version is drawn NOW, not at finalize. A prepared
+//     transaction holds locks across an extended window; if it drew its
+//     version only at publication, a concurrent ordinary commit could draw
+//     wv == rv+1 in the interim, skip validation, and never observe the
+//     prepared locks — committing a stale read of a word the prepared
+//     transaction is about to overwrite (a write-skew that loses the
+//     prepared write; the cross-shard oracle catches exactly this against
+//     the optimized tree's copy-on-rotate). Drawing at the lock point
+//     restores the TL2 invariant behind the shortcut: every write the
+//     prepared transaction will publish is anchored to a clock position
+//     taken while its locks were already held, so any transaction drawing
+//     a later position validates in full and aborts on those locks.
+func (tx *Tx) prepare() bool {
+	lock := packLock(tx.th.slot)
+	for i := range tx.writes {
+		e := &tx.writes[i]
+		m := e.w.meta.Load()
+		if isLocked(m) || !e.w.meta.CompareAndSwap(m, lock) {
+			tx.rollback()
+			return false
+		}
+		e.prevMeta = m
+		e.locked = true
+	}
+	if len(tx.writes) > 0 {
+		tx.preparedWV = tx.th.stm.clock.Add(1)
+	}
+	if !tx.validateReads() {
+		tx.rollback()
+		return false
+	}
+	tx.th.stats.Prepares++
+	return true
+}
+
+// finalizePrepared is the publication half of commit, run on a transaction
+// whose prepare already succeeded: publish values, then release the locks
+// by publishing the metadata carrying the lock-point write version.
+func (tx *Tx) finalizePrepared() {
+	if len(tx.writes) == 0 {
+		tx.th.stats.Commits++
+		return
+	}
+	newMeta := packVersion(tx.preparedWV)
+	for i := range tx.writes {
+		e := &tx.writes[i]
+		e.w.val.Store(e.val)
+	}
+	for i := range tx.writes {
+		e := &tx.writes[i]
+		e.w.meta.Store(newMeta)
+		e.locked = false
+	}
+	tx.th.stats.Commits++
+}

@@ -29,8 +29,14 @@ type Stats struct {
 	// ElasticCuts counts reads dropped from elastic read sets.
 	ElasticCuts uint64
 	// Retries counts abort→retry transitions of the transaction-lifecycle
-	// engine (every aborted attempt of an Atomic operation charges one).
+	// engine (every aborted attempt of an Atomic operation charges one) and
+	// of external coordinators (Thread.CoordinatedAbort).
 	Retries uint64
+	// Prepares counts transaction attempts successfully driven to the
+	// prepared state (Thread.Prepare) by a two-phase-commit coordinator;
+	// whether each one then committed or rolled back shows up in Commits
+	// and Aborts as usual (Prepared.Finalize / Prepared.Drop).
+	Prepares uint64
 	// BackoffNanos is the total time, in nanoseconds, the contention
 	// manager stalled this thread between an abort and its retry.
 	BackoffNanos uint64
@@ -46,6 +52,7 @@ func (s *Stats) Add(o Stats) {
 	s.Extensions += o.Extensions
 	s.ElasticCuts += o.ElasticCuts
 	s.Retries += o.Retries
+	s.Prepares += o.Prepares
 	s.BackoffNanos += o.BackoffNanos
 	if o.MaxOpReads > s.MaxOpReads {
 		s.MaxOpReads = o.MaxOpReads

@@ -71,6 +71,14 @@ type Tx struct {
 	// Discarded on abort, run exactly once after a successful commit.
 	hooks  [maxCommitHooks]commitHookEntry
 	nHooks int
+
+	// preparedWV is the write version drawn at the lock point of a prepared
+	// transaction (prepare()); finalizePrepared publishes with it. Drawing
+	// the clock position at prepare — locks, then clock, then validation,
+	// exactly commit()'s order — is what keeps the wv == rv+1 shortcut of
+	// concurrent ordinary commits sound: any transaction that draws a later
+	// position must validate in full and so observes the prepared locks.
+	preparedWV uint64
 }
 
 // begin resets the descriptor for a fresh attempt.

@@ -40,15 +40,26 @@
 //	t := repro.NewTree(repro.SpeculationFriendlyOptimized,
 //		repro.WithShards(8), repro.WithContention(repro.ContentionKarma))
 //
-// Sharding trades global atomicity for scalability: composed transactions
-// are confined to one shard (Handle.UpdateShard, Tree.SameShard) and Move
-// is atomic only within a shard.
+// Cheap composed transactions are confined to one shard (Handle.UpdateShard,
+// Tree.SameShard); transactions that must span shards — transfer/ledger
+// workloads, cross-shard Move — run through Handle.Atomic, a cross-shard
+// transaction coordinator that buffers reads and writes per shard and
+// commits them with a shard-ordered two-phase commit (internal/ftx):
+//
+//	h.Atomic(func(t *repro.Txn) error {
+//		a, _ := t.Get(accA)
+//		b, _ := t.Get(accB)
+//		t.Put(accA, a-25)
+//		t.Put(accB, b+25)
+//		return nil // any non-nil error aborts with nothing applied
+//	})
 package repro
 
 import (
 	"sync"
 
 	"repro/internal/forest"
+	"repro/internal/ftx"
 	"repro/internal/sftree"
 	"repro/internal/stm"
 	"repro/internal/trees"
@@ -144,9 +155,11 @@ func WithoutMaintenance() Option { return func(c *treeCfg) { c.maintenance = fal
 
 // WithShards hash-partitions the key space across n independent
 // STM-domain+tree shards (default 1, the paper's single-domain tree). With
-// n > 1, single-key operations keep their atomicity, composed transactions
-// are confined to one shard (see Handle.UpdateShard and Tree.SameShard),
-// and Move is atomic only within a shard.
+// n > 1, single-key operations keep their atomicity, cheap composed
+// transactions are confined to one shard (see Handle.UpdateShard and
+// Tree.SameShard), and arbitrary multi-shard compositions — including Move
+// across shards — run atomically through Handle.Atomic's two-phase-commit
+// coordinator.
 func WithShards(n int) Option { return func(c *treeCfg) { c.shards = n } }
 
 // WithMaintWorkers sets the size of the shared maintenance worker pool of a
@@ -320,9 +333,10 @@ func (t *Tree) MaintPoolStats() MaintPoolStats {
 
 // Handle is a per-goroutine accessor to a Tree.
 type Handle struct {
-	t  *Tree
-	th *stm.Thread    // single-domain path
-	fh *forest.Handle // sharded path
+	t     *Tree
+	th    *stm.Thread      // single-domain path
+	fh    *forest.Handle   // sharded path
+	coord *ftx.Coordinator // single-domain Atomic coordinator, on first use
 }
 
 // Insert maps k to v; false when k was already present.
@@ -358,18 +372,65 @@ func (h *Handle) Contains(k uint64) bool {
 }
 
 // Move relocates the value at src to dst (§5.4's composed operation); it
-// succeeds only when src is present and dst absent. On an unsharded tree —
-// and on a sharded one when SameShard(src, dst) — the move is one atomic
-// transaction. Across shards it executes as separate single-shard
-// transactions ordered so the value is never lost; a concurrent observer
-// can momentarily see it at both keys, and when the move loses a race for
-// its keys it fails without ever deleting a third party's entry (see
-// forest.Handle.Move for the exact contested-failure semantics).
+// succeeds only when src is present and dst absent, and it is atomic on
+// every configuration: one ordinary transaction on an unsharded tree and
+// within a shard, one cross-shard Atomic transaction otherwise.
 func (h *Handle) Move(src, dst uint64) bool {
 	if h.fh != nil {
 		return h.fh.Move(src, dst)
 	}
 	return trees.Move(h.t.m, h.th, src, dst)
+}
+
+// SameShard reports whether k1 and k2 live on the same shard (always true
+// for unsharded trees) — the routing predicate for UpdateShard.
+func (h *Handle) SameShard(k1, k2 uint64) bool {
+	if h.fh != nil {
+		return h.fh.SameShard(k1, k2)
+	}
+	return true
+}
+
+// Txn is the buffering cross-shard transaction Handle.Atomic runs:
+// Get/Contains read through to the owning shard with repeatable-read
+// caching, Put/Insert/Delete buffer their effect, and everything commits
+// atomically — all or none — when the function returns nil.
+type Txn = ftx.Tx
+
+// Atomic runs fn as one atomic transaction over the whole key space,
+// regardless of sharding: reads and writes may touch any keys, and the
+// commit is all-or-nothing via a shard-ordered two-phase commit over the
+// participating shards (single-shard transactions — including everything
+// on an unsharded tree — fall back to one ordinary transaction). A non-nil
+// error from fn aborts with nothing applied and is returned verbatim;
+// otherwise Atomic retries on conflict until it commits. fn may be
+// re-executed and must be free of side effects beyond the Txn and locals
+// it re-assigns.
+//
+// Atomic is the general composition; UpdateShard remains cheaper when the
+// keys are known co-located (Tree.SameShard).
+func (h *Handle) Atomic(fn func(t *Txn) error) error {
+	if h.fh != nil {
+		return h.fh.Atomic(fn)
+	}
+	if h.coord == nil {
+		h.coord = ftx.NewCoordinator(ftx.Single(h.t.m, h.th))
+	}
+	return h.coord.Run(fn)
+}
+
+// XactStats reports this handle's cross-shard coordinator activity: total
+// commits, the subset that took the single-shard fallback fast path,
+// retried aborts and intent conflicts (zero value before the first Atomic
+// call).
+func (h *Handle) XactStats() ftx.Stats {
+	if h.fh != nil {
+		return h.fh.XactStats()
+	}
+	if h.coord == nil {
+		return ftx.Stats{}
+	}
+	return h.coord.Stats()
 }
 
 // Len counts the elements, one consistent snapshot per shard.

@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DURATION ?= 1s
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race vet ci bench-range bench-xact bench-json
+.PHONY: all build test race vet ci bench-range bench-xact bench-durable bench-json
 
 all: build
 
@@ -19,7 +19,7 @@ test:
 # and the public facade). The timeout guards against a stress test
 # livelocking under the detector's serialization.
 race:
-	$(GO) test -race -timeout 10m ./internal/stm ./internal/sftree ./internal/trees ./internal/forest ./internal/ftx .
+	$(GO) test -race -timeout 10m ./internal/stm ./internal/sftree ./internal/trees ./internal/forest ./internal/ftx ./internal/durable .
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,16 @@ bench-xact:
 	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -xact-frac 0.2 -shards 8
 	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -xact-frac 0.2 -xact-cross 0 -shards 8
 
+# Durability microbenchmark points: the WAL-attached forest at one and
+# eight shards under asynchronous group commit, and the per-operation
+# fsync regime. The durable CSV columns report log bytes/records/syncs,
+# checkpoints, and the timed post-run recovery (recovery_ms,
+# recovered_keys).
+bench-durable:
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 1 -header
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 8
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -fsync -shards 8
+
 # Maintenance-efficiency and cross-shard-transaction benchmark points,
 # recorded as one JSON artifact per session (BENCH_<date>.json) so the perf
 # trajectory is durable (the scheduled bench workflow uploads the same
@@ -55,7 +65,8 @@ bench-json:
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -shards 8 -maint-workers 2 -dist zipf -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf -threads 4 -update 20 -shards 8 -maint-workers 2 -dist zipf -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -xact-frac 0.2 -shards 1 -duration $(BENCH_DURATION) ; \
-	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -xact-frac 0.2 -shards 8 -duration $(BENCH_DURATION) ; } \
+	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -xact-frac 0.2 -shards 8 -duration $(BENCH_DURATION) ; \
+	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 8 -duration $(BENCH_DURATION) ; } \
 	| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
 
 ci: build vet test race

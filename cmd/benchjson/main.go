@@ -8,8 +8,10 @@
 // Per-shard breakdown rows ("shard,<i>,...") are skipped — the summary
 // records the aggregate trajectory. Values that parse as numbers are
 // emitted as JSON numbers, everything else as strings. The mapping is
-// column-name driven, so new microbench columns (most recently the xact_*
-// cross-shard-transaction counters) flow into the JSON unchanged.
+// column-name driven, so new microbench columns (most recently the
+// durability set: durable, fsync, wal_records, wal_atomic_records,
+// wal_bytes, wal_syncs, checkpoints, checkpoint_pairs, recovery_ms,
+// recovered_keys) flow into the JSON unchanged.
 //
 //	microbench -header ... | benchjson -out BENCH_2026-07-29.json
 package main

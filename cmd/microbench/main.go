@@ -33,6 +33,16 @@
 // report completed transfers, units moved, and the coordinator's
 // commit/fallback/abort/intent-conflict accounting.
 //
+// -durable attaches a write-ahead log (internal/durable) in a temporary
+// directory: every committed update appends one checksummed record (cross-
+// shard transfers as one multi-shard record), checkpoints run every
+// -checkpoint-every (default 500ms), and after the hammer phase the run
+// performs a timed full recovery of the directory. -fsync switches from
+// asynchronous group commit to per-operation fsync. The durable CSV columns
+// report the log's record/byte/sync/checkpoint counters plus recovery_ms
+// and recovered_keys. A durable run always uses the forest path (shards=1
+// becomes a one-shard forest, as repro.Open arranges).
+//
 // -maint-workers sizes the shared maintenance worker pool of a sharded run
 // (0 = the forest default, min(shards, GOMAXPROCS/2)); the CSV reports the
 // maintenance-efficiency columns — hints emitted/coalesced/dropped,
@@ -78,6 +88,9 @@ func main() {
 	xactCross := flag.Float64("xact-cross", 1, "fraction of transfers drawn freely across shards; the rest are confined to one shard (0..1)")
 	maintWorkers := flag.Int("maint-workers", 0, "shared maintenance pool size on a sharded run (0 = default)")
 	maintPacing := flag.Duration("maint-pacing", 0, "per-shard hint-drain pacing gap on a sharded run (0 = forest default, 2ms)")
+	durableFlag := flag.Bool("durable", false, "attach a write-ahead log (temp dir) and time a post-run recovery")
+	fsync := flag.Bool("fsync", false, "with -durable: fsync before every update returns instead of group commit")
+	ckptEvery := flag.Duration("checkpoint-every", 0, "with -durable: periodic checkpoint interval (0 = 500ms, negative disables)")
 	yieldEvery := flag.Int("yield", 0, "STM interleaving simulation: yield every N accesses (0 off)")
 	header := flag.Bool("header", false, "print the CSV header line first")
 	flag.Parse()
@@ -157,6 +170,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "microbench: -maint-pacing must be >= 0")
 		os.Exit(2)
 	}
+	if (*fsync || *ckptEvery != 0) && !*durableFlag {
+		fmt.Fprintln(os.Stderr, "microbench: -fsync and -checkpoint-every require -durable")
+		os.Exit(2)
+	}
 
 	res := bench.Run(bench.Options{
 		Kind:     kind,
@@ -177,18 +194,21 @@ func main() {
 			XactKeys:      *xactKeys,
 			XactCrossFrac: *xactCross,
 		},
-		Seed:         *seed,
-		Shards:       *shards,
-		CM:           *cm,
-		YieldEvery:   *yieldEvery,
-		MaintWorkers: *maintWorkers,
-		MaintPacing:  *maintPacing,
+		Seed:              *seed,
+		Shards:            *shards,
+		CM:                *cm,
+		YieldEvery:        *yieldEvery,
+		MaintWorkers:      *maintWorkers,
+		MaintPacing:       *maintPacing,
+		Durable:           *durableFlag,
+		Fsync:             *fsync,
+		DurableCheckpoint: *ckptEvery,
 	})
 
 	if *header {
-		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,range_frac,range_len,xact_frac,xact_keys,xact_cross,duration_s,ops,throughput_ops_per_us,effective_ratio,range_scans,range_items,xact_ops,xact_moved,xact_commits,xact_fallbacks,xact_aborts,xact_intent_conflicts,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,rotations,maint_workers,hints_emitted,hints_coalesced,hints_dropped,targeted_repairs,sweep_passes,maint_busy_ms,worker_util")
+		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,range_frac,range_len,xact_frac,xact_keys,xact_cross,duration_s,ops,throughput_ops_per_us,effective_ratio,range_scans,range_items,xact_ops,xact_moved,xact_commits,xact_fallbacks,xact_aborts,xact_intent_conflicts,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,rotations,maint_workers,hints_emitted,hints_coalesced,hints_dropped,targeted_repairs,sweep_passes,maint_busy_ms,worker_util,durable,fsync,wal_records,wal_atomic_records,wal_bytes,wal_syncs,checkpoints,checkpoint_pairs,recovery_ms,recovered_keys")
 	}
-	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%d,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f\n",
+	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%d,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%t,%t,%d,%d,%d,%d,%d,%d,%.3f,%d\n",
 		kind, m, res.Threads, res.Shards, res.CM, res.Dist, *update, *movePct, *biased, *keyRange,
 		*rangeFrac, *rangeLen, *xactFrac, *xactKeys, *xactCross,
 		res.Elapsed.Seconds(), res.Ops, res.Throughput, res.EffectiveRatio,
@@ -199,7 +219,10 @@ func main() {
 		float64(res.STM.BackoffNanos)/1e6, res.STM.MaxOpReads, res.Rotations,
 		res.Pool.Workers, res.TreeStats.HintsEmitted, res.TreeStats.HintsCoalesced,
 		res.TreeStats.HintsDropped, res.TreeStats.TargetedRepairs, res.TreeStats.Passes,
-		float64(res.Pool.BusyNanos)/1e6, res.WorkerUtilization())
+		float64(res.Pool.BusyNanos)/1e6, res.WorkerUtilization(),
+		res.Durable, *fsync, res.Wal.Records, res.Wal.AtomicRecords, res.Wal.Bytes,
+		res.Wal.Syncs, res.Wal.Checkpoints, res.Wal.CheckpointPairs,
+		float64(res.RecoveryNanos)/1e6, res.RecoveredPairs)
 	for si, sr := range res.PerShard {
 		fmt.Printf("shard,%d,ops,%d,throughput_ops_per_us,%.3f,commits,%d,aborts,%d,abort_rate,%.4f\n",
 			si, sr.Ops, sr.Throughput, sr.STM.Commits, sr.STM.Aborts, sr.STM.AbortRate())

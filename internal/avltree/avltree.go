@@ -199,6 +199,30 @@ func (t *Tree) InsertTxA(tx *stm.Tx, k, v uint64) bool {
 	return t.InsertTx(tx, k, v, &sc)
 }
 
+// SetTx maps k to v within the enclosing transaction regardless of whether
+// k is present (an upsert): a present node's value is overwritten in
+// place, an absent key inserts. It is the native write-replay entry point
+// of the cross-shard transaction coordinator (internal/ftx) — without it a
+// buffered put replayed as delete+insert, paying a rebalancing deletion
+// just to overwrite a value.
+func (t *Tree) SetTx(tx *stm.Tx, k, v uint64) {
+	ref := tx.Read(&t.root)
+	for ref != arena.Nil {
+		n := t.node(ref)
+		key := tx.Read(&n.Key)
+		switch {
+		case k == key:
+			tx.Write(&n.Val, v)
+			return
+		case k < key:
+			ref = tx.Read(&n.L)
+		default:
+			ref = tx.Read(&n.R)
+		}
+	}
+	t.InsertTxA(tx, k, v)
+}
+
 func (t *Tree) insertRec(tx *stm.Tx, ref arena.Ref, k, v uint64, sc *arena.Scratch) (arena.Ref, bool) {
 	if ref == arena.Nil {
 		r := sc.Take(t.ar, k, v)

@@ -27,10 +27,12 @@ package bench
 
 import (
 	"math/rand"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/forest"
 	"repro/internal/ftx"
 	"repro/internal/sftree"
@@ -146,7 +148,24 @@ type Options struct {
 	// (0 keeps the forest default of 2ms; forest.WithMaintPacing). Only
 	// meaningful with Shards > 1.
 	MaintPacing time.Duration
+	// Durable attaches a write-ahead log (in a temporary directory, removed
+	// after the run) to the measured forest: every committed update appends
+	// one record, checkpoints run periodically, and after the hammer phase
+	// the run performs — and times — a full recovery of the directory. The
+	// single-domain configuration then runs as a one-shard forest (the
+	// durable facade's own arrangement).
+	Durable bool
+	// Fsync selects per-operation durability (fsync before every update
+	// returns) instead of the default asynchronous group commit. Only
+	// meaningful with Durable.
+	Fsync bool
+	// DurableCheckpoint is the periodic checkpoint interval of a durable
+	// run (0 selects 500ms; negative disables periodic checkpoints).
+	DurableCheckpoint time.Duration
 }
+
+// defaultBenchCheckpoint is the durable run's checkpoint interval default.
+const defaultBenchCheckpoint = 500 * time.Millisecond
 
 // contentionManager resolves the run's contention manager, defaulting to
 // suicide (see the CM field comment).
@@ -205,6 +224,14 @@ type Result struct {
 	// goroutine rendered as a one-worker pool (sweeps = passes), so the
 	// maintenance-efficiency columns stay comparable across shard counts.
 	Pool forest.PoolStats
+
+	// Durability accounting (zero unless Options.Durable): the WAL's own
+	// counters over the hammer phase, plus a timed full recovery of the
+	// directory performed after the run.
+	Durable        bool
+	Wal            durable.Stats
+	RecoveryNanos  uint64 // wall time of the post-run recovery
+	RecoveredPairs int    // elements the recovery reconstructed
 }
 
 // WorkerUtilization returns the fraction of the run's wall-clock ×
@@ -263,7 +290,7 @@ func Run(o Options) Result {
 		panic("bench: RangeFrac + XactFrac must be < 1")
 	}
 	o.Workload.prepareZipf() // one shared CDF table for all workers
-	if o.Shards > 1 {
+	if o.Shards > 1 || o.Durable {
 		return runForest(o)
 	}
 	cm := o.contentionManager()
@@ -309,11 +336,17 @@ func Run(o Options) Result {
 }
 
 // runForest is the sharded path: one forest, one handle per worker, and a
-// per-shard breakdown of routed operations and STM statistics.
+// per-shard breakdown of routed operations and STM statistics. Durable
+// runs (any shard count) come through here too, with a WAL attached after
+// the fill and a timed recovery after the hammer.
 func runForest(o Options) Result {
+	shards := o.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	cm := o.contentionManager()
 	fopts := []forest.Option{
-		forest.WithShards(o.Shards),
+		forest.WithShards(shards),
 		forest.WithTMMode(o.Mode),
 		forest.WithContentionManager(cm),
 		forest.WithYield(o.YieldEvery),
@@ -331,6 +364,34 @@ func runForest(o Options) Result {
 	fillStats := f.MaintenanceStats()
 	fillPool := f.PoolStats()
 
+	// Durable runs: open the WAL after the fill (the fill is covered by the
+	// baseline checkpoint instead of being replayed record by record), so
+	// the log counters measure the hammer phase.
+	var dl *durable.Log
+	var dopts durable.Options
+	var dir string
+	if o.Durable {
+		ckpt := o.DurableCheckpoint
+		if ckpt == 0 {
+			ckpt = defaultBenchCheckpoint
+		}
+		var err error
+		dir, err = os.MkdirTemp("", "repro-bench-wal-*")
+		if err != nil {
+			panic(err)
+		}
+		dopts = durable.Options{Sync: o.Fsync, CheckpointEvery: ckpt}
+		dl, _, err = durable.Open(dir, shards, dopts)
+		if err != nil {
+			panic(err)
+		}
+		f.AttachWAL(dl)
+		if err := dl.Checkpoint(f); err != nil {
+			panic(err)
+		}
+		dl.StartCheckpoints(f)
+	}
+
 	workers := make([]*Runner, o.Threads)
 	handles := make([]*forest.Handle, o.Threads)
 	for i := range workers {
@@ -338,16 +399,35 @@ func runForest(o Options) Result {
 		workers[i] = NewTargetRunner(handles[i], o.Workload, o.Seed+int64(i)*7919+1)
 	}
 	elapsed := hammer(workers, o.Duration)
+	if dl != nil {
+		dl.Close()
+	}
 	// Stop the maintenance worker pool before reading statistics: thread
 	// counters are plain fields, exact only once their owner is quiet.
 	f.Close()
 
-	res := newResult(o, cm, o.Shards, elapsed)
+	res := newResult(o, cm, shards, elapsed)
+	if dl != nil {
+		res.Durable = true
+		res.Wal = dl.Stats()
+		t0 := time.Now()
+		l2, rec, err := durable.Open(dir, shards, dopts)
+		if err != nil {
+			// A failed recovery must not masquerade as a cheap empty one in
+			// the benchmark artifact; fail loudly like the other durable-
+			// path errors above.
+			panic(err)
+		}
+		res.RecoveryNanos = uint64(time.Since(t0).Nanoseconds())
+		res.RecoveredPairs = len(rec.State)
+		l2.Close()
+		os.RemoveAll(dir)
+	}
 	// Sum the workers' own per-shard threads, mirroring the single-domain
 	// path's worker-only accounting (the fill handle and the maintenance
 	// goroutines are excluded there too, keeping shards=1 and shards=N
 	// rows comparable).
-	res.PerShard = make([]ShardResult, o.Shards)
+	res.PerShard = make([]ShardResult, shards)
 	for i, w := range workers {
 		res.addWorker(w)
 		ops := handles[i].OpsPerShard()

@@ -1,0 +1,162 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// A checkpoint file is one consistent-per-shard snapshot of the whole
+// store, written beside the WAL so recovery replays only the log tail:
+//
+//	magic "SFCKPT01"
+//	u32 shards | u64 gen | u64 baseSeg
+//	shards × u64 cut        (per-shard commit-clock snapshot positions)
+//	u64 npairs | npairs × (u64 key, u64 val)
+//	u32 CRC-32C of everything before it
+//
+// gen orders checkpoints; baseSeg is the first WAL segment whose records
+// may postdate the snapshot (the segment the log rotated to at the start of
+// the checkpoint), so recovery replays segments >= baseSeg and ignores any
+// older ones a crash left behind. The file is written to a temporary name,
+// synced, and renamed into place — the rename is the seal: recovery only
+// ever reads *.ckpt files, so a torn checkpoint write is invisible.
+
+const ckptMagic = "SFCKPT01"
+
+// checkpointMeta is a loaded checkpoint's header.
+type checkpointMeta struct {
+	gen     uint64
+	baseSeg uint64
+	cuts    []uint64
+}
+
+// checkpointName returns the sealed name of generation gen.
+func checkpointName(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%016d.ckpt", gen))
+}
+
+// writeCheckpoint writes and seals one checkpoint file, fsyncing the file
+// before the rename and the directory after it.
+func writeCheckpoint(dir string, shards int, gen, baseSeg uint64, cuts []uint64, pairs []kvPair) error {
+	b := make([]byte, 0, len(ckptMagic)+4+16+8*len(cuts)+8+16*len(pairs)+4)
+	b = append(b, ckptMagic...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(shards))
+	b = binary.LittleEndian.AppendUint64(b, gen)
+	b = binary.LittleEndian.AppendUint64(b, baseSeg)
+	for _, c := range cuts {
+		b = binary.LittleEndian.AppendUint64(b, c)
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(pairs)))
+	for _, p := range pairs {
+		b = binary.LittleEndian.AppendUint64(b, p.k)
+		b = binary.LittleEndian.AppendUint64(b, p.v)
+	}
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+
+	tmp := checkpointName(dir, gen) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, checkpointName(dir, gen)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readCheckpoint loads and validates one sealed checkpoint file into state.
+// It returns an error for any structural damage — recovery then falls back
+// to the next-older generation.
+func readCheckpoint(path string, shards int, state map[uint64]uint64) (checkpointMeta, error) {
+	var meta checkpointMeta
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return meta, err
+	}
+	if len(b) < len(ckptMagic)+4+16+8+4 || string(b[:len(ckptMagic)]) != ckptMagic {
+		return meta, fmt.Errorf("durable: %s: not a checkpoint file", path)
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return meta, fmt.Errorf("durable: %s: checkpoint checksum mismatch", path)
+	}
+	d := &decoder{b: body, off: len(ckptMagic)}
+	ns, err := d.u32()
+	if err != nil {
+		return meta, err
+	}
+	if int(ns) != shards {
+		return meta, fmt.Errorf("durable: %s: checkpoint has %d shards, log opened with %d", path, ns, shards)
+	}
+	if meta.gen, err = d.u64(); err != nil {
+		return meta, err
+	}
+	if meta.baseSeg, err = d.u64(); err != nil {
+		return meta, err
+	}
+	meta.cuts = make([]uint64, shards)
+	for i := range meta.cuts {
+		if meta.cuts[i], err = d.u64(); err != nil {
+			return meta, err
+		}
+	}
+	n, err := d.u64()
+	if err != nil {
+		return meta, err
+	}
+	if n > uint64(len(body)-d.off)/16 {
+		return meta, fmt.Errorf("durable: %s: pair count %d exceeds file size", path, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		k, err := d.u64()
+		if err != nil {
+			return meta, err
+		}
+		v, err := d.u64()
+		if err != nil {
+			return meta, err
+		}
+		state[k] = v
+	}
+	if d.off != len(body) {
+		return meta, fmt.Errorf("durable: %s: %d trailing bytes", path, len(body)-d.off)
+	}
+	return meta, nil
+}
+
+// kvPair is one checkpointed element.
+type kvPair struct{ k, v uint64 }
+
+// syncDir fsyncs a directory so renames and file creations within it are
+// durable (best-effort on platforms where directories cannot be synced).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems reject fsync on directories; the metadata will
+		// reach disk with the next journal flush regardless.
+		return nil
+	}
+	return nil
+}

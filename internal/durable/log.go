@@ -1,0 +1,546 @@
+// Package durable adds crash durability to the in-memory tree forest: a
+// group-committed, checksummed write-ahead log fed by the STM's reliable
+// post-commit hooks and by the cross-shard transaction coordinator, plus
+// periodic consistent checkpoints built from per-shard snapshot scans, with
+// log rotation and truncation once a checkpoint seals. Recovery loads the
+// newest sealed checkpoint and replays the surviving WAL tail idempotently.
+//
+// # What is logged, and when
+//
+// The log is a redo log written after commit: a committed single-shard
+// transaction appends one update record (its shard, its commit-clock
+// position, and its absolute effects — puts and deletes), and a committed
+// cross-shard transaction appends one atomic record carrying every
+// participating shard's share, logged at finalize so the transaction's
+// atomicity carries onto disk (a record is wholly present or wholly torn,
+// never split). Records are framed with a length prefix and a CRC-32C, so a
+// truncated or corrupted tail is detected and cleanly discarded.
+//
+// # Durability contract
+//
+// Group commit bounds the loss window: with Options.Sync every record is
+// flushed and fsynced before the append returns (per-operation durability);
+// otherwise a background committer flushes and fsyncs every GroupCommit
+// interval, so a crash loses at most the operations of the last unsynced
+// window. Because records are appended after publication, commit order and
+// append order can differ under concurrency; recovery restores per-shard,
+// per-key ordering among the surviving records by sorting them on their
+// shard-clock positions. The contract is therefore: every operation whose
+// record was synced (equivalently, every operation that returned, plus
+// under group commit the synced part of the final window) is recovered
+// exactly; operations still in flight at the crash — published in memory,
+// record not yet on disk — are retained or lost independently of one
+// another, so no cross-transaction ordering is promised within that final
+// window (a later record can survive a tear that loses an earlier
+// concurrent one; logging at the lock point instead would buy strict
+// prefixes and is a ROADMAP item). Single-writer histories, and any
+// history under Sync, recover as exact per-shard prefixes.
+//
+// # Checkpoints and recovery
+//
+// A checkpoint first rotates the log to a fresh segment, then scans every
+// shard with one consistent read-only snapshot (recording the shard's
+// commit-clock cut), writes the pairs to a temporary file and seals it by
+// rename. Rotating first guarantees every record in the older segments is
+// covered by the snapshot (its transaction published before the rotation,
+// hence before the snapshot's clock draw), so the older segments and
+// checkpoints are deleted once the seal lands. A crash anywhere in that
+// window is safe: recovery picks the newest sealed checkpoint, replays only
+// segments at or above its base, and skips any record position at or below
+// the checkpoint's per-shard cut — stale files left by an interrupted
+// truncation are ignored or re-deleted.
+package durable
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Defaults for the zero Options value.
+const (
+	// DefaultGroupCommit is the background flush+fsync interval when
+	// neither Sync nor an explicit interval is configured.
+	DefaultGroupCommit = 2 * time.Millisecond
+	// DefaultCheckpointEvery is the periodic-checkpoint interval when none
+	// is configured.
+	DefaultCheckpointEvery = time.Second
+)
+
+// segMagic heads every WAL segment, followed by the shard count.
+const segMagic = "SFWAL001"
+
+// segHeaderLen is the segment header size (magic + u32 shard count).
+const segHeaderLen = len(segMagic) + 4
+
+// Options are the durability dials.
+type Options struct {
+	// Sync fsyncs the log before every append returns: per-operation
+	// durability, at per-operation fsync cost. It overrides GroupCommit.
+	Sync bool
+	// GroupCommit is the background committer's flush+fsync interval.
+	// 0 selects DefaultGroupCommit; a negative value disables the
+	// committer entirely (records still reach the OS on every append, but
+	// are never explicitly fsynced — the crash window is the OS's).
+	GroupCommit time.Duration
+	// CheckpointEvery is the periodic-checkpoint interval used by
+	// StartCheckpoints. 0 selects DefaultCheckpointEvery; a negative value
+	// disables periodic checkpoints (manual Checkpoint calls still work).
+	CheckpointEvery time.Duration
+}
+
+func (o Options) groupCommit() time.Duration {
+	if o.Sync || o.GroupCommit < 0 {
+		return 0
+	}
+	if o.GroupCommit == 0 {
+		return DefaultGroupCommit
+	}
+	return o.GroupCommit
+}
+
+func (o Options) checkpointEvery() time.Duration {
+	if o.CheckpointEvery < 0 {
+		return 0
+	}
+	if o.CheckpointEvery == 0 {
+		return DefaultCheckpointEvery
+	}
+	return o.CheckpointEvery
+}
+
+// Source is the in-memory store a Log checkpoints: per-shard consistent
+// snapshots cut at a commit-clock position. forest.Forest implements it.
+// SnapshotShard is called by one checkpointer at a time (never
+// concurrently with itself).
+type Source interface {
+	// Shards reports the number of partitions.
+	Shards() int
+	// SnapshotShard streams one consistent snapshot of shard si through fn
+	// and returns the shard-clock position the snapshot was cut at: every
+	// transaction that published at or below it is included, everything
+	// later excluded.
+	SnapshotShard(si int, fn func(k, v uint64)) uint64
+}
+
+// Stats counts a Log's activity. All fields are monotonically increasing.
+type Stats struct {
+	Records         uint64 // records appended (update + atomic)
+	AtomicRecords   uint64 // the cross-shard subset of Records
+	Bytes           uint64 // framed bytes appended
+	Flushes         uint64 // buffered-writer flushes
+	Syncs           uint64 // fsyncs of the live segment
+	Checkpoints     uint64 // checkpoints sealed
+	CheckpointPairs uint64 // pairs written across all checkpoints
+	CheckpointNanos uint64 // wall time spent checkpointing
+	Rotations       uint64 // segment rotations
+	FilesRemoved    uint64 // obsolete segments and checkpoints deleted
+}
+
+// errClosed is returned by operations on a closed Log.
+var errClosed = errors.New("durable: log is closed")
+
+// Log is an open write-ahead log: one live segment receiving appends, plus
+// the checkpoint machinery. Appends are safe for concurrent use by any
+// number of committing threads; Checkpoint/StartCheckpoints drive one
+// checkpointer at a time. Create one with Open, which also performs
+// recovery.
+type Log struct {
+	dir    string
+	o      Options
+	shards int
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	seg     uint64 // live segment index
+	nextGen uint64 // next checkpoint generation
+	dirty   bool   // bytes written since the last fsync
+	closed  bool
+	err     error // first write error, sticky
+	payload []byte
+	framed  []byte
+	st      Stats
+
+	// ckptMu serializes whole checkpoints (the periodic loop and manual
+	// Checkpoint calls).
+	ckptMu sync.Mutex
+
+	committerStop chan struct{}
+	committerDone chan struct{}
+	ckptStop      chan struct{}
+	ckptDone      chan struct{}
+}
+
+// Open recovers the directory's durable state and opens a fresh log
+// generation for appends. shards must match the store the log feeds (and
+// the value any prior state in dir was written with). The returned Recovery
+// holds the recovered key/value state; the caller loads it into the store,
+// attaches the log, and should then seal a fresh checkpoint (repro.Open
+// does) so the replayed history is rebased onto the new process's clocks.
+func Open(dir string, shards int, o Options) (*Log, *Recovery, error) {
+	if shards < 1 {
+		return nil, nil, fmt.Errorf("durable: shard count %d < 1", shards)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	rec, maxSeg, maxGen, err := recoverDir(dir, shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{dir: dir, o: o, shards: shards, seg: maxSeg, nextGen: maxGen + 1}
+	l.mu.Lock()
+	err = l.openSegmentLocked(maxSeg + 1)
+	l.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	if d := o.groupCommit(); d > 0 {
+		l.committerStop = make(chan struct{})
+		l.committerDone = make(chan struct{})
+		go l.committer(d)
+	}
+	return l, rec, nil
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Shards reports the shard count the log was opened with.
+func (l *Log) Shards() int { return l.shards }
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.st
+}
+
+// Err returns the first write error the log encountered, if any. A log
+// with a sticky error keeps accepting appends (they are dropped) so the
+// in-memory store stays usable; the caller decides whether to fail over.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// LiveSegment returns the path of the segment currently receiving appends
+// (instrumentation and crash tests).
+func (l *Log) LiveSegment() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return segmentName(l.dir, l.seg)
+}
+
+// segmentName returns the path of segment index i.
+func segmentName(dir string, i uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016d.log", i))
+}
+
+// openSegmentLocked creates and heads a fresh segment. Caller holds mu.
+func (l *Log) openSegmentLocked(i uint64) error {
+	f, err := os.OpenFile(segmentName(l.dir, i), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.seg = i
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	hdr := make([]byte, 0, segHeaderLen)
+	hdr = append(hdr, segMagic...)
+	hdr = append(hdr, byte(l.shards), byte(l.shards>>8), byte(l.shards>>16), byte(l.shards>>24))
+	if _, err := l.w.Write(hdr); err != nil {
+		return err
+	}
+	l.dirty = true
+	return syncDir(l.dir)
+}
+
+// LogUpdate appends one committed single-shard transaction: its shard, the
+// commit-clock position its publication carried, and its effects. The ops
+// slice is encoded before LogUpdate returns and may be reused by the
+// caller. Empty transactions append nothing.
+func (l *Log) LogUpdate(shard int, seq uint64, ops []Op) {
+	if len(ops) == 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.payload = encodeUpdate(l.payload[:0], shard, seq, ops)
+	l.appendLocked(false)
+}
+
+// LogAtomic appends one committed cross-shard transaction as a single
+// record: each participating shard's effects with that shard's lock-point
+// clock position, atomically present or absent on disk. Parts with no ops
+// are skipped; an all-empty record appends nothing.
+func (l *Log) LogAtomic(parts []ShardOps) {
+	n := 0
+	for i := range parts {
+		if len(parts[i].Ops) > 0 {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	live := make([]ShardOps, 0, n)
+	for i := range parts {
+		if len(parts[i].Ops) > 0 {
+			live = append(live, parts[i])
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.payload = encodeAtomic(l.payload[:0], live)
+	l.appendLocked(true)
+}
+
+// appendLocked frames l.payload into the live segment and applies the
+// configured flush/sync discipline. Caller holds mu.
+func (l *Log) appendLocked(atomic bool) {
+	if len(l.payload) > maxPayload {
+		// Recovery rejects frames over maxPayload as corruption and drops
+		// everything after them, so writing one would poison the whole log
+		// tail. A transaction whose write set encodes past 16MB (~1M ops)
+		// is far outside this system's envelope; surface it as the sticky
+		// error instead of appending.
+		l.setErrLocked(fmt.Errorf("durable: record payload %d bytes exceeds the %d-byte bound; transaction not logged", len(l.payload), maxPayload))
+		return
+	}
+	l.framed = frame(l.framed[:0], l.payload)
+	if _, err := l.w.Write(l.framed); err != nil {
+		l.setErrLocked(err)
+		return
+	}
+	l.st.Records++
+	if atomic {
+		l.st.AtomicRecords++
+	}
+	l.st.Bytes += uint64(len(l.framed))
+	l.dirty = true
+	if l.o.Sync {
+		l.flushSyncLocked()
+	} else if l.o.groupCommit() == 0 {
+		// No committer: hand the record to the OS immediately so the loss
+		// window is the OS cache, not this process's buffer.
+		if err := l.w.Flush(); err != nil {
+			l.setErrLocked(err)
+			return
+		}
+		l.st.Flushes++
+	}
+}
+
+// setErrLocked records the first write error. Caller holds mu.
+func (l *Log) setErrLocked(err error) {
+	if l.err == nil {
+		l.err = err
+	}
+}
+
+// flushSyncLocked flushes the buffered writer and fsyncs the segment if
+// anything reached it since the last sync. Caller holds mu.
+func (l *Log) flushSyncLocked() {
+	if l.w.Buffered() > 0 {
+		if err := l.w.Flush(); err != nil {
+			l.setErrLocked(err)
+			return
+		}
+		l.st.Flushes++
+	}
+	if l.dirty {
+		if err := l.f.Sync(); err != nil {
+			l.setErrLocked(err)
+			return
+		}
+		l.st.Syncs++
+		l.dirty = false
+	}
+}
+
+// Sync flushes and fsyncs the live segment (the group committer's tick,
+// callable directly for an explicit durability point). It returns the
+// log's sticky error state.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	l.flushSyncLocked()
+	return l.err
+}
+
+// committer is the group-commit loop.
+func (l *Log) committer(d time.Duration) {
+	defer close(l.committerDone)
+	t := time.NewTicker(d)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.committerStop:
+			return
+		case <-t.C:
+			l.Sync()
+		}
+	}
+}
+
+// Checkpoint seals one consistent checkpoint of src and truncates the log
+// behind it: rotate to a fresh segment, snapshot every shard, write and
+// seal the checkpoint file, then delete the now-covered older segments and
+// checkpoints. Concurrent appends proceed throughout (into the fresh
+// segment during the snapshot). Checkpoint calls serialize with each other
+// and with the periodic loop.
+func (l *Log) Checkpoint(src Source) error {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+	return l.checkpoint(src, true)
+}
+
+// checkpoint is Checkpoint with the truncation step separable, so crash
+// tests can reproduce the "sealed but not yet truncated" window.
+func (l *Log) checkpoint(src Source, truncate bool) error {
+	if src.Shards() != l.shards {
+		return fmt.Errorf("durable: source has %d shards, log %d", src.Shards(), l.shards)
+	}
+	start := time.Now()
+
+	// Rotate first: every record already in the old segments belongs to a
+	// transaction that published before the snapshot below draws its clock
+	// positions, so the snapshot covers the old segments entirely.
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return errClosed
+	}
+	l.flushSyncLocked()
+	if err := l.f.Close(); err != nil {
+		l.setErrLocked(err)
+	}
+	gen := l.nextGen
+	l.nextGen++
+	base := l.seg + 1
+	if err := l.openSegmentLocked(base); err != nil {
+		l.setErrLocked(err)
+		l.mu.Unlock()
+		return err
+	}
+	l.st.Rotations++
+	l.mu.Unlock()
+
+	cuts := make([]uint64, l.shards)
+	var pairs []kvPair
+	for si := 0; si < l.shards; si++ {
+		cuts[si] = src.SnapshotShard(si, func(k, v uint64) {
+			pairs = append(pairs, kvPair{k: k, v: v})
+		})
+	}
+	if err := writeCheckpoint(l.dir, l.shards, gen, base, cuts, pairs); err != nil {
+		l.mu.Lock()
+		l.setErrLocked(err)
+		l.mu.Unlock()
+		return err
+	}
+	removed := 0
+	if truncate {
+		removed = removeObsolete(l.dir, base, gen)
+	}
+
+	l.mu.Lock()
+	l.st.Checkpoints++
+	l.st.CheckpointPairs += uint64(len(pairs))
+	l.st.CheckpointNanos += uint64(time.Since(start).Nanoseconds())
+	l.st.FilesRemoved += uint64(removed)
+	l.mu.Unlock()
+	return nil
+}
+
+// removeObsolete deletes segments below base and checkpoints below gen,
+// returning how many files went away. Failures are ignored — recovery
+// tolerates stale files, and the next checkpoint retries.
+func removeObsolete(dir string, base, gen uint64) int {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, e := range ents {
+		name := e.Name()
+		if i, ok := parseIndexed(name, "wal-", ".log"); ok && i < base {
+			if os.Remove(filepath.Join(dir, name)) == nil {
+				removed++
+			}
+		}
+		if g, ok := parseIndexed(name, "checkpoint-", ".ckpt"); ok && g < gen {
+			if os.Remove(filepath.Join(dir, name)) == nil {
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// StartCheckpoints begins the periodic checkpoint loop against src (no-op
+// when Options disabled it). Stop it with Close.
+func (l *Log) StartCheckpoints(src Source) {
+	every := l.o.checkpointEvery()
+	if every <= 0 || l.ckptStop != nil {
+		return
+	}
+	l.ckptStop = make(chan struct{})
+	l.ckptDone = make(chan struct{})
+	go func() {
+		defer close(l.ckptDone)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-l.ckptStop:
+				return
+			case <-t.C:
+				l.Checkpoint(src)
+			}
+		}
+	}()
+}
+
+// Close stops the background loops, flushes and fsyncs the tail, and
+// closes the live segment. The log accepts no appends afterwards; closing
+// twice is a no-op.
+func (l *Log) Close() error {
+	if l.ckptStop != nil {
+		close(l.ckptStop)
+		<-l.ckptDone
+		l.ckptStop = nil
+	}
+	if l.committerStop != nil {
+		close(l.committerStop)
+		<-l.committerDone
+		l.committerStop = nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return l.err
+	}
+	l.flushSyncLocked()
+	if err := l.f.Close(); err != nil {
+		l.setErrLocked(err)
+	}
+	l.closed = true
+	return l.err
+}

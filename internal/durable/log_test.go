@@ -1,0 +1,290 @@
+package durable
+
+import (
+	"os"
+	"reflect"
+	"testing"
+)
+
+// mapSource is a fake Source: a flat model map plus per-shard cut positions
+// the test advances as it "commits" transactions.
+type mapSource struct {
+	shards int
+	state  map[uint64]uint64
+	seqs   []uint64
+	of     func(k uint64) int
+}
+
+func newMapSource(shards int) *mapSource {
+	return &mapSource{
+		shards: shards,
+		state:  make(map[uint64]uint64),
+		seqs:   make([]uint64, shards),
+		of:     func(k uint64) int { return int(k % uint64(shards)) },
+	}
+}
+
+func (s *mapSource) Shards() int { return s.shards }
+
+func (s *mapSource) SnapshotShard(si int, fn func(k, v uint64)) uint64 {
+	for k, v := range s.state {
+		if s.of(k) == si {
+			fn(k, v)
+		}
+	}
+	return s.seqs[si]
+}
+
+// apply commits ops to the model and the log, advancing the shard's clock.
+func (s *mapSource) apply(l *Log, ops ...Op) {
+	bySh := map[int][]Op{}
+	for _, op := range ops {
+		si := s.of(op.Key)
+		bySh[si] = append(bySh[si], op)
+		if op.Del {
+			delete(s.state, op.Key)
+		} else {
+			s.state[op.Key] = op.Val
+		}
+	}
+	for si, sops := range bySh {
+		s.seqs[si]++
+		l.LogUpdate(si, s.seqs[si], sops)
+	}
+}
+
+// reopen recovers dir and returns the state.
+func reopen(t *testing.T, dir string, shards int) (*Recovery, *Log) {
+	t.Helper()
+	l, rec, err := Open(dir, shards, Options{Sync: true, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, l
+}
+
+func TestLogRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec, err := Open(dir, 4, Options{Sync: true, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.State) != 0 {
+		t.Fatalf("fresh dir recovered %d keys", len(rec.State))
+	}
+	src := newMapSource(4)
+	for i := uint64(0); i < 50; i++ {
+		src.apply(l, Op{Key: i, Val: i * 3})
+	}
+	src.apply(l, Op{Key: 7, Del: true}, Op{Key: 8, Val: 88})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec2, l2 := reopen(t, dir, 4)
+	defer l2.Close()
+	if !reflect.DeepEqual(rec2.State, src.state) {
+		t.Fatalf("recovered %d keys, want %d; diff somewhere", len(rec2.State), len(src.state))
+	}
+	if rec2.TailDroppedBytes != 0 {
+		t.Fatalf("clean log dropped %d tail bytes", rec2.TailDroppedBytes)
+	}
+}
+
+// TestLogCheckpointTruncates: after a checkpoint, old segments and
+// checkpoints are gone, recovery loads the checkpoint plus the new tail,
+// and records covered by the cut are skipped.
+func TestLogCheckpointTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 2, Options{Sync: true, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newMapSource(2)
+	for i := uint64(0); i < 20; i++ {
+		src.apply(l, Op{Key: i, Val: i})
+	}
+	if err := l.Checkpoint(src); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint traffic lands in the rotated-to segment.
+	src.apply(l, Op{Key: 100, Val: 1}, Op{Key: 3, Del: true})
+	l.Close()
+
+	ents, _ := os.ReadDir(dir)
+	segs, ckpts := 0, 0
+	for _, e := range ents {
+		if _, ok := parseIndexed(e.Name(), "wal-", ".log"); ok {
+			segs++
+		}
+		if _, ok := parseIndexed(e.Name(), "checkpoint-", ".ckpt"); ok {
+			ckpts++
+		}
+	}
+	if ckpts != 1 {
+		t.Fatalf("%d checkpoints on disk, want 1", ckpts)
+	}
+	if segs != 1 {
+		// Only the rotated-to segment; pre-checkpoint segments must be gone.
+		t.Fatalf("%d segments on disk, want 1", segs)
+	}
+
+	rec, l2 := reopen(t, dir, 2)
+	defer l2.Close()
+	if !reflect.DeepEqual(rec.State, src.state) {
+		t.Fatalf("recovered state mismatch: %d keys, want %d", len(rec.State), len(src.state))
+	}
+	if rec.CheckpointGen == 0 {
+		t.Fatal("recovery ignored the checkpoint")
+	}
+}
+
+// TestLogSealedButNotTruncated reproduces a kill between checkpoint seal
+// and log truncation: the sealed checkpoint plus ALL older segments and
+// checkpoints are still on disk, and recovery must pick the newest seal
+// and ignore the stale files.
+func TestLogSealedButNotTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 2, Options{Sync: true, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newMapSource(2)
+	for i := uint64(0); i < 10; i++ {
+		src.apply(l, Op{Key: i, Val: i + 1})
+	}
+	// First checkpoint, fully truncated (the ordinary path).
+	if err := l.Checkpoint(src); err != nil {
+		t.Fatal(err)
+	}
+	src.apply(l, Op{Key: 2, Del: true}, Op{Key: 50, Val: 500})
+	// Second checkpoint sealed, truncation skipped: exactly the crash
+	// window the recovery contract promises to survive.
+	l.ckptMu.Lock()
+	err = l.checkpoint(src, false)
+	l.ckptMu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post-seal traffic, then a hard stop.
+	src.apply(l, Op{Key: 60, Val: 600})
+	l.Close()
+
+	ents, _ := os.ReadDir(dir)
+	ckpts := 0
+	for _, e := range ents {
+		if _, ok := parseIndexed(e.Name(), "checkpoint-", ".ckpt"); ok {
+			ckpts++
+		}
+	}
+	if ckpts < 2 {
+		t.Fatalf("%d checkpoints on disk, want the stale one kept (>= 2)", ckpts)
+	}
+
+	rec, l2 := reopen(t, dir, 2)
+	defer l2.Close()
+	if !reflect.DeepEqual(rec.State, src.state) {
+		t.Fatalf("recovered state mismatch after seal-without-truncate: got %v want %v", rec.State, src.state)
+	}
+	if rec.CheckpointGen != 2 {
+		t.Fatalf("recovery loaded checkpoint gen %d, want the newest seal (2)", rec.CheckpointGen)
+	}
+	if rec.Records != 1 {
+		// Only the post-seal record is above the seal's base segment; the
+		// stale pre-seal segments must not be scanned at all.
+		t.Fatalf("recovery replayed %d records, want 1", rec.Records)
+	}
+}
+
+// TestLogTornTailPrefix truncates the live segment at every byte offset of
+// its tail and asserts recovery yields exactly the longest intact record
+// prefix — the crash-consistency contract at the unit level.
+func TestLogTornTailPrefix(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 2, Options{Sync: true, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newMapSource(2)
+	type snap struct {
+		size  int64
+		state map[uint64]uint64
+	}
+	seg := l.LiveSegment()
+	stat := func() int64 {
+		fi, err := os.Stat(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	snaps := []snap{{size: stat(), state: map[uint64]uint64{}}}
+	for i := uint64(0); i < 8; i++ {
+		src.apply(l, Op{Key: i, Val: i * 7}, Op{Key: i + 100, Val: i})
+		cp := make(map[uint64]uint64, len(src.state))
+		for k, v := range src.state {
+			cp[k] = v
+		}
+		snaps = append(snaps, snap{size: stat(), state: cp})
+	}
+	l.Close()
+	blob, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := snaps[0].size; cut <= int64(len(blob)); cut++ {
+		// Expected state: the newest snapshot fully contained in the cut.
+		var want map[uint64]uint64
+		for _, s := range snaps {
+			if s.size <= cut {
+				want = s.state
+			}
+		}
+		cdir := t.TempDir()
+		if err := os.WriteFile(cdir+"/"+"wal-0000000000000001.log", blob[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, _, _, err := recoverDir(cdir, 2)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !reflect.DeepEqual(rec.State, want) {
+			t.Fatalf("cut %d: recovered %v, want %v", cut, rec.State, want)
+		}
+	}
+}
+
+// TestLogShardCountMismatch: opening a directory with a different shard
+// count must fail loudly, not silently misroute replay.
+func TestLogShardCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 4, Options{Sync: true, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.LogUpdate(1, 1, []Op{{Key: 1, Val: 1}})
+	l.Close()
+	if _, _, err := Open(dir, 8, Options{Sync: true, CheckpointEvery: -1}); err == nil {
+		t.Fatal("reopening a 4-shard log with 8 shards succeeded")
+	}
+}
+
+// TestLogGroupCommitFlushesOnClose: in group-commit mode nothing needs to
+// be synced per append, but Close must leave every record durable.
+func TestLogGroupCommitFlushesOnClose(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 1, Options{GroupCommit: DefaultGroupCommit, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		l.LogUpdate(0, i+1, []Op{{Key: i, Val: i}})
+	}
+	l.Close()
+	rec, l2 := reopen(t, dir, 1)
+	defer l2.Close()
+	if len(rec.State) != 100 {
+		t.Fatalf("recovered %d keys, want 100", len(rec.State))
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/ftx"
 	"repro/internal/sftree"
 	"repro/internal/stm"
@@ -103,6 +104,58 @@ type Forest struct {
 	// drainPacing is the per-shard hint-drain pacing gap of the maintenance
 	// pool (WithMaintPacing); immutable after New.
 	drainPacing time.Duration
+
+	// wal is the attached write-ahead log (nil for a volatile forest):
+	// every committed mutating transaction appends one record through it,
+	// registered as a reliable post-commit hook so aborted attempts log
+	// nothing. Set once by AttachWAL before concurrent use.
+	wal *durable.Log
+	// ckptThs are the checkpointer's per-shard STM threads (SnapshotShard),
+	// lazily created and touched only by the single checkpoint driver.
+	ckptThs []*stm.Thread
+}
+
+// AttachWAL connects the forest to a write-ahead log: from now on every
+// committed mutating transaction — single-key updates, composed Update
+// transactions, moves, and the per-shard effects of cross-shard Atomic
+// commits — appends one durable record carrying its commit-clock position.
+// Attach before the forest is shared between goroutines (repro.Open does it
+// between recovery replay and returning); reads and the maintenance
+// subsystem are unaffected, since structural transactions never change the
+// abstraction's contents.
+func (f *Forest) AttachWAL(l *durable.Log) {
+	f.wal = l
+}
+
+// SnapshotShard implements durable.Source: one consistent read-only
+// snapshot of shard si streamed through fn, returning the shard-clock
+// position the snapshot was cut at. Single-caller (the checkpoint driver).
+func (f *Forest) SnapshotShard(si int, fn func(k, v uint64)) uint64 {
+	sh := f.shards[si]
+	if f.ckptThs == nil {
+		f.ckptThs = make([]*stm.Thread, len(f.shards))
+	}
+	if f.ckptThs[si] == nil {
+		f.ckptThs[si] = sh.stm.NewThread()
+	}
+	th := f.ckptThs[si]
+	var cut uint64
+	var snap []kv
+	// Full read tracking (CTL) regardless of the domain default, so the
+	// snapshot is one consistent cut; fn is fed only after the snapshot
+	// transaction commits (retries reset the buffer).
+	th.AtomicMode(stm.CTL, func(tx *stm.Tx) {
+		snap = snap[:0]
+		sh.m.RangeTx(tx, 0, ^uint64(0), func(k, v uint64) bool {
+			snap = append(snap, kv{k, v})
+			return true
+		})
+		cut = tx.Snapshot()
+	})
+	for _, e := range snap {
+		fn(e.k, e.v)
+	}
+	return cut
 }
 
 // Option configures New.

@@ -3,6 +3,7 @@ package forest
 import (
 	"fmt"
 
+	"repro/internal/durable"
 	"repro/internal/ftx"
 	"repro/internal/stm"
 	"repro/internal/trees"
@@ -17,6 +18,12 @@ type Handle struct {
 	ths   []*stm.Thread    // cached per-shard threads, created on first touch
 	ops   []uint64         // operations routed to each shard
 	coord *ftx.Coordinator // cross-shard transaction coordinator, on first Atomic
+
+	// oplog is the reusable per-transaction effect buffer of the durable
+	// path: mutating operations collect their effects here during the
+	// attempt, and a reliable post-commit hook appends them to the WAL only
+	// if the attempt commits.
+	oplog []durable.Op
 }
 
 // NewHandle returns a handle with no shard threads allocated yet.
@@ -82,16 +89,56 @@ func (h *Handle) ShardStats() []stm.Stats {
 // SameShard reports whether k1 and k2 are co-located (see Forest.SameShard).
 func (h *Handle) SameShard(k1, k2 uint64) bool { return h.f.SameShard(k1, k2) }
 
-// Insert maps k to v; false when k was already present.
+// logCommit registers the reliable post-commit hook that appends the
+// handle's collected effects to the forest's WAL with the transaction's
+// commit-clock position. Call at the end of a successful attempt, after
+// h.oplog holds the attempt's effects; an aborted attempt discards the
+// registration with the attempt.
+func (h *Handle) logCommit(tx *stm.Tx, si int) {
+	if len(h.oplog) == 0 {
+		return
+	}
+	wal := h.f.wal
+	tx.OnCommitted(func(pos uint64) { wal.LogUpdate(si, pos, h.oplog) })
+}
+
+// Insert maps k to v; false when k was already present. On a durable
+// forest the insert runs as a composable transaction with a logged effect
+// (tree-managed allocation, so an aborted linking attempt may leak one
+// arena node — the InsertTxA discipline).
 func (h *Handle) Insert(k, v uint64) bool {
-	sh, th, _ := h.route(k)
-	return sh.m.Insert(th, k, v)
+	sh, th, si := h.route(k)
+	if h.f.wal == nil {
+		return sh.m.Insert(th, k, v)
+	}
+	var ok bool
+	trees.Atomic(sh.m, th, func(tx *stm.Tx) {
+		h.oplog = h.oplog[:0]
+		ok = sh.m.InsertTxA(tx, k, v)
+		if ok {
+			h.oplog = append(h.oplog, durable.Op{Key: k, Val: v})
+			h.logCommit(tx, si)
+		}
+	})
+	return ok
 }
 
 // Delete removes k; false when absent.
 func (h *Handle) Delete(k uint64) bool {
-	sh, th, _ := h.route(k)
-	return sh.m.Delete(th, k)
+	sh, th, si := h.route(k)
+	if h.f.wal == nil {
+		return sh.m.Delete(th, k)
+	}
+	var ok bool
+	trees.Atomic(sh.m, th, func(tx *stm.Tx) {
+		h.oplog = h.oplog[:0]
+		ok = sh.m.DeleteTx(tx, k)
+		if ok {
+			h.oplog = append(h.oplog, durable.Op{Key: k, Del: true})
+			h.logCommit(tx, si)
+		}
+	})
+	return ok
 }
 
 // Get returns the value at k.
@@ -117,7 +164,7 @@ func (h *Handle) Move(src, dst uint64) bool {
 	ssh, sth, ssi := h.route(src)
 	dsi := h.f.ShardOf(dst)
 	if ssi == dsi {
-		return h.moveSameShard(ssh, sth, src, dst)
+		return h.moveSameShard(ssh, sth, ssi, src, dst)
 	}
 	h.ops[dsi]++
 	var ok bool
@@ -139,13 +186,14 @@ func (h *Handle) Move(src, dst uint64) bool {
 
 // moveSameShard is the intra-shard move: the composition of paper §5.4 as
 // one atomic transaction.
-func (h *Handle) moveSameShard(sh *shard, th *stm.Thread, src, dst uint64) bool {
+func (h *Handle) moveSameShard(sh *shard, th *stm.Thread, si int, src, dst uint64) bool {
 	if src == dst {
 		return sh.m.Contains(th, src)
 	}
 	var ok bool
 	trees.Atomic(sh.m, th, func(tx *stm.Tx) {
 		ok = false
+		h.oplog = h.oplog[:0]
 		v, present := sh.m.GetTx(tx, src)
 		if !present || sh.m.ContainsTx(tx, dst) {
 			return
@@ -161,6 +209,12 @@ func (h *Handle) moveSameShard(sh *shard, th *stm.Thread, src, dst uint64) bool 
 			tx.Restart()
 		}
 		ok = true
+		if h.f.wal != nil {
+			h.oplog = append(h.oplog,
+				durable.Op{Key: src, Del: true},
+				durable.Op{Key: dst, Val: v})
+			h.logCommit(tx, si)
+		}
 	})
 	return ok
 }
@@ -201,6 +255,9 @@ func (d ftxDomain) Shard(si int) ftx.Shard {
 func (h *Handle) Atomic(fn func(t *ftx.Tx) error) error {
 	if h.coord == nil {
 		h.coord = ftx.NewCoordinator(ftxDomain{h: h})
+		if h.f.wal != nil {
+			h.coord.SetWAL(h.f.wal)
+		}
 	}
 	return h.coord.Run(fn)
 }
@@ -333,7 +390,15 @@ func mergeSnaps(snaps [][]kv, fn func(k, v uint64) bool) bool {
 func (h *Handle) Update(k uint64, fn func(op *Op)) {
 	sh, th, si := h.route(k)
 	trees.Atomic(sh.m, th, func(tx *stm.Tx) {
-		fn(&Op{f: h.f, m: sh.m, tx: tx, si: si})
+		op := Op{f: h.f, m: sh.m, tx: tx, si: si}
+		if h.f.wal != nil {
+			h.oplog = h.oplog[:0]
+			op.log = &h.oplog
+		}
+		fn(&op)
+		if op.log != nil {
+			h.logCommit(tx, si)
+		}
 	})
 }
 
@@ -344,6 +409,9 @@ type Op struct {
 	m  trees.Map
 	tx *stm.Tx
 	si int
+	// log, when non-nil, collects the transaction's effects for the durable
+	// WAL record (reset by Update at the start of every attempt).
+	log *[]durable.Op
 }
 
 // check panics when k is owned by a different shard than the transaction's.
@@ -354,10 +422,24 @@ func (o *Op) check(k uint64) {
 }
 
 // Insert maps k to v within the transaction; false when present.
-func (o *Op) Insert(k, v uint64) bool { o.check(k); return o.m.InsertTxA(o.tx, k, v) }
+func (o *Op) Insert(k, v uint64) bool {
+	o.check(k)
+	ok := o.m.InsertTxA(o.tx, k, v)
+	if ok && o.log != nil {
+		*o.log = append(*o.log, durable.Op{Key: k, Val: v})
+	}
+	return ok
+}
 
 // Delete removes k within the transaction; false when absent.
-func (o *Op) Delete(k uint64) bool { o.check(k); return o.m.DeleteTx(o.tx, k) }
+func (o *Op) Delete(k uint64) bool {
+	o.check(k)
+	ok := o.m.DeleteTx(o.tx, k)
+	if ok && o.log != nil {
+		*o.log = append(*o.log, durable.Op{Key: k, Del: true})
+	}
+	return ok
+}
 
 // Get returns the value at k within the transaction.
 func (o *Op) Get(k uint64) (uint64, bool) { o.check(k); return o.m.GetTx(o.tx, k) }

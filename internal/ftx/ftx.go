@@ -80,6 +80,7 @@ package ftx
 import (
 	"sort"
 
+	"repro/internal/durable"
 	"repro/internal/stm"
 	"repro/internal/trees"
 )
@@ -146,10 +147,22 @@ func (s *Stats) Add(o Stats) {
 type Coordinator struct {
 	d     Domain
 	stats Stats
+
+	// wal, when set, receives one durable record per committed transaction:
+	// an atomic multi-shard record emitted at finalize (so the commit's
+	// atomicity carries onto disk — the record is wholly present or wholly
+	// torn), or an ordinary update record for the single-shard fallback.
+	wal *durable.Log
+	// opbuf is the reusable single-shard record buffer.
+	opbuf []durable.Op
 }
 
 // NewCoordinator returns a coordinator for d.
 func NewCoordinator(d Domain) *Coordinator { return &Coordinator{d: d} }
+
+// SetWAL attaches a write-ahead log: every transaction the coordinator
+// commits from now on is logged. Set before the coordinator is used.
+func (c *Coordinator) SetWAL(l *durable.Log) { c.wal = l }
 
 // Stats returns a snapshot of the coordinator's counters.
 func (c *Coordinator) Stats() Stats { return c.stats }
@@ -162,12 +175,12 @@ func (c *Coordinator) Run(fn func(*Tx) error) error {
 	retries := 0
 	for {
 		t := newTx(c.d)
-		if err := fn(t); err != nil {
+		parts, err, committed := c.attempt(t, fn)
+		if err != nil {
 			c.stats.UserAborts++
 			return err
 		}
-		parts := t.participants()
-		if c.commit(parts) {
+		if committed {
 			if len(parts) > 0 {
 				cm := parts[0].sh.Thread.STM().ContentionManager()
 				cm.OnCommit(parts[0].sh.Thread, retries)
@@ -182,6 +195,18 @@ func (c *Coordinator) Run(fn func(*Tx) error) error {
 			parts[0].sh.Thread.CoordinatedAbort(retries)
 		}
 	}
+}
+
+// attempt runs one execution+commit cycle of fn on a fresh Tx, closing the
+// Tx's per-shard snapshot sessions on every exit path (the thread session
+// slots are singletons, and a foreign panic out of fn must not leak them).
+func (c *Coordinator) attempt(t *Tx, fn func(*Tx) error) (parts []*participant, userErr error, committed bool) {
+	defer t.close()
+	if err := fn(t); err != nil {
+		return nil, err, false
+	}
+	parts = t.participants()
+	return parts, nil, c.commit(parts)
 }
 
 // Run executes fn as one atomic cross-shard transaction on a throwaway
@@ -239,12 +264,25 @@ func (c *Coordinator) commitSingle(p *participant) bool {
 			return // commit read-only; the coordinator re-executes fn
 		}
 		applyWrites(sh.Map, tx, p.writes)
+		if c.wal != nil && len(p.writes) > 0 {
+			c.opbuf = appendWriteOps(c.opbuf[:0], p.writes)
+			tx.OnCommitted(func(pos uint64) { c.wal.LogUpdate(p.si, pos, c.opbuf) })
+		}
 	})
 	if ok {
 		c.stats.Commits++
 		c.stats.Fallbacks++
 	}
 	return ok
+}
+
+// appendWriteOps converts buffered write records to durable log ops.
+func appendWriteOps(dst []durable.Op, writes []writeRec) []durable.Op {
+	for i := range writes {
+		w := &writes[i]
+		dst = append(dst, durable.Op{Key: w.key, Val: w.val, Del: w.del})
+	}
+	return dst
 }
 
 // commitCross is the shard-ordered two-phase commit.
@@ -287,9 +325,30 @@ func (c *Coordinator) commitCross(parts []*participant) bool {
 		}
 		prepared = append(prepared, pr)
 	}
+	// The durable record is assembled before finalize (write versions are
+	// drawn at the lock points) and appended after every shard published:
+	// one multi-shard record per cross-shard commit, so the transaction's
+	// all-or-nothing property carries onto disk — a torn tail drops the
+	// whole record, never half of it.
+	var logged []durable.ShardOps
+	if c.wal != nil {
+		for i, p := range parts {
+			if len(p.writes) == 0 {
+				continue
+			}
+			logged = append(logged, durable.ShardOps{
+				Shard: p.si,
+				Seq:   prepared[i].WriteVersion(),
+				Ops:   appendWriteOps(nil, p.writes),
+			})
+		}
+	}
 	for i, pr := range prepared {
 		pr.Finalize()
 		prepared[i] = nil // finalized: no longer droppable by the unwind path
+	}
+	if len(logged) > 0 {
+		c.wal.LogAtomic(logged)
 	}
 	c.stats.Commits++
 	return true
@@ -309,8 +368,9 @@ func replayReads(m trees.Map, tx *stm.Tx, reads []readRec) bool {
 	return true
 }
 
-// setterTx is the optional upsert entry point a tree may provide
-// (sftree.Tree does); without it a buffered put replays as delete+insert.
+// setterTx is the optional upsert entry point a tree may provide (every
+// registry tree now does: sftree natively, rbtree/avltree natively, nrtree
+// via embedding); without it a buffered put replays as delete+insert.
 type setterTx interface {
 	SetTx(tx *stm.Tx, k, v uint64)
 }

@@ -2,7 +2,6 @@ package ftx
 
 import (
 	"repro/internal/stm"
-	"repro/internal/trees"
 )
 
 // readRec is one logged execution-phase read: the key and the committed
@@ -24,11 +23,20 @@ type writeRec struct {
 }
 
 // Tx is the buffering transaction handed to Run's fn. Reads go through to
-// the owning shard (one committed read-only transaction per distinct key,
-// cached so repeated reads are repeatable and free); writes buffer their
-// per-key final state locally. The Tx provides read-your-writes: a read of
-// a key the transaction has written sees the buffered effect, not the
-// shard.
+// the owning shard, served from one open read-only snapshot session per
+// participating shard (stm.Snapshot) — the batched-execution-reads regime:
+// every cache-miss read of a shard joins the same snapshot transaction
+// instead of paying one committed read-only transaction per distinct key.
+// Reads are cached so repeated reads are repeatable and free; writes buffer
+// their per-key final state locally. The Tx provides read-your-writes: a
+// read of a key the transaction has written sees the buffered effect, not
+// the shard.
+//
+// Each shard's reads are consistent within their snapshot era (a session
+// that cannot be extended over a concurrent commit resets and continues,
+// exactly as consistent as the per-key regime it replaces); reads across
+// shards are made mutually consistent only at commit, where every logged
+// read is replayed and validated inside the owning shard's sub-transaction.
 //
 // A Tx is only valid inside the fn invocation it was passed to; fn may run
 // multiple times (each time with a fresh Tx), so it must not have side
@@ -37,6 +45,7 @@ type Tx struct {
 	d      Domain
 	reads  map[uint64]readRec
 	writes map[uint64]writeRec
+	snaps  map[int]*stm.Snapshot // per-shard execution-read sessions
 }
 
 func newTx(d Domain) *Tx {
@@ -47,19 +56,40 @@ func newTx(d Domain) *Tx {
 	}
 }
 
-// read returns the logged read for k, reading through to the owning shard
-// on first touch.
+// read returns the logged read for k, reading through to the owning
+// shard's snapshot session on first touch.
 func (t *Tx) read(k uint64) readRec {
+	si := t.d.ShardOf(k)
 	if r, ok := t.reads[k]; ok {
 		return r
 	}
-	sh := t.d.Shard(t.d.ShardOf(k))
+	sh := t.d.Shard(si)
+	if t.snaps == nil {
+		t.snaps = make(map[int]*stm.Snapshot)
+	}
+	s := t.snaps[si]
+	if s == nil {
+		s = sh.Thread.NewSnapshot()
+		t.snaps[si] = s
+	}
 	r := readRec{key: k}
-	trees.Atomic(sh.Map, sh.Thread, func(tx *stm.Tx) {
-		r.val, r.present = sh.Map.GetTx(tx, k)
-	})
+	// A false Read means the session's snapshot could not be extended over
+	// a concurrent commit and has reset; the retried call starts fresh.
+	// Earlier cached reads of this shard stay logged as observed — commit
+	// revalidates every one of them inside the shard's sub-transaction.
+	for !s.Read(func(tx *stm.Tx) { r.val, r.present = sh.Map.GetTx(tx, k) }) {
+	}
 	t.reads[k] = r
 	return r
+}
+
+// close ends the per-shard snapshot sessions (the threads' session slots
+// are singletons, so the next attempt's Tx can open its own).
+func (t *Tx) close() {
+	for _, s := range t.snaps {
+		s.Close()
+	}
+	t.snaps = nil
 }
 
 // Get returns the value at k as observed by this transaction.

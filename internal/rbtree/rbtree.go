@@ -287,6 +287,22 @@ func (t *Tree) InsertTxA(tx *stm.Tx, k, v uint64) bool {
 	return t.InsertTx(tx, k, v, &sc)
 }
 
+// SetTx maps k to v within the enclosing transaction regardless of whether
+// k is present (an upsert): a present node's value is overwritten in
+// place, an absent key inserts. It is the native write-replay entry point
+// of the cross-shard transaction coordinator (internal/ftx) — without it a
+// buffered put replayed as delete+insert, paying a full rebalancing
+// deletion just to overwrite a value. A present key costs one lookup and
+// one value write; an absent key pays the lookup plus InsertTxA's descent
+// (the paths overlap, so the reads dedup against the transaction's log).
+func (t *Tree) SetTx(tx *stm.Tx, k, v uint64) {
+	if ref := t.lookup(tx, k); ref != arena.Nil {
+		tx.Write(&t.node(ref).Val, v)
+		return
+	}
+	t.InsertTxA(tx, k, v)
+}
+
 func (t *Tree) fixAfterInsertion(tx *stm.Tx, x arena.Ref) {
 	for x != arena.Nil && x != tx.Read(&t.root) && t.colorOf(tx, t.parentOf(tx, x)) == red {
 		p := t.parentOf(tx, x)

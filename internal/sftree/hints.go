@@ -2,6 +2,7 @@ package sftree
 
 import (
 	"sync/atomic"
+	"time"
 
 	"repro/internal/arena"
 )
@@ -29,11 +30,13 @@ const (
 
 // hint is one queued maintenance request. key routes the targeted repair
 // (repairAt descends by key); ref is the node observed at emission time and
-// backs the dedup word only — the repair never trusts it structurally.
+// backs the dedup word only — the repair never trusts it structurally; at
+// is the unix-nano enqueue time backing age-based promotion.
 type hint struct {
 	key  uint64
 	ref  arena.Ref
 	kind uint64
+	at   int64
 }
 
 // Values of the per-node dedup word (arena.Node.Hint): the priority of the
@@ -57,15 +60,27 @@ const defaultHintCap = 1024
 // burst of rebalance noise must never delay a removal. Each priority level
 // is its own bounded Vyukov ring of the configured capacity; within a level
 // hints stay FIFO.
+//
+// Strict priority starves the low level under a sustained removal stream,
+// so the queue promotes by age: a rebalance hint that has waited strictly
+// longer than promoteAge outranks fresh removals (promoteAge <= 0 disables
+// promotion). Promotion itself is rate-bounded to every other pop —
+// otherwise a standing over-age rebalance backlog would invert the queue
+// wholesale and starve removals, the exact inversion the two levels exist
+// to prevent; alternating bounds the removal delay at one promoted hint
+// per drained removal while still guaranteeing over-age hints progress.
 type hintPQ struct {
-	remove    *hintQueue
-	rebalance *hintQueue
+	remove     *hintQueue
+	rebalance  *hintQueue
+	promoteAge int64 // nanoseconds; <= 0 disables age promotion
+	promoted   bool  // last pop was a promotion (consumer-side state)
 }
 
-func newHintPQ(capacity int) *hintPQ {
+func newHintPQ(capacity int, promoteAge time.Duration) *hintPQ {
 	return &hintPQ{
-		remove:    newHintQueue(capacity),
-		rebalance: newHintQueue(capacity),
+		remove:     newHintQueue(capacity),
+		rebalance:  newHintQueue(capacity),
+		promoteAge: promoteAge.Nanoseconds(),
 	}
 }
 
@@ -78,9 +93,24 @@ func (q *hintPQ) push(h hint) bool {
 	return q.rebalance.push(h)
 }
 
-// pop dequeues the highest-priority queued hint: removals first, then
-// rebalances; ok=false when both levels are empty.
-func (q *hintPQ) pop() (hint, bool) {
+// pop dequeues the highest-priority queued hint: an over-age rebalance
+// first (the promotion), then removals, then rebalances; ok=false when
+// both levels are empty.
+func (q *hintPQ) pop() (hint, bool) { return q.popAt(time.Now().UnixNano()) }
+
+// popAt is pop with the clock injected (the promotion-boundary unit test's
+// hook). Like pop it is consumer-side, so the single-driver discipline of
+// the maintenance scheduler covers the peek-then-pop window.
+func (q *hintPQ) popAt(now int64) (hint, bool) {
+	if q.promoteAge > 0 && !q.promoted {
+		if h, ok := q.rebalance.peek(); ok && now-h.at > q.promoteAge {
+			if h, ok := q.rebalance.pop(); ok {
+				q.promoted = true
+				return h, true
+			}
+		}
+	}
+	q.promoted = false
 	if h, ok := q.remove.pop(); ok {
 		return h, true
 	}
@@ -141,6 +171,19 @@ func (q *hintQueue) push(h hint) bool {
 			pos = q.enq.Load()
 		}
 	}
+}
+
+// peek returns the hint at the front without dequeuing it. It is only
+// meaningful on the externally-serialized consumer side (the single
+// maintenance driver): no other goroutine can pop the peeked cell, and
+// producers never touch a cell whose sequence marks it filled.
+func (q *hintQueue) peek() (hint, bool) {
+	pos := q.deq.Load()
+	cell := &q.buf[pos&q.mask]
+	if cell.seq.Load() == pos+1 {
+		return cell.h, true
+	}
+	return hint{}, false
 }
 
 // pop dequeues one hint, returning ok=false when the queue is empty.
@@ -217,7 +260,7 @@ func (t *Tree) OnTxCommit(kind, key, ref uint64) {
 			}
 		}
 	}
-	if !t.hintq.push(hint{key: key, ref: ref, kind: kind}) {
+	if !t.hintq.push(hint{key: key, ref: ref, kind: kind, at: time.Now().UnixNano()}) {
 		if ref != arena.Nil {
 			t.node(ref).Hint.Store(0)
 		}

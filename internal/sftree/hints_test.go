@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/stm"
 )
@@ -181,7 +182,7 @@ func TestStartStopConcurrent(t *testing.T) {
 // any rebalance hint, and each kind stays FIFO within itself — so a burst
 // of rebalance noise can never delay physical removals.
 func TestHintPriorityDrainOrder(t *testing.T) {
-	q := newHintPQ(64)
+	q := newHintPQ(64, 0) // promotion off: this test asserts strict priority
 	const n = 10
 	for i := uint64(0); i < n; i++ {
 		// Interleave: rebalance first so a kind-blind FIFO would fail.
@@ -229,7 +230,7 @@ func TestHintPriorityDrainOrder(t *testing.T) {
 // to the brim and checks a removal hint still enqueues and drains first:
 // the levels have independent capacity.
 func TestHintPriorityRemovalSurvivesRebalanceBurst(t *testing.T) {
-	q := newHintPQ(8) // ring capacity 8 per level
+	q := newHintPQ(8, 0) // ring capacity 8 per level, promotion off
 	for i := uint64(0); ; i++ {
 		if !q.push(hint{key: i, kind: hintRebalance}) {
 			break // rebalance level full
@@ -241,6 +242,67 @@ func TestHintPriorityRemovalSurvivesRebalanceBurst(t *testing.T) {
 	h, ok := q.pop()
 	if !ok || h.kind != hintRemove || h.key != 42 {
 		t.Fatalf("first drained hint %+v, want the removal", h)
+	}
+}
+
+// TestHintAgePromotionBoundary pins the promotion boundary: a rebalance
+// hint that has waited exactly promoteAge still yields to fresh removals,
+// one nanosecond older outranks them; and with promotion disabled even an
+// ancient rebalance hint waits.
+func TestHintAgePromotionBoundary(t *testing.T) {
+	const age = int64(5 * time.Millisecond)
+	now := time.Now().UnixNano()
+
+	// Exactly at the bound: not promoted (strictly-older semantics).
+	q := newHintPQ(8, time.Duration(age))
+	q.push(hint{key: 1, kind: hintRebalance, at: now - age})
+	q.push(hint{key: 2, kind: hintRemove, at: now})
+	if h, ok := q.popAt(now); !ok || h.kind != hintRemove {
+		t.Fatalf("at the exact bound drained %+v, want the removal first", h)
+	}
+	if h, ok := q.popAt(now); !ok || h.kind != hintRebalance {
+		t.Fatalf("second drain %+v, want the rebalance", h)
+	}
+
+	// One past the bound: the waiting rebalance outranks a fresh removal.
+	q = newHintPQ(8, time.Duration(age))
+	q.push(hint{key: 1, kind: hintRebalance, at: now - age - 1})
+	q.push(hint{key: 2, kind: hintRemove, at: now})
+	if h, ok := q.popAt(now); !ok || h.kind != hintRebalance {
+		t.Fatalf("past the bound drained %+v, want the promoted rebalance first", h)
+	}
+	if h, ok := q.popAt(now); !ok || h.kind != hintRemove {
+		t.Fatalf("second drain %+v, want the removal", h)
+	}
+
+	// Promotion disabled: an arbitrarily old rebalance hint still waits.
+	q = newHintPQ(8, 0)
+	q.push(hint{key: 1, kind: hintRebalance, at: now - 100*age})
+	q.push(hint{key: 2, kind: hintRemove, at: now})
+	if h, ok := q.popAt(now); !ok || h.kind != hintRemove {
+		t.Fatalf("with promotion disabled drained %+v, want the removal first", h)
+	}
+
+	// Promotion is rate-bounded: a standing over-age rebalance backlog must
+	// alternate with removals, never monopolize the drain.
+	q = newHintPQ(8, time.Duration(age))
+	q.push(hint{key: 1, kind: hintRebalance, at: now - 2*age})
+	q.push(hint{key: 2, kind: hintRebalance, at: now - 2*age})
+	q.push(hint{key: 3, kind: hintRemove, at: now})
+	q.push(hint{key: 4, kind: hintRemove, at: now})
+	var kinds []uint64
+	for {
+		h, ok := q.popAt(now)
+		if !ok {
+			break
+		}
+		kinds = append(kinds, h.kind)
+	}
+	want := []uint64{hintRebalance, hintRemove, hintRebalance, hintRemove}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("over-age backlog drained kinds %v, want alternation %v", kinds, want)
+		}
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/arena"
 	"repro/internal/stm"
@@ -153,9 +154,10 @@ type Tree struct {
 type Option func(*cfg)
 
 type cfg struct {
-	variant Variant
-	hints   bool
-	hintCap int
+	variant    Variant
+	hints      bool
+	hintCap    int
+	promoteAge time.Duration
 }
 
 // WithVariant selects the algorithm variant (default Portable).
@@ -176,11 +178,24 @@ func WithHintCap(n int) Option {
 	}
 }
 
+// DefaultHintPromoteAge is the default age at which a waiting rebalance
+// hint outranks fresh removal hints (see WithHintPromoteAge).
+const DefaultHintPromoteAge = 5 * time.Millisecond
+
+// WithHintPromoteAge sets the age-based promotion bound of the two-level
+// hint queue: a rebalance hint that has waited strictly longer than d
+// outranks fresh removal hints, bounding how long a sustained removal
+// stream can starve rebalancing (default DefaultHintPromoteAge; d <= 0
+// disables promotion, restoring strict removal-first priority).
+func WithHintPromoteAge(d time.Duration) Option {
+	return func(c *cfg) { c.promoteAge = d }
+}
+
 // New creates an empty tree attached to the given STM domain, with its own
 // node arena. The maintenance thread is not started; call Start or drive
 // RunMaintenancePass manually.
 func New(s *stm.STM, opts ...Option) *Tree {
-	c := cfg{variant: Portable, hints: true, hintCap: defaultHintCap}
+	c := cfg{variant: Portable, hints: true, hintCap: defaultHintCap, promoteAge: DefaultHintPromoteAge}
 	for _, o := range opts {
 		o(&c)
 	}
@@ -193,7 +208,7 @@ func New(s *stm.STM, opts ...Option) *Tree {
 		wake:    make(chan struct{}, 1),
 	}
 	if c.hints {
-		t.hintq = newHintPQ(c.hintCap)
+		t.hintq = newHintPQ(c.hintCap, c.promoteAge)
 	}
 	t.collector = arena.NewCollector(ar)
 	t.maintTh = s.NewThread()

@@ -103,8 +103,16 @@ func (p *Prepared) Finalize() {
 	tx := &p.th.tx
 	tx.finalizePrepared()
 	tx.runCommitHooks()
+	tx.runOnCommitted()
 	p.th.finishPreparedOp()
 }
+
+// WriteVersion returns the clock position the prepared transaction's writes
+// publish at (drawn at the lock point — see prepare). It is 0 for a
+// prepared transaction with an empty write set, which publishes nothing.
+// The cross-shard coordinator reads it before Finalize to stamp the shard's
+// share of a durable commit record.
+func (p *Prepared) WriteVersion() uint64 { return p.th.tx.preparedWV }
 
 // Drop aborts the prepared transaction: locks are released with their
 // pre-lock metadata restored, the buffered writes are discarded, and the
@@ -183,9 +191,11 @@ func (tx *Tx) prepare() bool {
 // by publishing the metadata carrying the lock-point write version.
 func (tx *Tx) finalizePrepared() {
 	if len(tx.writes) == 0 {
+		tx.commitPos = tx.rv
 		tx.th.stats.Commits++
 		return
 	}
+	tx.commitPos = tx.preparedWV
 	newMeta := packVersion(tx.preparedWV)
 	for i := range tx.writes {
 		e := &tx.writes[i]

@@ -1,0 +1,104 @@
+package stm
+
+import "testing"
+
+// TestSnapshotRepeatableUntilConflict: a session's reads stay consistent at
+// one snapshot; a concurrent commit that invalidates an extension makes the
+// conflicting Read report false once, and the reset session then observes
+// the new state.
+func TestSnapshotRepeatableUntilConflict(t *testing.T) {
+	s := New()
+	writer := s.NewThread()
+	reader := s.NewThread()
+	var a, b Word
+	writer.Atomic(func(tx *Tx) {
+		tx.Write(&a, 1)
+		tx.Write(&b, 10)
+	})
+
+	snap := reader.NewSnapshot()
+	defer snap.Close()
+	var got uint64
+	if !snap.Read(func(tx *Tx) { got = tx.Read(&a) }) || got != 1 {
+		t.Fatalf("first read (%d, session ok?)", got)
+	}
+	pos := snap.Pos()
+
+	// A concurrent commit moves both words past the session's snapshot.
+	writer.Atomic(func(tx *Tx) {
+		tx.Write(&a, 2)
+		tx.Write(&b, 20)
+	})
+
+	// Reading b forces a timestamp extension over the commit; the logged
+	// read of a no longer validates, so the session resets and reports
+	// false exactly once.
+	ok := snap.Read(func(tx *Tx) { got = tx.Read(&b) })
+	if ok {
+		t.Fatal("session survived an extension over a conflicting commit")
+	}
+	if !snap.Read(func(tx *Tx) { got = tx.Read(&b) }) || got != 20 {
+		t.Fatalf("reset session read b = %d, want 20", got)
+	}
+	if snap.Pos() <= pos {
+		t.Fatalf("reset session kept the old snapshot position %d", snap.Pos())
+	}
+	if !snap.Read(func(tx *Tx) { got = tx.Read(&a) }) || got != 2 {
+		t.Fatalf("reset session read a = %d, want 2", got)
+	}
+}
+
+// TestSnapshotInterleavesWithAtomic: the session descriptor is distinct
+// from the thread's ordinary one, so Atomic commits may run between (not
+// within) session reads on the same thread — the ftx commit pattern.
+func TestSnapshotInterleavesWithAtomic(t *testing.T) {
+	s := New()
+	th := s.NewThread()
+	var w Word
+	snap := th.NewSnapshot()
+	defer snap.Close()
+	var got uint64
+	if !snap.Read(func(tx *Tx) { got = tx.Read(&w) }) {
+		t.Fatal("fresh session read failed")
+	}
+	th.Atomic(func(tx *Tx) { tx.Write(&w, 7) })
+	// The session is now stale; it must reset (not wedge, not misread).
+	for !snap.Read(func(tx *Tx) { got = tx.Read(&w) }) {
+	}
+	if got != 7 {
+		t.Fatalf("read %d after own commit, want 7", got)
+	}
+}
+
+// TestSnapshotWritePanics: sessions are read-only by construction.
+func TestSnapshotWritePanics(t *testing.T) {
+	s := New()
+	th := s.NewThread()
+	var w Word
+	snap := th.NewSnapshot()
+	defer snap.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Write inside a Snapshot session did not panic")
+		}
+	}()
+	snap.Read(func(tx *Tx) { tx.Write(&w, 1) })
+}
+
+// TestSnapshotSingletonPerThread: a second open session on one thread is a
+// caller bug; Close releases the slot.
+func TestSnapshotSingletonPerThread(t *testing.T) {
+	s := New()
+	th := s.NewThread()
+	snap := th.NewSnapshot()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("second NewSnapshot on an open session did not panic")
+			}
+		}()
+		th.NewSnapshot()
+	}()
+	snap.Close()
+	th.NewSnapshot().Close() // slot released: reopening is fine
+}

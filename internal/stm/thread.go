@@ -25,6 +25,13 @@ type Thread struct {
 	inAtomic bool
 	accesses uint64 // transactional accesses, for the yield-injection knob
 
+	// snapTx is the descriptor of the thread's read-only Snapshot session
+	// (snapshot.go), distinct from tx so a session can stay open across
+	// ordinary Atomic/Prepare calls; snapLive guards the per-thread
+	// singleton.
+	snapTx   *Tx
+	snapLive bool
+
 	// Pending and OpCount implement the epoch scheme of §3.4: "each
 	// application thread maintains a boolean indicating a pending operation
 	// and a counter indicating the number of completed operations". The
@@ -117,6 +124,7 @@ func (th *Thread) runAttempt(tx *Tx, fn func(*Tx)) (ok bool) {
 		return false
 	}
 	tx.runCommitHooks()
+	tx.runOnCommitted()
 	return true
 }
 

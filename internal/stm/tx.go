@@ -79,6 +79,19 @@ type Tx struct {
 	// concurrent ordinary commits sound: any transaction that draws a later
 	// position must validate in full and so observes the prepared locks.
 	preparedWV uint64
+
+	// onCommitted is the reliable post-commit callback (OnCommitted): unlike
+	// the advisory OnCommit hint hooks it is a single slot that is never
+	// dropped, and it receives the transaction's commit position. commitPos
+	// is that position: the write version for transactions that published,
+	// the read snapshot for read-only commits.
+	onCommitted func(pos uint64)
+	commitPos   uint64
+
+	// readOnly marks a Snapshot descriptor (snapshot.go): Write panics, so a
+	// long-lived read session can never acquire locks it has no commit path
+	// to release.
+	readOnly bool
 }
 
 // begin resets the descriptor for a fresh attempt.
@@ -90,7 +103,36 @@ func (tx *Tx) begin(mode Mode) {
 	tx.windowN = 0
 	tx.hasWrite = false
 	tx.nHooks = 0
+	tx.onCommitted = nil
+	tx.commitPos = 0
+	tx.preparedWV = 0
 }
+
+// OnCommitted registers fn to be called exactly once with the transaction's
+// commit position after this attempt commits: the write version its
+// publication carries, or the read snapshot for a read-only commit. Unlike
+// the advisory OnCommit hint hooks, the registration is reliable — a single
+// slot, never dropped — which makes it the publication point for effects
+// that must track every committed transaction (the durable layer's
+// write-ahead log records). A later registration in the same attempt
+// replaces the earlier one; an attempt that aborts discards it.
+func (tx *Tx) OnCommitted(fn func(pos uint64)) { tx.onCommitted = fn }
+
+// runOnCommitted fires the reliable post-commit callback, if registered.
+func (tx *Tx) runOnCommitted() {
+	if tx.onCommitted != nil {
+		fn := tx.onCommitted
+		tx.onCommitted = nil
+		fn(tx.commitPos)
+	}
+}
+
+// Snapshot returns the transaction's current read snapshot position: every
+// read performed so far is consistent at this clock value. For a read-only
+// transaction that runs to commit, the final Snapshot value is the cut the
+// observed state belongs to — the durable layer's checkpointer records it as
+// the shard's checkpoint position.
+func (tx *Tx) Snapshot() uint64 { return tx.rv }
 
 // OnCommit registers h to be called with (kind, a, b) after this transaction
 // commits; a hook registered by an attempt that aborts is discarded with the
@@ -230,6 +272,9 @@ func (tx *Tx) URead(w *Word) uint64 {
 // the write is buffered until commit; under ETL the write lock is acquired
 // immediately and a conflicting lock holder forces an abort.
 func (tx *Tx) Write(w *Word, v uint64) {
+	if tx.readOnly {
+		panic("stm: Write inside a read-only Snapshot session")
+	}
 	tx.th.maybeYield()
 	tx.th.stats.Writes++
 	if tx.mode == Elastic && !tx.hasWrite {
@@ -312,6 +357,7 @@ func (tx *Tx) commit() bool {
 		// validated against rv at the time it was performed, and rv-era
 		// values form a snapshot. Elastic read-only transactions validated
 		// their window hand-over-hand.
+		tx.commitPos = tx.rv
 		tx.th.stats.Commits++
 		return true
 	}
@@ -330,6 +376,7 @@ func (tx *Tx) commit() bool {
 		}
 	}
 	wv := tx.th.stm.clock.Add(1)
+	tx.commitPos = wv
 	if wv != tx.rv+1 || tx.mode == Elastic {
 		// Someone committed since our snapshot (or we hold a cut read set):
 		// validate the reads.

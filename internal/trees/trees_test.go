@@ -299,3 +299,39 @@ func TestMoveOnAllKinds(t *testing.T) {
 		}
 	}
 }
+
+// TestSetTxOnAllKinds: every registry tree provides a native SetTx upsert
+// (sftree directly, rb/avl natively, nr via embedding) — the write-replay
+// entry point of the cross-shard coordinator. Upserting must overwrite a
+// present key in place, insert an absent one, and resurrect a logically
+// deleted one, all composably inside an enclosing transaction.
+func TestSetTxOnAllKinds(t *testing.T) {
+	type setter interface {
+		SetTx(tx *stm.Tx, k, v uint64)
+	}
+	for _, kind := range Kinds() {
+		s := stm.New()
+		m := New(kind, s)
+		th := s.NewThread()
+		st, ok := m.(setter)
+		if !ok {
+			t.Fatalf("%s: no native SetTx", kind)
+		}
+		m.Insert(th, 1, 11)
+		m.Insert(th, 2, 22)
+		m.Delete(th, 2) // logical on the sf family, physical on rb/avl
+		Atomic(m, th, func(tx *stm.Tx) {
+			st.SetTx(tx, 1, 100) // overwrite in place
+			st.SetTx(tx, 2, 200) // resurrect / reinsert
+			st.SetTx(tx, 3, 300) // fresh insert
+		})
+		for k, want := range map[uint64]uint64{1: 100, 2: 200, 3: 300} {
+			if v, ok := m.Get(th, k); !ok || v != want {
+				t.Fatalf("%s: key %d = (%d,%v), want %d", kind, k, v, ok, want)
+			}
+		}
+		if n := m.Size(th); n != 3 {
+			t.Fatalf("%s: size %d after upserts, want 3", kind, n)
+		}
+	}
+}

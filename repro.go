@@ -56,8 +56,10 @@
 package repro
 
 import (
+	"fmt"
 	"sync"
 
+	"repro/internal/durable"
 	"repro/internal/forest"
 	"repro/internal/ftx"
 	"repro/internal/sftree"
@@ -121,8 +123,12 @@ const (
 type Tree struct {
 	s    *stm.STM       // single-domain path (shards == 1)
 	m    trees.Map      // single-domain path
-	f    *forest.Forest // sharded path (shards > 1)
+	f    *forest.Forest // sharded path (shards > 1, and every durable tree)
 	stop func()
+	// dlog is the attached write-ahead log of a durable tree (repro.Open);
+	// nil for volatile trees. recovery is what Open reconstructed.
+	dlog     *durable.Log
+	recovery durable.Recovery
 	// maintWorkers is the configured maintenance-scheduler size of the
 	// single-domain path (1 when a maintenance goroutine was started, 0
 	// otherwise); immutable after NewTree, reported by MaintPoolStats.
@@ -144,6 +150,7 @@ type treeCfg struct {
 	shards       int
 	maintWorkers int
 	cm           stm.ContentionManager
+	dur          *durable.Options
 }
 
 // WithTMMode selects the TM algorithm (default CommitTimeLocking).
@@ -182,6 +189,116 @@ func WithContention(p ContentionPolicy) Option {
 	return func(c *treeCfg) { c.cm = cm }
 }
 
+// DurabilityOptions re-exports the durable layer's dials for WithDurability:
+// Sync (fsync per operation), GroupCommit (background flush+fsync interval),
+// CheckpointEvery (periodic checkpoint interval; negative disables).
+type DurabilityOptions = durable.Options
+
+// WithDurability sets the durability dials used by Open (the zero value
+// selects the defaults: asynchronous group commit every
+// durable.DefaultGroupCommit, a checkpoint every
+// durable.DefaultCheckpointEvery). It is meaningful only with Open;
+// NewTree panics on it, because a durable tree needs a directory.
+func WithDurability(o DurabilityOptions) Option {
+	return func(c *treeCfg) { c.dur = &o }
+}
+
+// Open creates — or recovers — a durable tree of the given kind backed by
+// the write-ahead log and checkpoints in dir (created if missing; the same
+// kind and shard count must be used across openings of one directory).
+// Every committed update is appended to the log as one checksummed record
+// (cross-shard Atomic transactions as one multi-shard record, logged at
+// finalize), group-committed per the WithDurability dials; checkpoints
+// rotate and truncate the log. Open first replays dir's newest sealed
+// checkpoint plus the surviving log tail into a fresh tree, seals a new
+// checkpoint (rebasing the history onto this process's clocks), and then
+// starts the periodic checkpointer. Close stops the durability machinery
+// after a final flush+fsync.
+//
+// The recovered state is exact up to the last synced record: with Sync
+// that is every operation that returned; under group commit a crash loses
+// at most the final unsynced window, within which in-flight operations
+// are retained or lost independently (see the durable package comment for
+// the precise contract). A torn tail record is detected by its length
+// prefix and CRC and cleanly discarded, so a cross-shard transaction is
+// recovered wholly or not at all.
+func Open(dir string, kind Kind, opts ...Option) (*Tree, error) {
+	cfg := treeCfg{mode: stm.CTL, maintenance: true, shards: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.shards < 1 {
+		return nil, fmt.Errorf("repro: shard count %d < 1", cfg.shards)
+	}
+	var dopts durable.Options
+	if cfg.dur != nil {
+		dopts = *cfg.dur
+	}
+	l, rec, err := durable.Open(dir, cfg.shards, dopts)
+	if err != nil {
+		return nil, err
+	}
+	// A durable tree always runs on the forest path, whatever the shard
+	// count: with one shard a forest is semantically identical to the bare
+	// tree, and the WAL, checkpoint and cross-shard plumbing then have one
+	// surface. Replay the recovered state before attaching the log (the
+	// replay must not re-log itself), then seal a fresh checkpoint so the
+	// old log generation — whose record positions belong to the previous
+	// process's clocks — is truncated and the cuts rebased.
+	fopts := []forest.Option{
+		forest.WithShards(cfg.shards),
+		forest.WithTMMode(cfg.mode),
+		forest.WithContentionManager(cfg.cm),
+	}
+	if cfg.maintWorkers > 0 {
+		fopts = append(fopts, forest.WithMaintWorkers(cfg.maintWorkers))
+	}
+	if !cfg.maintenance {
+		fopts = append(fopts, forest.WithoutMaintenance())
+	}
+	f := forest.New(kind, fopts...)
+	h := f.NewHandle()
+	for k, v := range rec.State {
+		h.Insert(k, v)
+	}
+	f.AttachWAL(l)
+	if err := l.Checkpoint(f); err != nil {
+		l.Close()
+		f.Close()
+		return nil, err
+	}
+	l.StartCheckpoints(f)
+	return &Tree{f: f, stop: f.Close, maint: cfg.maintenance, dlog: l, recovery: *rec}, nil
+}
+
+// Durable returns the tree's write-ahead log for instrumentation (byte and
+// record counters, explicit Sync) — nil for a tree created with NewTree.
+func (t *Tree) Durable() *durable.Log { return t.dlog }
+
+// Recovery reports what Open reconstructed from the directory (the zero
+// value for volatile trees and fresh directories).
+func (t *Tree) Recovery() durable.Recovery { return t.recovery }
+
+// Checkpoint seals one consistent checkpoint of the whole tree and
+// truncates the write-ahead log behind it (no-op error on volatile trees).
+// The periodic checkpointer does this automatically; explicit calls bound
+// recovery time before a planned shutdown.
+func (t *Tree) Checkpoint() error {
+	if t.dlog == nil {
+		return fmt.Errorf("repro: Checkpoint on a tree without durability (use repro.Open)")
+	}
+	return t.dlog.Checkpoint(t.f)
+}
+
+// Sync flushes and fsyncs the write-ahead log: every operation committed
+// before Sync returns is durable (no-op error on volatile trees).
+func (t *Tree) Sync() error {
+	if t.dlog == nil {
+		return fmt.Errorf("repro: Sync on a tree without durability (use repro.Open)")
+	}
+	return t.dlog.Sync()
+}
+
 // NewTree creates an empty tree of the given kind. Unless
 // WithoutMaintenance is given, speculation-friendly kinds start their
 // background maintenance goroutine(s) immediately; Close stops them.
@@ -189,6 +306,9 @@ func NewTree(kind Kind, opts ...Option) *Tree {
 	cfg := treeCfg{mode: stm.CTL, maintenance: true, shards: 1}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.dur != nil {
+		panic("repro: WithDurability requires a directory; use repro.Open(dir, kind, ...)")
 	}
 	if cfg.shards > 1 {
 		fopts := []forest.Option{
@@ -224,6 +344,12 @@ func NewTree(kind Kind, opts ...Option) *Tree {
 // concurrently with Stats/MaintenanceStats — maintenance is guaranteed
 // stopped once Close and any overlapping accessors return.
 func (t *Tree) Close() {
+	// Stop the durability machinery first: the checkpoint loop snapshots
+	// the forest, so it must be quiet before maintenance winds down, and
+	// the final flush+fsync makes everything committed so far durable.
+	if t.dlog != nil {
+		t.dlog.Close()
+	}
 	t.maintMu.Lock()
 	defer t.maintMu.Unlock()
 	t.maint = false
@@ -476,9 +602,15 @@ func (h *Handle) Ascend(fn func(k, v uint64) bool) bool {
 //
 // Update panics on a sharded tree, because a composed transaction must be
 // routed to the single shard whose keys it touches: use UpdateShard there.
+// (A one-shard forest — every unsharded durable tree — has exactly one
+// shard for every key, so Update works there unrouted.)
 func (h *Handle) Update(fn func(op *Op)) {
 	if h.fh != nil {
-		panic("repro: Update needs a routing key on a sharded tree; use UpdateShard(k, fn)")
+		if h.t.Shards() > 1 {
+			panic("repro: Update needs a routing key on a sharded tree; use UpdateShard(k, fn)")
+		}
+		h.fh.Update(0, func(fop *forest.Op) { fn(&Op{fop: fop}) })
+		return
 	}
 	trees.Atomic(h.t.m, h.th, func(tx *stm.Tx) { fn(&Op{t: h.t, tx: tx}) })
 }

@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DURATION ?= 1s
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race vet ci bench-range bench-xact bench-durable bench-json
+.PHONY: all build test race vet ci bench-range bench-xact bench-durable bench-json profile benchdiff
 
 all: build
 
@@ -50,17 +50,22 @@ bench-durable:
 	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 8
 	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -fsync -shards 8
 
-# Maintenance-efficiency and cross-shard-transaction benchmark points,
-# recorded as one JSON artifact per session (BENCH_<date>.json) so the perf
-# trajectory is durable (the scheduled bench workflow uploads the same
-# artifact weekly). The first rows compare the single-domain tree, the
+# Benchmark points recorded as one JSON artifact per session
+# (BENCH_<date>.json) so the perf trajectory is durable (the scheduled
+# bench workflow uploads the same artifact weekly). The first two rows are
+# the single-thread sf-opt hot-path baselines (update 20 and 10) that the
+# cmd/benchdiff regression gate keys on — single-thread rows are the
+# meaningful ones on small CI hosts, where multi-thread numbers are mostly
+# scheduler noise. The next rows compare the single-domain tree, the
 # sharded forest with the default pool, and the sharded forest with an
 # explicitly small pool on the skewed (Zipf) workload — the configuration
 # the sub-linear-maintenance-CPU claim is about (see the maint_* CSV
-# columns); the last two measure the multi-key transfer workload at shards
-# 1 and 8 (see the xact_* columns).
+# columns); then the multi-key transfer workload at shards 1 and 8 (see
+# the xact_* columns) and a durable (WAL-attached) point.
 bench-json:
-	{ $(GO) run ./cmd/microbench -header -tree sf-opt -threads 4 -update 20 -duration $(BENCH_DURATION) ; \
+	{ $(GO) run ./cmd/microbench -header -tree sf-opt -threads 1 -update 20 -duration $(BENCH_DURATION) ; \
+	  $(GO) run ./cmd/microbench -tree sf-opt -threads 1 -update 10 -duration $(BENCH_DURATION) ; \
+	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -shards 8 -dist zipf -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -shards 8 -maint-workers 2 -dist zipf -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf -threads 4 -update 20 -shards 8 -maint-workers 2 -dist zipf -duration $(BENCH_DURATION) ; \
@@ -68,5 +73,22 @@ bench-json:
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -xact-frac 0.2 -shards 8 -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 8 -duration $(BENCH_DURATION) ; } \
 	| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
+
+# CPU + allocation profiles of the hot path (single-thread sf-opt, the
+# configuration the mechanical-sympathy work targets), written under
+# profiles/. Inspect with: go tool pprof -top profiles/cpu.pb.gz
+PROFILE_DURATION ?= 3s
+profile:
+	mkdir -p profiles
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 1 -update 20 \
+		-duration $(PROFILE_DURATION) \
+		-cpuprofile profiles/cpu.pb.gz -memprofile profiles/mem.pb.gz
+	@echo "profiles written: profiles/cpu.pb.gz profiles/mem.pb.gz"
+
+# Regression gate: compare the newest checked-in BENCH_*.json baseline
+# against a fresh bench-json artifact (or the two files given as BASE= and
+# NEW=). Fails when a matched row regresses by more than the threshold.
+benchdiff:
+	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) $(BASE) $(NEW)
 
 ci: build vet test race

@@ -1,0 +1,318 @@
+// Command benchdiff is the performance regression gate over the BENCH_*.json
+// artifacts that cmd/benchjson emits (see the Makefile's bench-json target).
+// It matches rows between a baseline artifact and a new one by their workload
+// configuration (tree, mode, threads, shards, distribution, update mix, …),
+// compares a metric (throughput_ops_per_us by default), and fails — exit
+// status 1 — when any matched row regresses by more than the threshold.
+//
+//	benchdiff BENCH_2026-07-29.json BENCH_2026-08-08.json
+//	benchdiff -threshold 0.25 baseline.json new.json
+//	benchdiff new.json              # baseline = newest other BENCH_*.json
+//	benchdiff                       # newest two BENCH_*.json in -dir
+//	benchdiff -plot trajectory.svg  # also render the whole series
+//
+// With one positional argument that file is the "new" side and the baseline
+// is the newest BENCH_*.json in -dir that is not the new file; with none,
+// the two newest artifacts in -dir are compared (older as baseline). File
+// order is by name — the BENCH_<date>.json convention makes lexicographic
+// order chronological.
+//
+// Rows present on only one side are reported but never fail the gate (the
+// bench-json recipe grows new configurations over time). -plot writes an
+// SVG trajectory chart: one line per configuration across every BENCH_*.json
+// in -dir, so a slow drift is visible even when each single diff passes.
+//
+// Thresholds should respect the noise floor of the host: on small CI
+// machines run-to-run variance of the multi-thread rows easily exceeds 10%,
+// which is why the CI smoke gate runs with a lenient -threshold (see
+// .github/workflows/bench.yml) and why the single-thread rows are the ones
+// worth gating tightly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// keyCols are the workload-configuration columns that identify a row across
+// artifacts.
+var keyCols = []string{
+	"tree", "mode", "threads", "shards", "cm", "dist",
+	"update", "move", "biased", "range",
+	"range_frac", "range_len", "xact_frac", "xact_keys", "xact_cross",
+	"durable", "fsync",
+}
+
+// keyDefaults supplies the value a key column had before it existed: the
+// microbench CSV grew the xact and durability columns over time, and an old
+// artifact's rows were implicitly recorded at these flag defaults. Rendering
+// a missing column as its default lets old baselines keep matching new rows
+// (JSON numbers decode as float64, so defaults are spelled that way too).
+var keyDefaults = map[string]any{
+	"move":       0.0,
+	"biased":     false,
+	"range_frac": 0.0,
+	"xact_frac":  0.0,
+	"xact_keys":  4.0,
+	"xact_cross": 1.0,
+	"durable":    false,
+	"fsync":      false,
+}
+
+// artifact is one parsed BENCH_*.json file.
+type artifact struct {
+	Path        string
+	GeneratedAt string           `json:"generated_at"`
+	Rows        []map[string]any `json:"rows"`
+}
+
+func loadArtifact(path string) (*artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a := &artifact{Path: path}
+	if err := json.Unmarshal(data, a); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}
+
+// rowKey renders a row's configuration columns into a stable matching key.
+func rowKey(row map[string]any) string {
+	parts := make([]string, 0, len(keyCols))
+	for _, c := range keyCols {
+		v, ok := row[c]
+		if !ok {
+			if d, has := keyDefaults[c]; has {
+				v = d
+			} else {
+				parts = append(parts, c+"=")
+				continue
+			}
+		}
+		parts = append(parts, fmt.Sprintf("%s=%v", c, v))
+	}
+	return strings.Join(parts, " ")
+}
+
+// shortKey is the human-readable row label used in reports.
+func shortKey(row map[string]any) string {
+	get := func(c string) any {
+		if v, ok := row[c]; ok {
+			return v
+		}
+		return ""
+	}
+	s := fmt.Sprintf("%v t%v s%v u%v %v", get("tree"), get("threads"),
+		get("shards"), get("update"), get("dist"))
+	if xf, ok := row["xact_frac"]; ok && fmt.Sprintf("%v", xf) != "0" {
+		s += fmt.Sprintf(" xact%v", xf)
+	}
+	if d, ok := row["durable"]; ok && d == true {
+		s += " durable"
+	}
+	return s
+}
+
+func metricOf(row map[string]any, metric string) (float64, bool) {
+	v, ok := row[metric]
+	if !ok {
+		return 0, false
+	}
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case int64:
+		return float64(n), true
+	case json.Number:
+		f, err := n.Float64()
+		return f, err == nil
+	}
+	return 0, false
+}
+
+// diffLine is one matched row's comparison.
+type diffLine struct {
+	Label      string
+	Base, New  float64
+	Delta      float64 // (new-base)/base; negative = regression for higher-is-better
+	Regression bool
+}
+
+// report holds the outcome of one baseline/new comparison.
+type report struct {
+	Lines     []diffLine
+	BaseOnly  []string // row labels present only in the baseline
+	NewOnly   []string // row labels present only in the new artifact
+	Regressed int
+}
+
+// compare matches rows by configuration key and flags any matched row whose
+// metric dropped by more than threshold (fractional; higher metric = better).
+// Rows sharing a key (the bench-json recipe repeats a configuration with a
+// different maintenance-pool size, which is not a CSV config column) are
+// disambiguated by occurrence order, pairing the nth duplicate with the nth.
+func compare(base, next *artifact, metric string, threshold float64) report {
+	var rep report
+	occKey := func(seen map[string]int, r map[string]any) string {
+		k := rowKey(r)
+		n := seen[k]
+		seen[k] = n + 1
+		return fmt.Sprintf("%s#%d", k, n)
+	}
+	baseRows := make(map[string]map[string]any, len(base.Rows))
+	baseSeen := make(map[string]int)
+	for _, r := range base.Rows {
+		baseRows[occKey(baseSeen, r)] = r
+	}
+	matched := make(map[string]bool)
+	nextSeen := make(map[string]int)
+	for _, nr := range next.Rows {
+		k := occKey(nextSeen, nr)
+		br, ok := baseRows[k]
+		if !ok {
+			rep.NewOnly = append(rep.NewOnly, shortKey(nr))
+			continue
+		}
+		matched[k] = true
+		bv, bok := metricOf(br, metric)
+		nv, nok := metricOf(nr, metric)
+		if !bok || !nok || bv == 0 {
+			continue
+		}
+		delta := (nv - bv) / bv
+		line := diffLine{
+			Label: shortKey(nr), Base: bv, New: nv, Delta: delta,
+			Regression: delta < -threshold,
+		}
+		if line.Regression {
+			rep.Regressed++
+		}
+		rep.Lines = append(rep.Lines, line)
+	}
+	for k, br := range baseRows {
+		if !matched[k] {
+			rep.BaseOnly = append(rep.BaseOnly, shortKey(br))
+		}
+	}
+	sort.Slice(rep.Lines, func(i, j int) bool { return rep.Lines[i].Label < rep.Lines[j].Label })
+	sort.Strings(rep.BaseOnly)
+	sort.Strings(rep.NewOnly)
+	return rep
+}
+
+// discover returns the BENCH_*.json files in dir, sorted by name (the
+// BENCH_<date>.json convention makes that chronological).
+func discover(dir string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func main() {
+	metric := flag.String("metric", "throughput_ops_per_us", "row metric to compare (higher is better)")
+	threshold := flag.Float64("threshold", 0.10, "max allowed fractional regression before failing")
+	dir := flag.String("dir", ".", "directory searched for BENCH_*.json artifacts")
+	plot := flag.String("plot", "", "write an SVG trajectory chart of every artifact in -dir to this file")
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+		os.Exit(2)
+	}
+
+	var basePath, newPath string
+	switch flag.NArg() {
+	case 2:
+		basePath, newPath = flag.Arg(0), flag.Arg(1)
+	case 1:
+		newPath = flag.Arg(0)
+		all, err := discover(*dir)
+		if err != nil {
+			fail("%v", err)
+		}
+		abs := func(p string) string { a, _ := filepath.Abs(p); return a }
+		for i := len(all) - 1; i >= 0; i-- {
+			if abs(all[i]) != abs(newPath) {
+				basePath = all[i]
+				break
+			}
+		}
+		if basePath == "" {
+			fail("no baseline BENCH_*.json found in %s besides %s", *dir, newPath)
+		}
+	case 0:
+		all, err := discover(*dir)
+		if err != nil {
+			fail("%v", err)
+		}
+		if *plot != "" && len(all) > 0 {
+			// Plot-only invocation: a single artifact still yields a chart.
+			if len(all) < 2 {
+				if err := writePlot(*plot, all, *metric); err != nil {
+					fail("%v", err)
+				}
+				fmt.Printf("wrote %s (%d artifacts; nothing to diff)\n", *plot, len(all))
+				return
+			}
+		}
+		if len(all) < 2 {
+			fail("need at least two BENCH_*.json in %s (found %d)", *dir, len(all))
+		}
+		basePath, newPath = all[len(all)-2], all[len(all)-1]
+	default:
+		fail("usage: benchdiff [flags] [baseline.json [new.json]]")
+	}
+
+	base, err := loadArtifact(basePath)
+	if err != nil {
+		fail("%v", err)
+	}
+	next, err := loadArtifact(newPath)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	rep := compare(base, next, *metric, *threshold)
+	fmt.Printf("benchdiff: %s -> %s  (metric %s, threshold %.0f%%)\n",
+		filepath.Base(basePath), filepath.Base(newPath), *metric, *threshold*100)
+	for _, l := range rep.Lines {
+		mark := " "
+		if l.Regression {
+			mark = "!"
+		}
+		fmt.Printf("  %s %-40s %10.3f -> %10.3f  %+6.1f%%\n", mark, l.Label, l.Base, l.New, l.Delta*100)
+	}
+	for _, s := range rep.BaseOnly {
+		fmt.Printf("    baseline-only row (not gated): %s\n", s)
+	}
+	for _, s := range rep.NewOnly {
+		fmt.Printf("    new-only row (not gated): %s\n", s)
+	}
+
+	if *plot != "" {
+		all, err := discover(*dir)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := writePlot(*plot, all, *metric); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("wrote %s (%d artifacts)\n", *plot, len(all))
+	}
+
+	if rep.Regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d row(s) regressed beyond %.0f%%\n", rep.Regressed, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regression beyond threshold")
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseJSON = `{
+  "generated_at": "2026-07-29T00:00:00Z",
+  "rows": [
+    {"tree":"sf-opt","mode":"CTL","threads":1,"shards":1,"cm":"backoff","dist":"uniform",
+     "update":20,"move":0,"biased":false,"range":8192,
+     "range_frac":0,"range_len":100,"xact_frac":0,"xact_keys":4,"xact_cross":1,
+     "durable":false,"fsync":false,"throughput_ops_per_us":2.0},
+    {"tree":"sf-opt","mode":"CTL","threads":4,"shards":8,"cm":"backoff","dist":"zipf",
+     "update":20,"move":0,"biased":false,"range":8192,
+     "range_frac":0,"range_len":100,"xact_frac":0,"xact_keys":4,"xact_cross":1,
+     "durable":false,"fsync":false,"throughput_ops_per_us":5.0},
+    {"tree":"nr","mode":"CTL","threads":1,"shards":1,"cm":"backoff","dist":"uniform",
+     "update":20,"move":0,"biased":false,"range":8192,
+     "range_frac":0,"range_len":100,"xact_frac":0,"xact_keys":4,"xact_cross":1,
+     "durable":false,"fsync":false,"throughput_ops_per_us":1.0}
+  ]
+}`
+
+const newJSON = `{
+  "generated_at": "2026-08-08T00:00:00Z",
+  "rows": [
+    {"tree":"sf-opt","mode":"CTL","threads":1,"shards":1,"cm":"backoff","dist":"uniform",
+     "update":20,"move":0,"biased":false,"range":8192,
+     "range_frac":0,"range_len":100,"xact_frac":0,"xact_keys":4,"xact_cross":1,
+     "durable":false,"fsync":false,"throughput_ops_per_us":3.0},
+    {"tree":"sf-opt","mode":"CTL","threads":4,"shards":8,"cm":"backoff","dist":"zipf",
+     "update":20,"move":0,"biased":false,"range":8192,
+     "range_frac":0,"range_len":100,"xact_frac":0,"xact_keys":4,"xact_cross":1,
+     "durable":false,"fsync":false,"throughput_ops_per_us":4.0},
+    {"tree":"avl","mode":"CTL","threads":1,"shards":1,"cm":"backoff","dist":"uniform",
+     "update":20,"move":0,"biased":false,"range":8192,
+     "range_frac":0,"range_len":100,"xact_frac":0,"xact_keys":4,"xact_cross":1,
+     "durable":false,"fsync":false,"throughput_ops_per_us":1.5}
+  ]
+}`
+
+func TestCompareMatchingAndThreshold(t *testing.T) {
+	dir := t.TempDir()
+	bp := writeArtifact(t, dir, "BENCH_2026-07-29.json", baseJSON)
+	np := writeArtifact(t, dir, "BENCH_2026-08-08.json", newJSON)
+	base, err := loadArtifact(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := loadArtifact(np)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 10% threshold: the 8-shard row dropped 5.0 -> 4.0 (-20%), regression;
+	// the single-thread row improved (no regression); nr is baseline-only,
+	// avl is new-only, neither gated.
+	rep := compare(base, next, "throughput_ops_per_us", 0.10)
+	if len(rep.Lines) != 2 {
+		t.Fatalf("matched lines = %d, want 2 (%+v)", len(rep.Lines), rep.Lines)
+	}
+	if rep.Regressed != 1 {
+		t.Fatalf("regressed = %d, want 1", rep.Regressed)
+	}
+	for _, l := range rep.Lines {
+		wantReg := strings.Contains(l.Label, "s8")
+		if l.Regression != wantReg {
+			t.Errorf("row %q regression = %v, want %v (delta %.2f)", l.Label, l.Regression, wantReg, l.Delta)
+		}
+	}
+	if len(rep.BaseOnly) != 1 || !strings.Contains(rep.BaseOnly[0], "nr") {
+		t.Errorf("BaseOnly = %v, want one nr row", rep.BaseOnly)
+	}
+	if len(rep.NewOnly) != 1 || !strings.Contains(rep.NewOnly[0], "avl") {
+		t.Errorf("NewOnly = %v, want one avl row", rep.NewOnly)
+	}
+
+	// A lenient threshold passes the same pair.
+	if rep := compare(base, next, "throughput_ops_per_us", 0.25); rep.Regressed != 0 {
+		t.Errorf("at 25%% threshold regressed = %d, want 0", rep.Regressed)
+	}
+}
+
+func TestRowKeyToleratesMissingColumns(t *testing.T) {
+	// Old artifacts predate some config columns; a row without them must
+	// still produce a stable key distinct from a row that differs in a
+	// present column.
+	a := map[string]any{"tree": "sf-opt", "threads": int64(1)}
+	b := map[string]any{"tree": "sf-opt", "threads": int64(4)}
+	if rowKey(a) == rowKey(b) {
+		t.Fatal("rows differing in threads share a key")
+	}
+	if rowKey(a) != rowKey(map[string]any{"tree": "sf-opt", "threads": int64(1)}) {
+		t.Fatal("identical rows produce different keys")
+	}
+}
+
+func TestRowKeyMissingColumnMatchesDefault(t *testing.T) {
+	// A pre-xact/durability row (the columns simply absent) must match a
+	// new-format row recorded at those flags' defaults — and must NOT match
+	// one recorded away from the defaults.
+	old := map[string]any{"tree": "sf-opt", "threads": float64(4), "update": float64(20)}
+	newDefault := map[string]any{
+		"tree": "sf-opt", "threads": float64(4), "update": float64(20),
+		"xact_frac": float64(0), "xact_keys": float64(4), "xact_cross": float64(1),
+		"durable": false, "fsync": false, "move": float64(0), "biased": false,
+		"range_frac": float64(0),
+	}
+	newXact := map[string]any{
+		"tree": "sf-opt", "threads": float64(4), "update": float64(20),
+		"xact_frac": float64(0.2), "xact_keys": float64(4), "xact_cross": float64(1),
+		"durable": false, "fsync": false, "move": float64(0), "biased": false,
+		"range_frac": float64(0),
+	}
+	if rowKey(old) != rowKey(newDefault) {
+		t.Fatalf("old-format row does not match new row at defaults:\n  %s\n  %s",
+			rowKey(old), rowKey(newDefault))
+	}
+	if rowKey(old) == rowKey(newXact) {
+		t.Fatal("old-format row wrongly matches a non-default xact row")
+	}
+}
+
+func TestDiscoverOrder(t *testing.T) {
+	dir := t.TempDir()
+	writeArtifact(t, dir, "BENCH_2026-08-08.json", newJSON)
+	writeArtifact(t, dir, "BENCH_2026-07-29.json", baseJSON)
+	writeArtifact(t, dir, "not-a-bench.json", "{}")
+	got, err := discover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("discover found %d files, want 2: %v", len(got), got)
+	}
+	if filepath.Base(got[0]) != "BENCH_2026-07-29.json" || filepath.Base(got[1]) != "BENCH_2026-08-08.json" {
+		t.Fatalf("discover order wrong: %v", got)
+	}
+}
+
+func TestWritePlot(t *testing.T) {
+	dir := t.TempDir()
+	bp := writeArtifact(t, dir, "BENCH_2026-07-29.json", baseJSON)
+	np := writeArtifact(t, dir, "BENCH_2026-08-08.json", newJSON)
+	out := filepath.Join(dir, "trajectory.svg")
+	if err := writePlot(out, []string{bp, np}, "throughput_ops_per_us"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := string(data)
+	if !strings.HasPrefix(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("output is not an SVG document")
+	}
+	// Both artifact dates appear as x labels, and at least one series line.
+	for _, want := range []string{"2026-07-29", "2026-08-08", "<polyline", "sf-opt"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// A metric nobody recorded is an error, not an empty chart.
+	if err := writePlot(out, []string{bp}, "no_such_metric"); err == nil {
+		t.Error("writePlot with unknown metric should fail")
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// writePlot renders the metric's trajectory across the given artifacts (in
+// order) as a hand-rolled SVG line chart: one polyline per row configuration,
+// x = artifact index (labeled with the file's date suffix), y = metric. A
+// configuration missing from some artifacts simply has gaps (the polyline
+// connects the points that exist).
+func writePlot(path string, artifactPaths []string, metric string) error {
+	type point struct {
+		x int
+		y float64
+	}
+	series := make(map[string][]point) // shortKey -> points
+	var labels []string
+	for i, p := range artifactPaths {
+		a, err := loadArtifact(p)
+		if err != nil {
+			return err
+		}
+		labels = append(labels, dateLabel(p))
+		for _, row := range a.Rows {
+			v, ok := metricOf(row, metric)
+			if !ok {
+				continue
+			}
+			k := shortKey(row)
+			series[k] = append(series[k], point{x: i, y: v})
+		}
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no rows with metric %q in %d artifact(s)", metric, len(artifactPaths))
+	}
+
+	names := make([]string, 0, len(series))
+	maxY := 0.0
+	for k, pts := range series {
+		names = append(names, k)
+		for _, pt := range pts {
+			if pt.y > maxY {
+				maxY = pt.y
+			}
+		}
+	}
+	sort.Strings(names)
+	if maxY == 0 {
+		maxY = 1
+	}
+
+	const (
+		w, h         = 860, 420
+		padL, padR   = 60, 230 // right pad holds the legend
+		padT, padB   = 30, 50
+		plotW, plotH = w - padL - padR, h - padT - padB
+	)
+	nX := len(artifactPaths)
+	xAt := func(i int) float64 {
+		if nX <= 1 {
+			return padL + plotW/2
+		}
+		return padL + float64(i)*float64(plotW)/float64(nX-1)
+	}
+	yAt := func(v float64) float64 { return padT + plotH - v/maxY*plotH }
+
+	palette := []string{
+		"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+		"#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="14">%s trajectory (BENCH_*.json)</text>`+"\n", padL, metric)
+
+	// Axes and y gridlines.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", padL, padT, padL, padT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", padL, padT+plotH, padL+plotW, padT+plotH)
+	for g := 0; g <= 4; g++ {
+		v := maxY * float64(g) / 4
+		y := yAt(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", padL, y, padL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n", padL-6, y+4, trimFloat(v))
+	}
+	for i, lab := range labels {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n", xAt(i), padT+plotH+16, lab)
+	}
+
+	for si, name := range names {
+		color := palette[si%len(palette)]
+		pts := series[name]
+		var coords []string
+		for _, pt := range pts {
+			coords = append(coords, fmt.Sprintf("%.1f,%.1f", xAt(pt.x), yAt(pt.y)))
+		}
+		if len(coords) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.Join(coords, " "), color)
+		}
+		for _, pt := range pts {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n", xAt(pt.x), yAt(pt.y), color)
+		}
+		ly := padT + 14 + si*14
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", padL+plotW+16, ly-9, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", padL+plotW+30, ly, escapeXML(name))
+	}
+
+	b.WriteString("</svg>\n")
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// dateLabel extracts the date from a BENCH_<date>.json filename, falling
+// back to the bare file name.
+func dateLabel(path string) string {
+	name := strings.TrimSuffix(filepath.Base(path), ".json")
+	return strings.TrimPrefix(name, "BENCH_")
+}
+
+// trimFloat renders an axis value without trailing noise.
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -59,6 +59,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/bench"
@@ -93,6 +95,8 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-every", 0, "with -durable: periodic checkpoint interval (0 = 500ms, negative disables)")
 	yieldEvery := flag.Int("yield", 0, "STM interleaving simulation: yield every N accesses (0 off)")
 	header := flag.Bool("header", false, "print the CSV header line first")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile of the run to this file")
 	flag.Parse()
 
 	var m stm.Mode
@@ -175,6 +179,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "microbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "microbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+
 	res := bench.Run(bench.Options{
 		Kind:     kind,
 		Mode:     m,
@@ -206,17 +224,18 @@ func main() {
 	})
 
 	if *header {
-		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,range_frac,range_len,xact_frac,xact_keys,xact_cross,duration_s,ops,throughput_ops_per_us,effective_ratio,range_scans,range_items,xact_ops,xact_moved,xact_commits,xact_fallbacks,xact_aborts,xact_intent_conflicts,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,rotations,maint_workers,hints_emitted,hints_coalesced,hints_dropped,targeted_repairs,sweep_passes,maint_busy_ms,worker_util,durable,fsync,wal_records,wal_atomic_records,wal_bytes,wal_syncs,checkpoints,checkpoint_pairs,recovery_ms,recovered_keys")
+		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,range_frac,range_len,xact_frac,xact_keys,xact_cross,duration_s,ops,throughput_ops_per_us,effective_ratio,allocs_per_op,bytes_per_op,range_scans,range_items,xact_ops,xact_moved,xact_commits,xact_fallbacks,xact_aborts,xact_intent_conflicts,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,spin_exhausted,rotations,maint_workers,hints_emitted,hints_coalesced,hints_dropped,targeted_repairs,sweep_passes,maint_busy_ms,worker_util,durable,fsync,wal_records,wal_atomic_records,wal_bytes,wal_syncs,checkpoints,checkpoint_pairs,recovery_ms,recovered_keys")
 	}
-	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%d,%.3f,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%t,%t,%d,%d,%d,%d,%d,%d,%.3f,%d\n",
+	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%d,%.3f,%.3f,%.4f,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%t,%t,%d,%d,%d,%d,%d,%d,%.3f,%d\n",
 		kind, m, res.Threads, res.Shards, res.CM, res.Dist, *update, *movePct, *biased, *keyRange,
 		*rangeFrac, *rangeLen, *xactFrac, *xactKeys, *xactCross,
 		res.Elapsed.Seconds(), res.Ops, res.Throughput, res.EffectiveRatio,
+		res.AllocsPerOp, res.BytesPerOp,
 		res.RangeOps, res.RangeItems,
 		res.XactOps, res.XactMoves, res.Xact.Commits, res.Xact.Fallbacks,
 		res.Xact.Aborts, res.Xact.IntentConflicts,
 		res.STM.Commits, res.STM.Aborts, res.STM.AbortRate(), res.STM.Retries,
-		float64(res.STM.BackoffNanos)/1e6, res.STM.MaxOpReads, res.Rotations,
+		float64(res.STM.BackoffNanos)/1e6, res.STM.MaxOpReads, res.STM.SpinExhausted, res.Rotations,
 		res.Pool.Workers, res.TreeStats.HintsEmitted, res.TreeStats.HintsCoalesced,
 		res.TreeStats.HintsDropped, res.TreeStats.TargetedRepairs, res.TreeStats.Passes,
 		float64(res.Pool.BusyNanos)/1e6, res.WorkerUtilization(),
@@ -226,5 +245,18 @@ func main() {
 	for si, sr := range res.PerShard {
 		fmt.Printf("shard,%d,ops,%d,throughput_ops_per_us,%.3f,commits,%d,aborts,%d,abort_rate,%.4f\n",
 			si, sr.Ops, sr.Throughput, sr.STM.Commits, sr.STM.Aborts, sr.STM.AbortRate())
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "microbench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // flush the allocation accounting up to the run's end
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "microbench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }

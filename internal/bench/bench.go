@@ -28,6 +28,7 @@ package bench
 import (
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -208,6 +209,15 @@ type Result struct {
 	Throughput       float64 // operations per microsecond (paper's unit)
 	EffectiveRatio   float64 // effective updates / ops
 
+	// Heap-allocation accounting over the hammer phase (runtime.MemStats
+	// deltas divided by Ops). The window covers everything live during the
+	// measurement — worker goroutine startup, maintenance workers, the WAL
+	// on durable runs — so these are whole-system figures, not per-call
+	// gates (the AllocsPerRun tests are); a steady-state in-memory run
+	// should still sit near zero.
+	AllocsPerOp float64 // heap allocations per operation
+	BytesPerOp  float64 // heap bytes allocated per operation
+
 	// Xact is the cross-shard coordinator's own accounting, summed over
 	// workers: total commits, the subset that took the single-shard
 	// fallback fast path, retried aborts and intent conflicts. On the
@@ -232,6 +242,10 @@ type Result struct {
 	Wal            durable.Stats
 	RecoveryNanos  uint64 // wall time of the post-run recovery
 	RecoveredPairs int    // elements the recovery reconstructed
+
+	// Raw MemStats deltas captured by hammer; finish divides them by Ops.
+	hammerMallocs uint64
+	hammerBytes   uint64
 }
 
 // WorkerUtilization returns the fraction of the run's wall-clock ×
@@ -311,9 +325,10 @@ func Run(o Options) Result {
 	for i := range workers {
 		workers[i] = NewRunner(m, s.NewThread(), o.Workload, o.Seed+int64(i)*7919+1)
 	}
-	elapsed := hammer(workers, o.Duration)
+	elapsed, mallocs, bytes := hammer(workers, o.Duration)
 
 	res := newResult(o, cm, 1, elapsed)
+	res.hammerMallocs, res.hammerBytes = mallocs, bytes
 	for _, w := range workers {
 		res.addWorker(w)
 		res.STM.Add(w.th.Stats())
@@ -398,7 +413,7 @@ func runForest(o Options) Result {
 		handles[i] = f.NewHandle()
 		workers[i] = NewTargetRunner(handles[i], o.Workload, o.Seed+int64(i)*7919+1)
 	}
-	elapsed := hammer(workers, o.Duration)
+	elapsed, mallocs, bytes := hammer(workers, o.Duration)
 	if dl != nil {
 		dl.Close()
 	}
@@ -407,6 +422,7 @@ func runForest(o Options) Result {
 	f.Close()
 
 	res := newResult(o, cm, shards, elapsed)
+	res.hammerMallocs, res.hammerBytes = mallocs, bytes
 	if dl != nil {
 		res.Durable = true
 		res.Wal = dl.Stats()
@@ -449,8 +465,11 @@ func runForest(o Options) Result {
 	return res
 }
 
-// hammer runs every worker in its own goroutine for the given duration.
-func hammer(workers []*Runner, d time.Duration) time.Duration {
+// hammer runs every worker in its own goroutine for the given duration. It
+// also reports the heap-allocation deltas (mallocs, bytes) over the window,
+// measured with ReadMemStats just outside the timed region so the
+// stop-the-world cost of the reads never lands inside the throughput window.
+func hammer(workers []*Runner, d time.Duration) (time.Duration, uint64, uint64) {
 	var stopFlag atomic.Bool
 	var start, ready sync.WaitGroup
 	start.Add(1)
@@ -465,12 +484,16 @@ func hammer(workers []*Runner, d time.Duration) time.Duration {
 			ready.Done()
 		}()
 	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	t0 := time.Now()
 	start.Done()
 	time.Sleep(d)
 	stopFlag.Store(true)
 	ready.Wait()
-	return time.Since(t0)
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	return elapsed, ms1.Mallocs - ms0.Mallocs, ms1.TotalAlloc - ms0.TotalAlloc
 }
 
 func newResult(o Options, cm stm.ContentionManager, shards int, elapsed time.Duration) Result {
@@ -501,6 +524,8 @@ func (r *Result) finish() {
 	r.Throughput = float64(r.Ops) / (float64(r.Elapsed.Nanoseconds()) / 1e3)
 	if r.Ops > 0 {
 		r.EffectiveRatio = float64(r.EffectiveUpdates) / float64(r.Ops)
+		r.AllocsPerOp = float64(r.hammerMallocs) / float64(r.Ops)
+		r.BytesPerOp = float64(r.hammerBytes) / float64(r.Ops)
 	}
 }
 

@@ -144,9 +144,13 @@ func recoverDir(dir string, shards int) (*Recovery, uint64, uint64, error) {
 	}
 
 	// Restore per-shard commit order (append order can differ from commit
-	// order under concurrency) and apply idempotently: shard-clock
-	// positions are unique per shard, and everything at or below the
-	// checkpoint's cut is already in the loaded state.
+	// order under concurrency) and apply idempotently: everything at or
+	// below the checkpoint's cut is already in the loaded state. Shard-
+	// clock positions may be shared by concurrent commits (the STM's
+	// slow-path committers adopt a position without a clock RMW of their
+	// own), but position-sharing commits held all their write locks
+	// simultaneously, so their key sets are disjoint and the stable sort's
+	// arbitrary tie order is irrelevant.
 	sort.SliceStable(groups, func(i, j int) bool {
 		if groups[i].Shard != groups[j].Shard {
 			return groups[i].Shard < groups[j].Shard

@@ -148,6 +148,12 @@ type Tree struct {
 	// repairPath is the reusable descent buffer of targeted repairs; like
 	// maintVisits it is touched only by the single maintenance driver.
 	repairPath []pathEnt
+
+	// frames caches one opFrame per registered thread slot (frame.go), the
+	// allocation-free argument-passing scheme of the abstract operations;
+	// frameMu serializes the copy-on-write growth of the slice.
+	frames  atomic.Pointer[[]*opFrame]
+	frameMu sync.Mutex
 }
 
 // Option configures a Tree.
@@ -296,10 +302,14 @@ func (t *Tree) findHinted(tx *stm.Tx, k uint64) arena.Ref {
 // ---------------------------------------------------------------------------
 
 // Contains reports whether k is in the set. It runs as one transaction.
+// Like the other abstract operations it passes arguments and results
+// through the thread's reusable operation frame (frame.go) instead of a
+// closure, keeping the steady-state hot path allocation-free.
 func (t *Tree) Contains(th *stm.Thread, k uint64) bool {
-	var res bool
-	t.atomic(th, func(tx *stm.Tx) { res = t.ContainsTx(tx, k) })
-	return res
+	f := t.frame(th)
+	f.k = k
+	t.atomic(th, f.containsFn)
+	return f.okOut
 }
 
 // ContainsTx is the composable form of Contains for use inside an enclosing
@@ -316,10 +326,10 @@ func (t *Tree) ContainsTx(tx *stm.Tx, k uint64) bool {
 
 // Get returns the value mapped to k, if present.
 func (t *Tree) Get(th *stm.Thread, k uint64) (uint64, bool) {
-	var v uint64
-	var ok bool
-	t.atomic(th, func(tx *stm.Tx) { v, ok = t.GetTx(tx, k) })
-	return v, ok
+	f := t.frame(th)
+	f.k = k
+	t.atomic(th, f.getFn)
+	return f.valOut, f.okOut
 }
 
 // GetTx is the composable form of Get.
@@ -341,11 +351,11 @@ func (t *Tree) GetTx(tx *stm.Tx, k uint64) (uint64, bool) {
 // needed, comes from an arena.Scratch so aborted attempts never leak slots.
 func (t *Tree) Insert(th *stm.Thread, k, v uint64) bool {
 	checkKey(k)
-	var sc arena.Scratch
-	var ok bool
-	t.atomic(th, func(tx *stm.Tx) { ok = t.InsertTx(tx, k, v, &sc) })
-	sc.Release(t.ar)
-	return ok
+	f := t.frame(th)
+	f.k, f.v = k, v
+	t.atomic(th, f.insertFn)
+	f.sc.Release(t.ar) // resets the frame's scratch for the next insert
+	return f.okOut
 }
 
 // InsertTx is the composable form of Insert for use inside an enclosing
@@ -434,9 +444,10 @@ func (t *Tree) SetTx(tx *stm.Tx, k, v uint64) {
 // removal is logical (paper §3.2): only the deleted flag is written; the
 // node is unlinked later by the maintenance thread.
 func (t *Tree) Delete(th *stm.Thread, k uint64) bool {
-	var ok bool
-	t.atomic(th, func(tx *stm.Tx) { ok = t.DeleteTx(tx, k) })
-	return ok
+	f := t.frame(th)
+	f.k = k
+	t.atomic(th, f.deleteFn)
+	return f.okOut
 }
 
 // DeleteTx is the composable form of Delete.

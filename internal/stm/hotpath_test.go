@@ -1,0 +1,89 @@
+package stm
+
+import "testing"
+
+// The mechanical-sympathy contract of the descriptor: a transaction whose
+// read and write sets fit the inline arrays must not touch the allocator at
+// all in steady state. AllocsPerRun counts process-wide mallocs, so these
+// tests run nothing in the background; the transaction body closures are
+// hoisted out of the measured loop (a closure literal constructed per call
+// is an allocation of the caller, not of the STM).
+
+func TestAtomicZeroAllocs(t *testing.T) {
+	s := New()
+	th := s.NewThread()
+	words := make([]Word, 8)
+
+	body := func(tx *Tx) {
+		sum := uint64(0)
+		for i := 0; i < 6; i++ {
+			sum += tx.Read(&words[i])
+		}
+		tx.Write(&words[6], sum)
+		tx.Write(&words[7], sum+1)
+	}
+	op := func() { th.Atomic(body) }
+	op() // warm up (thread-registration side effects, lazy growth)
+	if avg := testing.AllocsPerRun(200, op); avg != 0 {
+		t.Fatalf("Atomic read/write op allocates %.2f times per run, want 0", avg)
+	}
+}
+
+func TestAtomicZeroAllocsAllModes(t *testing.T) {
+	for _, mode := range []Mode{CTL, ETL, Elastic} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			s := New(WithMode(mode))
+			th := s.NewThread()
+			words := make([]Word, 4)
+			body := func(tx *Tx) {
+				v := tx.Read(&words[0])
+				_ = tx.URead(&words[1])
+				tx.Write(&words[2], v+1)
+			}
+			op := func() { th.Atomic(body) }
+			op()
+			if avg := testing.AllocsPerRun(200, op); avg != 0 {
+				t.Fatalf("%v op allocates %.2f times per run, want 0", mode, avg)
+			}
+		})
+	}
+}
+
+func TestReadOnlyAtomicZeroAllocs(t *testing.T) {
+	s := New()
+	th := s.NewThread()
+	words := make([]Word, inlineReads) // exactly the inline capacity
+	body := func(tx *Tx) {
+		for i := range words {
+			_ = tx.Read(&words[i])
+		}
+	}
+	op := func() { th.Atomic(body) }
+	op()
+	if avg := testing.AllocsPerRun(200, op); avg != 0 {
+		t.Fatalf("read-only op allocates %.2f times per run, want 0", avg)
+	}
+}
+
+// Once an operation overflowed the inline arrays, the heap-backed slices are
+// retained by the descriptor: later oversized operations stay allocation-free
+// too (the one-time growth is the only allocator visit).
+func TestOverflowedSetsRetainCapacity(t *testing.T) {
+	s := New()
+	th := s.NewThread()
+	words := make([]Word, 3*inlineReads)
+	body := func(tx *Tx) {
+		for i := range words {
+			_ = tx.Read(&words[i])
+		}
+		for i := 0; i < 2*inlineWrites; i++ {
+			tx.Write(&words[i], uint64(i))
+		}
+	}
+	op := func() { th.Atomic(body) }
+	op() // pays the slice growth once
+	if avg := testing.AllocsPerRun(100, op); avg != 0 {
+		t.Fatalf("overflowed op allocates %.2f times per run after warm-up, want 0", avg)
+	}
+}

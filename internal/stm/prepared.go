@@ -18,8 +18,8 @@ package stm
 // serialization point is its lock point: all of its reads were
 // simultaneously valid there, its clock position was drawn there (see
 // prepare's comment for why drawing it any later breaks concurrent
-// commits' wv == rv+1 shortcut), and its writes become visible later —
-// published by finalize() with the lock-point version — under the
+// commits' validation-skip fast path), and its writes become visible
+// later — published by finalize() with the lock-point version — under the
 // protection of the held locks.
 
 // Prepared is a transaction attempt held at its lock point. Exactly one of
@@ -86,7 +86,7 @@ func (th *Thread) finishPreparedOp() {
 	if th.opReads > th.stats.MaxOpReads {
 		th.stats.MaxOpReads = th.opReads
 	}
-	th.opCount.Add(1)
+	th.completeOp()
 	th.pending.Store(false)
 	th.inAtomic = false
 }
@@ -149,20 +149,23 @@ func (th *Thread) CoordinatedAbort(retries int) {
 // Two details differ from commit and both are load-bearing:
 //
 //   - prepare always validates; publication happens later, so the
-//     wv == rv+1 shortcut does not apply to the prepared transaction
-//     itself.
-//   - the write version is drawn NOW, not at finalize. A prepared
-//     transaction holds locks across an extended window; if it drew its
-//     version only at publication, a concurrent ordinary commit could draw
-//     wv == rv+1 in the interim, skip validation, and never observe the
-//     prepared locks — committing a stale read of a word the prepared
-//     transaction is about to overwrite (a write-skew that loses the
-//     prepared write; the cross-shard oracle catches exactly this against
-//     the optimized tree's copy-on-rotate). Drawing at the lock point
-//     restores the TL2 invariant behind the shortcut: every write the
-//     prepared transaction will publish is anchored to a clock position
-//     taken while its locks were already held, so any transaction drawing
-//     a later position validates in full and aborts on those locks.
+//     validation-skip fast path of commit() does not apply to the
+//     prepared transaction itself.
+//   - the write version is drawn NOW, with an eager fetch-add, not at
+//     finalize — and deliberately NOT with commit()'s lazy shared draw. A
+//     prepared transaction holds locks across an extended window; if the
+//     clock did not move at the lock point, a concurrent ordinary commit
+//     could still find clock == rv, win its CAS, skip validation, and
+//     never observe the prepared locks — committing a stale read of a
+//     word the prepared transaction is about to overwrite (a write-skew
+//     that loses the prepared write; the cross-shard oracle catches
+//     exactly this against the optimized tree's copy-on-rotate). The
+//     fetch-add at the lock point restores the TL2 invariant behind the
+//     fast path: every write the prepared transaction will publish is
+//     anchored to a clock position taken while its locks were already
+//     held, so any transaction committing at a later position validates
+//     in full and aborts on those locks. One RMW per prepared shard
+//     transaction is irrelevant next to the coordination it buys.
 func (tx *Tx) prepare() bool {
 	lock := packLock(tx.th.slot)
 	for i := range tx.writes {

@@ -48,7 +48,9 @@ func (th *Thread) NewSnapshot() *Snapshot {
 		panic("stm: a Snapshot session is already open on this thread")
 	}
 	if th.snapTx == nil {
-		th.snapTx = &Tx{th: th, readOnly: true}
+		t := &Tx{readOnly: true}
+		t.init(th)
+		th.snapTx = t
 	}
 	th.snapLive = true
 	return &Snapshot{th: th}
@@ -75,7 +77,7 @@ func (s *Snapshot) Read(fn func(*Tx)) (ok bool) {
 	}
 	th.pending.Store(true)
 	defer func() {
-		th.opCount.Add(1)
+		th.completeOp()
 		th.pending.Store(false)
 		if r := recover(); r != nil {
 			if r == abortSignal {

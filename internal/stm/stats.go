@@ -40,6 +40,12 @@ type Stats struct {
 	// BackoffNanos is the total time, in nanoseconds, the contention
 	// manager stalled this thread between an abort and its retry.
 	BackoffNanos uint64
+	// SpinExhausted counts the times a read or an eager lock acquisition
+	// burned through its full spin budget on a locked word and had to yield
+	// the processor (Word.sampleUnlocked and the ETL acquisition loop). A
+	// high value flags that the spin budget, not the abort rate, is where
+	// wall-clock time goes.
+	SpinExhausted uint64
 }
 
 // Add accumulates o into s. Max-type counters take the maximum.
@@ -54,6 +60,7 @@ func (s *Stats) Add(o Stats) {
 	s.Retries += o.Retries
 	s.Prepares += o.Prepares
 	s.BackoffNanos += o.BackoffNanos
+	s.SpinExhausted += o.SpinExhausted
 	if o.MaxOpReads > s.MaxOpReads {
 		s.MaxOpReads = o.MaxOpReads
 	}

@@ -68,16 +68,29 @@ func (m Mode) String() string {
 	}
 }
 
+// cacheLinePad is one cache line (64 bytes on every architecture this
+// package targets) of padding. Hot fields that other goroutines write — or
+// that this goroutine writes while others read neighbours — are fenced with
+// a pad on both sides, because Go guarantees nothing about the line a struct
+// starts on.
+type cacheLinePad struct{ _ [8]uint64 }
+
 // STM is a transactional-memory domain: a global version clock plus the set
 // of threads registered to run transactions against it. Distinct STM
 // instances are fully independent; Words must only ever be accessed through
 // transactions of a single STM instance.
+//
+// Field layout is deliberate: the clock is the single most write-contended
+// word in the domain (every writing commit advances it, every begin reads
+// it), so it owns a cache line; the read-mostly configuration that every
+// transactional access consults must never share that line, or each commit
+// would invalidate every thread's cached copy of the config.
 type STM struct {
+	_     cacheLinePad
 	clock atomic.Uint64
+	_     cacheLinePad
 
-	mu      sync.Mutex
-	threads []*Thread
-
+	// Read-mostly configuration: written by New, read-only afterwards.
 	defaultMode Mode
 
 	// cm is the contention manager consulted by the transaction-lifecycle
@@ -86,7 +99,8 @@ type STM struct {
 	cm ContentionManager
 
 	// maxSpin bounds the number of times a unit read re-samples a locked
-	// word before yielding the processor.
+	// word before yielding the processor. Threads cache it at registration
+	// (Thread.maxSpin); it lives here as the domain-level knob.
 	maxSpin int
 
 	// yieldEvery > 0 makes every thread yield the processor after that
@@ -94,7 +108,12 @@ type STM struct {
 	// threads this simulates the transaction overlap a multicore testbed
 	// produces naturally: without it, goroutines on one core serialize and
 	// conflicts — the phenomenon the paper measures — almost never occur.
+	// Cached on the Thread at registration like maxSpin.
 	yieldEvery int
+
+	// Registration state: touched only by NewThread/Threads, cold.
+	mu      sync.Mutex
+	threads []*Thread
 }
 
 // Option configures an STM instance.
@@ -147,8 +166,13 @@ func (s *STM) NewThread() *Thread {
 	th := &Thread{
 		stm:  s,
 		slot: uint64(len(s.threads) + 1), // slot 0 is reserved as "no owner"
+		// Cache the per-access config on the thread: maxSpin/yieldEvery are
+		// consulted on every transactional access, and loading them through
+		// the STM pointer costs an extra dependent cache line per access.
+		maxSpin:    s.maxSpin,
+		yieldEvery: s.yieldEvery,
 	}
-	th.tx.th = th
+	th.tx.init(th)
 	s.threads = append(s.threads, th)
 	return th
 }

@@ -16,7 +16,11 @@ type Thread struct {
 	stm  *STM
 	slot uint64
 
-	tx Tx
+	// Domain config cached at registration (see STM.NewThread): consulted
+	// on every transactional access, so it must live on the thread's own
+	// hot line rather than behind the shared STM pointer.
+	maxSpin    int
+	yieldEvery int
 
 	stats    Stats
 	opReads  uint64 // transactional reads accumulated by the current operation
@@ -24,6 +28,7 @@ type Thread struct {
 	karma    uint64 // invested-work priority maintained by the Karma manager
 	inAtomic bool
 	accesses uint64 // transactional accesses, for the yield-injection knob
+	opsDone  uint64 // owner-local mirror of opCount (see completeOp)
 
 	// snapTx is the descriptor of the thread's read-only Snapshot session
 	// (snapshot.go), distinct from tx so a session can stay open across
@@ -38,8 +43,30 @@ type Thread struct {
 	// maintenance thread snapshots them before a traversal and frees
 	// garbage only once every thread has either completed an operation or
 	// is observed idle.
+	//
+	// They are the only Thread fields read by other goroutines while the
+	// owner is running, so they get a cache line of their own: without the
+	// pads, every collector poll would steal the line holding the owner's
+	// hot counters, and every owner update would invalidate the collector's
+	// copy of whatever shared the line.
+	_       cacheLinePad
 	pending atomic.Bool
 	opCount atomic.Uint64
+	_       cacheLinePad
+
+	// tx is the reusable transaction descriptor. It is by far the largest
+	// field (it embeds the inline read/write sets), so it sits last, after
+	// the fields above have settled into the leading lines.
+	tx Tx
+}
+
+// completeOp counts one completed operation for the §3.4 collector. The
+// published counter is only ever written by the owning goroutine, so a plain
+// atomic store of an owner-local mirror replaces the read-modify-write an
+// atomic increment would cost on the hot path.
+func (th *Thread) completeOp() {
+	th.opsDone++
+	th.opCount.Store(th.opsDone)
 }
 
 // Slot returns the thread's lock-owner slot id (1-based).
@@ -99,7 +126,7 @@ func (th *Thread) AtomicMode(mode Mode, fn func(*Tx)) {
 	if th.opReads > th.stats.MaxOpReads {
 		th.stats.MaxOpReads = th.opReads
 	}
-	th.opCount.Add(1)
+	th.completeOp()
 	th.pending.Store(false)
 	th.inAtomic = false
 }
@@ -149,14 +176,24 @@ func (th *Thread) stall(d time.Duration) {
 
 // maybeYield implements the WithYield interleaving simulation: after every
 // yieldEvery transactional accesses the thread hands the processor over,
-// letting transactions overlap on under-provisioned hosts.
+// letting transactions overlap on under-provisioned hosts. It runs on
+// every transactional access, so the common case (the knob is off) must
+// inline to a load and a branch — the counting lives in yieldSlow to keep
+// maybeYield inside the inlining budget.
 func (th *Thread) maybeYield() {
-	ye := th.stm.yieldEvery
-	if ye == 0 {
+	if th.yieldEvery == 0 {
 		return
 	}
+	th.yieldSlow()
+}
+
+// yieldSlow is kept out of line so maybeYield stays within the inlining
+// budget (an inlinable yieldSlow would be costed at its full body).
+//
+//go:noinline
+func (th *Thread) yieldSlow() {
 	th.accesses++
-	if th.accesses%uint64(ye) == 0 {
+	if th.accesses%uint64(th.yieldEvery) == 0 {
 		runtime.Gosched()
 	}
 }

@@ -49,6 +49,18 @@ type commitHookEntry struct {
 	kind, a, b uint64
 }
 
+// inlineReads/inlineWrites size the read and write sets embedded in the
+// descriptor itself. They are sized so the operations of the paper's
+// workloads (tree traversals recording a handful of reads, updates writing
+// a few words) fit without ever calling the allocator; larger transactions
+// overflow transparently onto heap-backed slices, which the descriptor then
+// retains across attempts and operations. The AllocsPerRun gates in
+// hotpath_test.go pin the in-budget case at zero allocations.
+const (
+	inlineReads  = 24
+	inlineWrites = 8
+)
+
 // Tx is a transaction descriptor. It is owned by a Thread and reused across
 // attempts and operations; user code receives it from Atomic/AtomicMode and
 // must not retain it past the enclosing call.
@@ -59,6 +71,14 @@ type Tx struct {
 
 	reads  []readEntry
 	writes []writeEntry
+
+	// wfilter is a 64-bit hash-OR membership filter over the write set's
+	// word addresses; widx/widxN are the open-addressed index engaged above
+	// wsScanMax entries. Together they make write-set lookup O(1) — see
+	// wset.go.
+	wfilter uint64
+	widx    []widxEnt
+	widxN   int
 
 	// Elastic state: a transaction is "elastic" until its first write, after
 	// which it is upgraded to a normal (CTL) transaction whose read set is
@@ -92,6 +112,23 @@ type Tx struct {
 	// long-lived read session can never acquire locks it has no commit path
 	// to release.
 	readOnly bool
+
+	// Inline storage for the read and write sets; reads/writes alias these
+	// arrays (via init) until an attempt overflows them. Kept at the end of
+	// the descriptor so the scalar hot fields above share the leading cache
+	// lines.
+	readsInline  [inlineReads]readEntry
+	writesInline [inlineWrites]writeEntry
+}
+
+// init points the descriptor's read and write sets at their inline storage.
+// It runs once per descriptor — thread registration and snapshot-session
+// creation — not per attempt: begin truncates the slices in place, so a set
+// that overflowed onto the heap keeps its capacity for later operations.
+func (tx *Tx) init(th *Thread) {
+	tx.th = th
+	tx.reads = tx.readsInline[:0]
+	tx.writes = tx.writesInline[:0]
 }
 
 // begin resets the descriptor for a fresh attempt.
@@ -100,6 +137,8 @@ func (tx *Tx) begin(mode Mode) {
 	tx.rv = tx.th.stm.clock.Load()
 	tx.reads = tx.reads[:0]
 	tx.writes = tx.writes[:0]
+	tx.wfilter = 0
+	tx.widxN = 0 // stale index entries are cleared on the next engage
 	tx.windowN = 0
 	tx.hasWrite = false
 	tx.nHooks = 0
@@ -190,39 +229,28 @@ func (tx *Tx) releaseLocks() {
 	}
 }
 
-// findWrite returns the write entry for w, if any. Write sets of the tree
-// operations hold a handful of entries, so a linear scan beats any map.
-func (tx *Tx) findWrite(w *Word) *writeEntry {
-	for i := len(tx.writes) - 1; i >= 0; i-- {
-		if tx.writes[i].w == w {
-			return &tx.writes[i]
-		}
-	}
-	return nil
-}
-
 // Read performs a transactional read of w and returns its value. The read
 // is invisible: it records the observed version and is validated lazily
 // (TinySTM timestamp extension) and at commit. Read aborts the transaction
 // (by panicking internally) when a consistent value cannot be obtained.
+//
+// The write-set filter test is spelled out inline (rather than calling
+// findWrite) here and in URead/Write: the combined function would exceed
+// the inlining budget, and the miss path — every read of a word this
+// transaction has not written — must not pay a call.
 func (tx *Tx) Read(w *Word) uint64 {
 	tx.th.maybeYield()
 	tx.th.stats.Reads++
 	tx.th.opReads++
-	if e := tx.findWrite(w); e != nil {
-		return e.val
+	if tx.wfilter&wordBit(w) != 0 {
+		if e := tx.findWriteSlow(w); e != nil {
+			return e.val
+		}
 	}
 	for {
-		v, meta, ok := w.sampleUnlocked(tx.th.stm.maxSpin)
+		v, meta, ok := w.fastSample()
 		if !ok {
-			// Word is locked by a concurrent writer. Under a single-core
-			// scheduler spinning forever would livelock; yield once, then
-			// abort if still locked.
-			runtime.Gosched()
-			v, meta, ok = w.sampleUnlocked(tx.th.stm.maxSpin)
-			if !ok {
-				tx.abort()
-			}
+			v, meta = tx.sampleContended(w)
 		}
 		if metaVersion(meta) <= tx.rv {
 			tx.recordRead(w, meta)
@@ -238,6 +266,23 @@ func (tx *Tx) Read(w *Word) uint64 {
 		tx.th.stats.Extensions++
 		tx.rv = now
 	}
+}
+
+// sampleContended is the cold continuation of a failed fastSample: spin
+// with the full budget, yield once, spin again, abort if the word is still
+// locked (under a single-core scheduler spinning forever would livelock).
+func (tx *Tx) sampleContended(w *Word) (uint64, uint64) {
+	v, meta, ok := w.sampleUnlocked(tx.th.maxSpin)
+	if !ok {
+		tx.th.stats.SpinExhausted++
+		runtime.Gosched()
+		v, meta, ok = w.sampleUnlocked(tx.th.maxSpin)
+		if !ok {
+			tx.th.stats.SpinExhausted++
+			tx.abort()
+		}
+	}
+	return v, meta
 }
 
 // recordRead logs the read according to the transaction's mode.
@@ -256,14 +301,26 @@ func (tx *Tx) recordRead(w *Word, meta uint64) {
 func (tx *Tx) URead(w *Word) uint64 {
 	tx.th.maybeYield()
 	tx.th.stats.UReads++
-	if e := tx.findWrite(w); e != nil {
-		return e.val
+	if tx.wfilter&wordBit(w) != 0 {
+		if e := tx.findWriteSlow(w); e != nil {
+			return e.val
+		}
 	}
+	if v, _, ok := w.fastSample(); ok {
+		return v
+	}
+	return tx.uReadContended(w)
+}
+
+// uReadContended spins (with yields between budgets) until the word is
+// observed unlocked; unit reads never abort on contention.
+func (tx *Tx) uReadContended(w *Word) uint64 {
 	for {
-		v, _, ok := w.sampleUnlocked(tx.th.stm.maxSpin)
+		v, _, ok := w.sampleUnlocked(tx.th.maxSpin)
 		if ok {
 			return v
 		}
+		tx.th.stats.SpinExhausted++
 		runtime.Gosched()
 	}
 }
@@ -280,15 +337,18 @@ func (tx *Tx) Write(w *Word, v uint64) {
 	if tx.mode == Elastic && !tx.hasWrite {
 		tx.elasticUpgrade()
 	}
-	if e := tx.findWrite(w); e != nil {
-		e.val = v
-		return
+	if tx.wfilter&wordBit(w) != 0 {
+		if e := tx.findWriteSlow(w); e != nil {
+			e.val = v
+			return
+		}
 	}
 	if tx.mode == ETL {
 		tx.writeETL(w, v)
 		return
 	}
 	tx.writes = append(tx.writes, writeEntry{w: w, val: v})
+	tx.noteWrite(w)
 }
 
 // writeETL acquires the write lock on w eagerly (encounter-time locking).
@@ -307,10 +367,12 @@ func (tx *Tx) writeETL(w *Word, v uint64) {
 		}
 		if w.meta.CompareAndSwap(m, lock) {
 			tx.writes = append(tx.writes, writeEntry{w: w, val: v, prevMeta: m, locked: true})
+			tx.noteWrite(w)
 			return
 		}
-		if spins++; spins >= tx.th.stm.maxSpin {
+		if spins++; spins >= tx.th.maxSpin {
 			spins = 0
+			tx.th.stats.SpinExhausted++
 			runtime.Gosched()
 		}
 	}
@@ -351,6 +413,40 @@ func (tx *Tx) validEntry(e *readEntry) bool {
 // commit attempts to make the transaction's writes visible atomically.
 // It returns false (after rolling back) when validation fails, letting the
 // Atomic loop retry.
+//
+// Clock protocol (a GV4/GV5 hybrid in TL2's terminology). With every write
+// lock held, the committer loads the clock, c, and targets position
+// wv = c+1. If its snapshot is still current (c == rv) it tries to advance
+// the clock itself with a single CAS(c, c+1); success proves no transaction
+// published between its snapshot and its lock point, so read validation is
+// skipped — TL2's wv == rv+1 shortcut, with the CAS standing in for GV4's
+// fetch-add. Every other committer adopts c+1 as its position WITHOUT a
+// clock RMW of its own (the GV5-style draw) and validates its read set in
+// full; before its metadata stores it advances the clock over wv with at
+// most one guarded CAS, preserving the invariant that a published version
+// never exceeds the clock (Read's extension loop needs that to terminate).
+// Under contention one RMW per position replaces one RMW per commit.
+//
+// Two orderings are load-bearing:
+//
+//   - the clock is loaded only AFTER the write locks are held (for ETL they
+//     were taken during execution). A transaction that publishes at
+//     position p has therefore held its locks since before the clock
+//     reached p, so any transaction whose snapshot is ≥ p began after
+//     those locks were taken and can only observe the locks or the
+//     published values — never the overwritten ones. That is the whole
+//     consistency argument for reads that are never revalidated
+//     (read-only commits, the validation-skip fast path), and it is why
+//     per-thread interval batching (drawing K positions ahead) would be
+//     unsound here: a position consumed long after it was drawn breaks
+//     "locks held since before the clock reached p".
+//
+//   - concurrent slow-path committers may share a position. Their write
+//     sets are provably disjoint (all locks are held simultaneously) and
+//     each validated its full read set under those locks, so they
+//     serialize correctly at the shared position in either order; the
+//     durable layer's replay sorts by position and tolerates the tie for
+//     the same reason (disjoint writes commute).
 func (tx *Tx) commit() bool {
 	if len(tx.writes) == 0 {
 		// Read-only transactions are already consistent: every read was
@@ -375,21 +471,28 @@ func (tx *Tx) commit() bool {
 			e.locked = true
 		}
 	}
-	wv := tx.th.stm.clock.Add(1)
-	tx.commitPos = wv
-	if wv != tx.rv+1 || tx.mode == Elastic {
-		// Someone committed since our snapshot (or we hold a cut read set):
-		// validate the reads.
-		if !tx.validateReads() {
-			tx.rollback()
-			return false
-		}
+	clock := &tx.th.stm.clock
+	c := clock.Load() // after locks; see the protocol comment
+	wv := c + 1
+	// Elastic transactions always validate: their read set was cut and the
+	// window entries were only ever checked hand-over-hand.
+	fast := c == tx.rv && tx.mode != Elastic && clock.CompareAndSwap(c, wv)
+	if !fast && !tx.validateReads() {
+		tx.rollback()
+		return false
 	}
-	newMeta := packVersion(wv)
+	tx.commitPos = wv
 	for i := range tx.writes {
 		e := &tx.writes[i]
 		e.w.val.Store(e.val)
 	}
+	if !fast && clock.Load() == c {
+		// Guarded advance: the clock must pass wv before any metadata
+		// carrying wv becomes visible. Failure means someone else already
+		// advanced it past c.
+		clock.CompareAndSwap(c, wv)
+	}
+	newMeta := packVersion(wv)
 	for i := range tx.writes {
 		e := &tx.writes[i]
 		e.w.meta.Store(newMeta)

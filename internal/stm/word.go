@@ -41,13 +41,58 @@ func (w *Word) Plain() uint64 { return w.val.Load() }
 // tree node inside the transaction that will link it).
 func (w *Word) SetPlain(v uint64) { w.val.Store(v) }
 
+// relaxSink keeps cpuRelax's delay loop observable. The store is behind a
+// branch that essentially never fires, so the hot path costs no memory
+// traffic.
+var relaxSink uint64
+
+// cpuRelax burns roughly n cheap ALU iterations without touching shared
+// memory — a portable stand-in for a PAUSE-style delay between re-polls of
+// a contended cache line. The point is what it does NOT do: issue loads of
+// the contended word, which would keep the owner's line bouncing.
+func cpuRelax(n uint32) {
+	acc := uint64(n) | 1
+	for i := uint32(0); i < n; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	if acc == 0 {
+		relaxSink = acc
+	}
+}
+
+// fastSample is the one-shot unlocked sample: value and meta when the word
+// is observed unlocked and stable on the first try — the overwhelmingly
+// common case — and false otherwise. Small enough to inline into the read
+// paths; contended words fall back to the budgeted sampleUnlocked spin.
+func (w *Word) fastSample() (uint64, uint64, bool) {
+	m1 := w.meta.Load()
+	if !isLocked(m1) {
+		v := w.val.Load()
+		if w.meta.Load() == m1 {
+			return v, m1, true
+		}
+	}
+	return 0, 0, false
+}
+
 // sampleUnlocked spins until the word is observed unlocked with a stable
 // meta, returning (value, meta). spins is consumed as a budget; when it is
-// exhausted the caller should yield. The bool result reports success.
+// exhausted the caller should yield (and charge Stats.SpinExhausted). The
+// bool result reports success.
+//
+// While the word is locked the loop backs off with an exponentially growing
+// pause between re-polls instead of hammering the owner's cache line with
+// back-to-back loads — on real hardware each such load forces a coherence
+// transition on the line the lock holder is about to write through.
 func (w *Word) sampleUnlocked(budget int) (uint64, uint64, bool) {
+	pause := uint32(4)
 	for i := 0; i < budget; i++ {
 		m1 := w.meta.Load()
 		if isLocked(m1) {
+			cpuRelax(pause)
+			if pause < 256 {
+				pause <<= 1
+			}
 			continue
 		}
 		v := w.val.Load()

@@ -1,0 +1,153 @@
+package stm
+
+import "unsafe"
+
+// Write-set membership. findWrite is on the critical path of every Read,
+// URead and Write (read-after-write visibility) and runs once per read
+// entry during validation, so a plain linear scan makes validation
+// O(reads × writes). Lookup is layered so each regime pays only for what
+// it needs:
+//
+//  1. a 64-bit hash-OR filter over the write set's word addresses
+//     (tx.wfilter) answers "definitely not written" with two ALU ops and
+//     no memory traffic beyond the descriptor's hot line — the common
+//     case for every read on the read-mostly workloads of the paper;
+//  2. filter hits on write sets of at most wsScanMax entries resolve with
+//     a backward linear scan — tree operations write a handful of words,
+//     and an 8-entry scan beats any table;
+//  3. above wsScanMax an open-addressed table keyed by word address takes
+//     over (engaged lazily, reused across attempts), making lookup O(1)
+//     for the bulk write sets of cross-shard moves and group commits.
+//
+// ETL transactions additionally own the lock of every word they wrote
+// (Word.meta carries the owner slot), which validation already exploits:
+// validEntry only consults findWrite after observing a self-owned lock.
+
+// wsScanMax is the write-set size at or below which a filter hit is
+// resolved by scanning; beyond it the index is engaged.
+const wsScanMax = 8
+
+// widxEnt is one slot of the open-addressed index: the word and the
+// position of its entry in tx.writes. Padded to 16 bytes so slots never
+// straddle cache lines.
+type widxEnt struct {
+	w   *Word
+	idx int32
+	_   int32
+}
+
+// wordHash mixes a word's address (stable for the life of the transaction;
+// arena chunks are never freed while referenced) into a full-width hash.
+// SplitMix64-style finalizer: cheap, and addresses differing only in low
+// bits (words of one node, nodes of one chunk) spread over the whole range.
+func wordHash(w *Word) uint64 {
+	h := uint64(uintptr(unsafe.Pointer(w)))
+	h ^= h >> 33
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 29
+	return h
+}
+
+// wordBit is w's bit in the 64-bit membership filter.
+func wordBit(w *Word) uint64 { return 1 << (wordHash(w) >> 58) }
+
+// findWrite returns the write entry for w, or nil. The filter keeps the
+// miss path — every read of a word this transaction has not written —
+// free of memory traffic; hits fall through to the scan or the index.
+func (tx *Tx) findWrite(w *Word) *writeEntry {
+	if tx.wfilter&wordBit(w) == 0 {
+		return nil
+	}
+	return tx.findWriteSlow(w)
+}
+
+// findWriteSlow resolves a filter hit (which may be a false positive).
+func (tx *Tx) findWriteSlow(w *Word) *writeEntry {
+	if tx.widxN > 0 {
+		if i := tx.widxLookup(w); i >= 0 {
+			return &tx.writes[i]
+		}
+		return nil
+	}
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].w == w {
+			return &tx.writes[i]
+		}
+	}
+	return nil
+}
+
+// noteWrite records membership of the just-appended last write entry.
+// Callers append first, then note; entry positions are stable because the
+// write set is append-only within an attempt (overwrites of an existing
+// entry never reach here — findWrite catches them).
+func (tx *Tx) noteWrite(w *Word) {
+	tx.wfilter |= wordBit(w)
+	n := len(tx.writes)
+	if n <= wsScanMax {
+		return
+	}
+	if tx.widxN == 0 {
+		tx.widxRebuild()
+	} else {
+		tx.widxAdd(w, int32(n-1))
+	}
+}
+
+// widxRebuild sizes the table to 4× the current write set (power of two,
+// ≥32 slots, ≤25% load) and reindexes every entry. Runs when the write set
+// first exceeds wsScanMax in an attempt — clearing any stale slots from a
+// previous attempt — and again on growth.
+func (tx *Tx) widxRebuild() {
+	want := 4 * len(tx.writes)
+	size := 32
+	for size < want {
+		size <<= 1
+	}
+	if cap(tx.widx) >= size {
+		tx.widx = tx.widx[:size]
+		clear(tx.widx)
+	} else {
+		tx.widx = make([]widxEnt, size)
+	}
+	tx.widxN = 0
+	for i := range tx.writes {
+		tx.widxInsert(tx.writes[i].w, int32(i))
+	}
+}
+
+// widxAdd inserts one mapping, growing at 75% load.
+func (tx *Tx) widxAdd(w *Word, idx int32) {
+	if 4*(tx.widxN+1) > 3*len(tx.widx) {
+		tx.widxRebuild()
+	}
+	tx.widxInsert(w, idx)
+}
+
+func (tx *Tx) widxInsert(w *Word, idx int32) {
+	mask := uint64(len(tx.widx) - 1)
+	for h := wordHash(w); ; h++ {
+		s := &tx.widx[h&mask]
+		if s.w == nil {
+			s.w, s.idx = w, idx
+			tx.widxN++
+			return
+		}
+	}
+}
+
+// widxLookup returns the write-set position of w, or -1. Linear probing;
+// termination is guaranteed by the ≤75% load bound (an empty slot always
+// exists).
+func (tx *Tx) widxLookup(w *Word) int32 {
+	mask := uint64(len(tx.widx) - 1)
+	for h := wordHash(w); ; h++ {
+		s := &tx.widx[h&mask]
+		if s.w == w {
+			return s.idx
+		}
+		if s.w == nil {
+			return -1
+		}
+	}
+}

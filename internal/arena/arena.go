@@ -12,6 +12,7 @@
 package arena
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -178,8 +179,17 @@ func (a *Arena) Alloc(key, val uint64) Ref {
 		a.reuses.Add(1)
 	} else {
 		r = a.next
+		ci := r >> chunkBits
+		if ci >= maxChunks {
+			// Off the hot path, so a formatted message is affordable: the
+			// fixed chunk directory is a hard capacity cap, and a bare
+			// index-out-of-range panic here would be opaque.
+			a.mu.Unlock()
+			panic(fmt.Sprintf("arena: capacity exceeded: %d chunks × %d nodes (%d nodes); shard the workload across more arenas",
+				maxChunks, chunkSize, uint64(maxChunks)*chunkSize))
+		}
 		a.next++
-		if ci := r >> chunkBits; a.chunkPtr[ci].Load() == nil {
+		if a.chunkPtr[ci].Load() == nil {
 			a.chunkPtr[ci].Store(&chunk{})
 			a.nChunks.Store(ci + 1)
 		}

@@ -1,7 +1,9 @@
 package stm
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -230,6 +232,116 @@ func TestCounterConcurrent(t *testing.T) {
 				t.Fatalf("counter=%d, want %d", got, goroutines*perG)
 			}
 		})
+	}
+}
+
+// TestCommitFastPathWriteSkew stresses the interaction between the
+// validation-skip fast path and a slow-path committer with a stale snapshot.
+// The shape is the classic write-skew pair — T2 reads b and writes a, T1
+// reads a and writes b — arranged so that T2 commits on the slow path (its
+// snapshot is stale: the clock is bumped after it begins) with a large read
+// set (long validation) and a large write set locked before a, while T1 is a
+// small transaction with a fresh snapshot, eligible for the wv == rv+1
+// CAS shortcut. Serializability forbids both guarded writes landing: the
+// second transaction to serialize must observe the first's write (or its
+// lock) and back off. If the slow path validated its reads BEFORE advancing
+// the clock, T1 could win its CAS inside T2's validation window and skip
+// validation without ever observing T2's lock on a — both publish at the
+// same position with mutually stale reads, and a and b end up 1 together.
+//
+// The racing window lies inside commit(), which has no scheduling points,
+// so hitting it requires the two committers to run truly in parallel: on
+// GOMAXPROCS=1 the test still checks the invariant but cannot exercise the
+// race. The orchestration (begin/bump sequencing, lock-phase polling,
+// jittered start) exists to steer multi-core runs into the window.
+func TestCommitFastPathWriteSkew(t *testing.T) {
+	s := New() // CTL: commit-time locking maximizes the racing window
+	thReset := s.NewThread()
+	th1 := s.NewThread()
+	th2 := s.NewThread()
+	const fillerN = 2048 // T2 read set: stretches commit-time validation
+	const lockedN = 512  // T2 write set: locked before a at commit
+	const t1WorkN = 512  // T1 reads between its read of a and its commit
+	filler := make([]Word, fillerN)
+	locked := make([]Word, lockedN)
+	t1Work := make([]Word, t1WorkN)
+	var a, b, bump Word
+	var t2Began atomic.Bool
+	rounds := 4000
+	if testing.Short() {
+		rounds = 400
+	}
+	x := uint64(1)
+	for r := 0; r < rounds; r++ {
+		thReset.Atomic(func(tx *Tx) {
+			tx.Write(&a, 0)
+			tx.Write(&b, 0)
+		})
+		t2Began.Store(false)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			th2.Atomic(func(tx *Tx) {
+				t2Began.Store(true)     // attempt begun: snapshot drawn
+				guard := tx.Read(&b)    // validated first at commit
+				var sink uint64
+				for i := range filler {
+					sink += tx.Read(&filler[i])
+				}
+				for i := range locked {
+					tx.Write(&locked[i], sink)
+				}
+				if guard == 0 {
+					tx.Write(&a, 1) // locked last, just before the clock draw
+				}
+			})
+		}()
+		// Stale-snapshot setup: wait until T2 has drawn its snapshot, then
+		// advance the clock on a word T2 never reads. T2's commit now cannot
+		// take the fast path, while T1 (beginning after the bump) can.
+		for !t2Began.Load() {
+			runtime.Gosched()
+		}
+		thReset.Atomic(func(tx *Tx) {
+			tx.Write(&bump, uint64(r))
+		})
+		// Launch T1 the moment T2 enters its commit lock phase (first write
+		// lock observed), with a little jitter so T1's read of a and its
+		// commit slide across T2's lock-of-a and validation phases. The spin
+		// bound keeps the poll from monopolizing a single-CPU scheduler.
+	waitLockPhase:
+		for spins := 0; !isLocked(locked[0].meta.Load()); spins++ {
+			select {
+			case <-done: // T2 already finished this round; no race to catch
+				break waitLockPhase
+			default:
+			}
+			if spins > 1<<14 {
+				spins = 0
+				runtime.Gosched()
+			}
+		}
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		for spin := x % 2048; spin > 0; spin-- {
+			_ = spin
+		}
+		th1.Atomic(func(tx *Tx) {
+			guard := tx.Read(&a)
+			var sink uint64
+			for i := range t1Work {
+				sink += tx.Read(&t1Work[i])
+			}
+			_ = sink
+			if guard == 0 {
+				tx.Write(&b, 1)
+			}
+		})
+		<-done
+		if av, bv := a.Plain(), b.Plain(); av == 1 && bv == 1 {
+			t.Fatalf("round %d: write skew: a=%d b=%d (both guarded writes committed)", r, av, bv)
+		}
 	}
 }
 

@@ -421,13 +421,14 @@ func (tx *Tx) validEntry(e *readEntry) bool {
 // published between its snapshot and its lock point, so read validation is
 // skipped — TL2's wv == rv+1 shortcut, with the CAS standing in for GV4's
 // fetch-add. Every other committer adopts c+1 as its position WITHOUT a
-// clock RMW of its own (the GV5-style draw) and validates its read set in
-// full; before its metadata stores it advances the clock over wv with at
-// most one guarded CAS, preserving the invariant that a published version
-// never exceeds the clock (Read's extension loop needs that to terminate).
-// Under contention one RMW per position replaces one RMW per commit.
+// clock RMW of its own (the GV5-style draw); it advances the clock over wv
+// with at most one guarded CAS and only THEN validates its read set in
+// full. The advance doubles as the invariant keeper that a published
+// version never exceeds the clock (Read's extension loop needs that to
+// terminate). Under contention one RMW per position replaces one RMW per
+// commit.
 //
-// Two orderings are load-bearing:
+// Three orderings are load-bearing:
 //
 //   - the clock is loaded only AFTER the write locks are held (for ETL they
 //     were taken during execution). A transaction that publishes at
@@ -440,6 +441,18 @@ func (tx *Tx) validEntry(e *readEntry) bool {
 //     per-thread interval batching (drawing K positions ahead) would be
 //     unsound here: a position consumed long after it was drawn breaks
 //     "locks held since before the clock reached p".
+//
+//   - a slow-path committer advances the clock BEFORE validating its
+//     reads. The fast path is only sound if every committer that holds
+//     locks the fast committer failed to read past has already moved the
+//     clock by the time the fast committer samples it: the fast committer
+//     then either sees c != rv or loses its CAS, and in both cases falls
+//     back to full validation, where it observes those locks. Validating
+//     first would open a window — slow committer locks its writes,
+//     validates (passing over words the fast committer is about to lock),
+//     then both publish at the same position with mutually stale reads
+//     (write skew). prepare() closes the same window for prepared
+//     transactions with an eager fetch-add at the lock point.
 //
 //   - concurrent slow-path committers may share a position. Their write
 //     sets are provably disjoint (all locks are held simultaneously) and
@@ -477,20 +490,27 @@ func (tx *Tx) commit() bool {
 	// Elastic transactions always validate: their read set was cut and the
 	// window entries were only ever checked hand-over-hand.
 	fast := c == tx.rv && tx.mode != Elastic && clock.CompareAndSwap(c, wv)
-	if !fast && !tx.validateReads() {
-		tx.rollback()
-		return false
+	if !fast {
+		// Guarded advance, BEFORE validation (see the protocol comment): the
+		// clock must pass wv while our locks are held and before we re-check
+		// our reads, so a racing fast-path committer either observes a clock
+		// past its snapshot or loses its CAS — both force it into full
+		// validation, where it sees our locks. A failed CAS means another
+		// committer already moved the clock past c, so clock >= wv either
+		// way — which also preserves the invariant that a published version
+		// never exceeds the clock.
+		if clock.Load() == c {
+			clock.CompareAndSwap(c, wv)
+		}
+		if !tx.validateReads() {
+			tx.rollback()
+			return false
+		}
 	}
 	tx.commitPos = wv
 	for i := range tx.writes {
 		e := &tx.writes[i]
 		e.w.val.Store(e.val)
-	}
-	if !fast && clock.Load() == c {
-		// Guarded advance: the clock must pass wv before any metadata
-		// carrying wv becomes visible. Failure means someone else already
-		// advanced it past c.
-		clock.CompareAndSwap(c, wv)
 	}
 	newMeta := packVersion(wv)
 	for i := range tx.writes {

@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DURATION ?= 1s
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race vet ci bench-range bench-xact bench-durable bench-json profile benchdiff
+.PHONY: all build test race vet ci bench-range bench-xact bench-durable bench-batch bench-json profile benchdiff
 
 all: build
 
@@ -19,7 +19,7 @@ test:
 # and the public facade). The timeout guards against a stress test
 # livelocking under the detector's serialization.
 race:
-	$(GO) test -race -timeout 10m ./internal/stm ./internal/sftree ./internal/trees ./internal/forest ./internal/ftx ./internal/durable .
+	$(GO) test -race -timeout 10m ./internal/stm ./internal/sftree ./internal/trees ./internal/ring ./internal/forest ./internal/ftx ./internal/durable .
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,16 @@ bench-durable:
 	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 8
 	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -fsync -shards 8
 
+# Batched-execution microbenchmark points: the contended skewed update mix
+# with the per-shard op combiner off and on, at one shard (maximum
+# coalescing pressure — the combiner's headline configuration) and at
+# eight. The batched_ops/batches/avg_batch CSV columns report the
+# coalescing rate; p50_ns/p99_ns report sampled per-op latency.
+bench-batch:
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 8 -update 20 -dist zipf -shards 1 -header
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 8 -update 20 -dist zipf -shards 1 -batch 64
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 8 -update 20 -dist zipf -shards 8 -batch 64
+
 # Benchmark points recorded as one JSON artifact per session
 # (BENCH_<date>.json) so the perf trajectory is durable (the scheduled
 # bench workflow uploads the same artifact weekly). The first two rows are
@@ -61,7 +71,11 @@ bench-durable:
 # explicitly small pool on the skewed (Zipf) workload — the configuration
 # the sub-linear-maintenance-CPU claim is about (see the maint_* CSV
 # columns); then the multi-key transfer workload at shards 1 and 8 (see
-# the xact_* columns) and a durable (WAL-attached) point.
+# the xact_* columns) and a durable (WAL-attached) point. The final three
+# rows are the batched-execution series: the contended skewed update mix at
+# t8 shards=1 unbatched (anchor) and with the op combiner at batch 64, plus
+# the sharded batched point (see the batched_ops/batches/avg_batch and
+# p50_ns/p99_ns columns).
 bench-json:
 	{ $(GO) run ./cmd/microbench -header -tree sf-opt -threads 1 -update 20 -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 1 -update 10 -duration $(BENCH_DURATION) ; \
@@ -71,7 +85,10 @@ bench-json:
 	  $(GO) run ./cmd/microbench -tree sf -threads 4 -update 20 -shards 8 -maint-workers 2 -dist zipf -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -xact-frac 0.2 -shards 1 -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -xact-frac 0.2 -shards 8 -duration $(BENCH_DURATION) ; \
-	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 8 -duration $(BENCH_DURATION) ; } \
+	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 8 -duration $(BENCH_DURATION) ; \
+	  $(GO) run ./cmd/microbench -tree sf-opt -threads 8 -update 20 -dist zipf -shards 1 -duration $(BENCH_DURATION) ; \
+	  $(GO) run ./cmd/microbench -tree sf-opt -threads 8 -update 20 -dist zipf -shards 1 -batch 64 -duration $(BENCH_DURATION) ; \
+	  $(GO) run ./cmd/microbench -tree sf-opt -threads 8 -update 20 -dist zipf -shards 8 -batch 64 -duration $(BENCH_DURATION) ; } \
 	| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_DATE).json
 
 # CPU + allocation profiles of the hot path (single-thread sf-opt, the

@@ -45,7 +45,7 @@ var keyCols = []string{
 	"tree", "mode", "threads", "shards", "cm", "dist",
 	"update", "move", "biased", "range",
 	"range_frac", "range_len", "xact_frac", "xact_keys", "xact_cross",
-	"durable", "fsync",
+	"batch", "durable", "fsync",
 }
 
 // keyDefaults supplies the value a key column had before it existed: the
@@ -60,6 +60,7 @@ var keyDefaults = map[string]any{
 	"xact_frac":  0.0,
 	"xact_keys":  4.0,
 	"xact_cross": 1.0,
+	"batch":      0.0,
 	"durable":    false,
 	"fsync":      false,
 }

@@ -90,6 +90,8 @@ func main() {
 	xactCross := flag.Float64("xact-cross", 1, "fraction of transfers drawn freely across shards; the rest are confined to one shard (0..1)")
 	maintWorkers := flag.Int("maint-workers", 0, "shared maintenance pool size on a sharded run (0 = default)")
 	maintPacing := flag.Duration("maint-pacing", 0, "per-shard hint-drain pacing gap on a sharded run (0 = forest default, 2ms)")
+	batch := flag.Int("batch", 0, "per-shard op-combiner batch capacity (<= 1 disables batching; > 1 forces the forest path)")
+	batchWait := flag.Duration("batch-wait", 0, "with -batch: how long a batch runner lingers for more ops (0 = drain-only)")
 	durableFlag := flag.Bool("durable", false, "attach a write-ahead log (temp dir) and time a post-run recovery")
 	fsync := flag.Bool("fsync", false, "with -durable: fsync before every update returns instead of group commit")
 	ckptEvery := flag.Duration("checkpoint-every", 0, "with -durable: periodic checkpoint interval (0 = 500ms, negative disables)")
@@ -178,6 +180,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "microbench: -fsync and -checkpoint-every require -durable")
 		os.Exit(2)
 	}
+	if *batch < 0 {
+		fmt.Fprintln(os.Stderr, "microbench: -batch must be >= 0")
+		os.Exit(2)
+	}
+	if *batchWait != 0 && *batch <= 1 {
+		fmt.Fprintln(os.Stderr, "microbench: -batch-wait requires -batch > 1")
+		os.Exit(2)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -218,17 +228,19 @@ func main() {
 		YieldEvery:        *yieldEvery,
 		MaintWorkers:      *maintWorkers,
 		MaintPacing:       *maintPacing,
+		Batch:             *batch,
+		BatchWait:         *batchWait,
 		Durable:           *durableFlag,
 		Fsync:             *fsync,
 		DurableCheckpoint: *ckptEvery,
 	})
 
 	if *header {
-		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,range_frac,range_len,xact_frac,xact_keys,xact_cross,duration_s,ops,throughput_ops_per_us,effective_ratio,allocs_per_op,bytes_per_op,range_scans,range_items,xact_ops,xact_moved,xact_commits,xact_fallbacks,xact_aborts,xact_intent_conflicts,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,spin_exhausted,rotations,maint_workers,hints_emitted,hints_coalesced,hints_dropped,targeted_repairs,sweep_passes,maint_busy_ms,worker_util,durable,fsync,wal_records,wal_atomic_records,wal_bytes,wal_syncs,checkpoints,checkpoint_pairs,recovery_ms,recovered_keys")
+		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,range_frac,range_len,xact_frac,xact_keys,xact_cross,batch,duration_s,ops,throughput_ops_per_us,effective_ratio,allocs_per_op,bytes_per_op,range_scans,range_items,xact_ops,xact_moved,xact_commits,xact_fallbacks,xact_aborts,xact_intent_conflicts,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,spin_exhausted,rotations,maint_workers,hints_emitted,hints_coalesced,hints_dropped,targeted_repairs,sweep_passes,maint_busy_ms,worker_util,durable,fsync,wal_records,wal_atomic_records,wal_bytes,wal_syncs,checkpoints,checkpoint_pairs,recovery_ms,recovered_keys,batched_ops,batches,avg_batch,p50_ns,p99_ns")
 	}
-	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%d,%.3f,%.3f,%.4f,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%t,%t,%d,%d,%d,%d,%d,%d,%.3f,%d\n",
+	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%.4f,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%t,%t,%d,%d,%d,%d,%d,%d,%.3f,%d,%d,%d,%.2f,%d,%d\n",
 		kind, m, res.Threads, res.Shards, res.CM, res.Dist, *update, *movePct, *biased, *keyRange,
-		*rangeFrac, *rangeLen, *xactFrac, *xactKeys, *xactCross,
+		*rangeFrac, *rangeLen, *xactFrac, *xactKeys, *xactCross, res.Batch,
 		res.Elapsed.Seconds(), res.Ops, res.Throughput, res.EffectiveRatio,
 		res.AllocsPerOp, res.BytesPerOp,
 		res.RangeOps, res.RangeItems,
@@ -241,7 +253,8 @@ func main() {
 		float64(res.Pool.BusyNanos)/1e6, res.WorkerUtilization(),
 		res.Durable, *fsync, res.Wal.Records, res.Wal.AtomicRecords, res.Wal.Bytes,
 		res.Wal.Syncs, res.Wal.Checkpoints, res.Wal.CheckpointPairs,
-		float64(res.RecoveryNanos)/1e6, res.RecoveredPairs)
+		float64(res.RecoveryNanos)/1e6, res.RecoveredPairs,
+		res.BatchedOps, res.Batches, res.AvgBatch, res.P50Nanos, res.P99Nanos)
 	for si, sr := range res.PerShard {
 		fmt.Printf("shard,%d,ops,%d,throughput_ops_per_us,%.3f,commits,%d,aborts,%d,abort_rate,%.4f\n",
 			si, sr.Ops, sr.Throughput, sr.STM.Commits, sr.STM.Aborts, sr.STM.AbortRate())

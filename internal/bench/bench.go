@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -149,6 +150,14 @@ type Options struct {
 	// (0 keeps the forest default of 2ms; forest.WithMaintPacing). Only
 	// meaningful with Shards > 1.
 	MaintPacing time.Duration
+	// Batch enables the forest's per-shard op combiner with that max batch
+	// size (forest.WithBatching): single-key operations coalesce into
+	// batches applied one transaction each. Values <= 1 leave batching off.
+	// A batched run always takes the forest path, whatever the shard count.
+	Batch int
+	// BatchWait is the combiner runner's linger for topping up an underfull
+	// batch (0 commits whatever is pending). Only meaningful with Batch > 1.
+	BatchWait time.Duration
 	// Durable attaches a write-ahead log (in a temporary directory, removed
 	// after the run) to the measured forest: every committed update appends
 	// one record, checkpoints run periodically, and after the hammer phase
@@ -197,6 +206,7 @@ type Result struct {
 	Shards  int
 	CM      string
 	Dist    Dist
+	Batch   int // combiner batch-size dial (0/1 = batching off)
 	Elapsed time.Duration
 
 	Ops              uint64  // operations completed
@@ -208,6 +218,22 @@ type Result struct {
 	XactMoves        uint64  // transfers that actually moved a unit
 	Throughput       float64 // operations per microsecond (paper's unit)
 	EffectiveRatio   float64 // effective updates / ops
+
+	// Batch-coalescing accounting (zero unless Options.Batch > 1): batches
+	// the per-shard op combiner committed, the operations those batches
+	// carried, and the mean coalescing factor BatchedOps/Batches. Ops that
+	// took the combiner's uncontended direct fast path appear in neither.
+	Batches    uint64
+	BatchedOps uint64
+	AvgBatch   float64
+
+	// Per-operation latency percentiles in nanoseconds, measured on a
+	// bounded reservoir fed by every latSampleEvery-th operation of each
+	// worker (sampling keeps the clock reads off the common path, so the
+	// single-thread throughput rows stay comparable). Zero when no sample
+	// was taken.
+	P50Nanos uint64
+	P99Nanos uint64
 
 	// Heap-allocation accounting over the hammer phase (runtime.MemStats
 	// deltas divided by Ops). The window covers everything live during the
@@ -246,6 +272,9 @@ type Result struct {
 	// Raw MemStats deltas captured by hammer; finish divides them by Ops.
 	hammerMallocs uint64
 	hammerBytes   uint64
+	// latSamples gathers the workers' latency reservoirs; finish sorts it
+	// and cuts the percentiles.
+	latSamples []int64
 }
 
 // WorkerUtilization returns the fraction of the run's wall-clock ×
@@ -276,8 +305,8 @@ func subTreeStats(cur, base sftree.Stats) sftree.Stats {
 	}
 }
 
-// subPoolStats subtracts the pre-measurement activity counters (size and
-// backlog are instantaneous, not cumulative).
+// subPoolStats subtracts the pre-measurement activity counters (size,
+// backlog and the current pacing gap are instantaneous, not cumulative).
 func subPoolStats(cur, base forest.PoolStats) forest.PoolStats {
 	cur.BusyNanos -= base.BusyNanos
 	cur.Wakeups -= base.Wakeups
@@ -304,7 +333,7 @@ func Run(o Options) Result {
 		panic("bench: RangeFrac + XactFrac must be < 1")
 	}
 	o.Workload.prepareZipf() // one shared CDF table for all workers
-	if o.Shards > 1 || o.Durable {
+	if o.Shards > 1 || o.Durable || o.Batch > 1 {
 		return runForest(o)
 	}
 	cm := o.contentionManager()
@@ -371,6 +400,9 @@ func runForest(o Options) Result {
 	}
 	if o.MaintPacing > 0 {
 		fopts = append(fopts, forest.WithMaintPacing(o.MaintPacing))
+	}
+	if o.Batch > 1 {
+		fopts = append(fopts, forest.WithBatching(o.Batch, o.BatchWait))
 	}
 	f := forest.New(o.Kind, fopts...)
 	fillForest(f, o.Workload.KeyRange, o.Seed)
@@ -501,9 +533,13 @@ func newResult(o Options, cm stm.ContentionManager, shards int, elapsed time.Dur
 	if dist == "" {
 		dist = DistUniform
 	}
+	batch := o.Batch
+	if batch <= 1 {
+		batch = 0
+	}
 	return Result{
 		Kind: o.Kind, Mode: o.Mode, Threads: o.Threads,
-		Shards: shards, CM: cm.Name(), Dist: dist, Elapsed: elapsed,
+		Shards: shards, CM: cm.Name(), Dist: dist, Batch: batch, Elapsed: elapsed,
 	}
 }
 
@@ -515,6 +551,7 @@ func (r *Result) addWorker(w *Runner) {
 	r.RangeItems += w.RangeItems
 	r.XactOps += w.XactOps
 	r.XactMoves += w.XactMoves
+	r.latSamples = append(r.latSamples, w.lat...)
 	if xs, ok := w.t.(XactStatser); ok {
 		r.Xact.Add(xs.XactStats())
 	}
@@ -527,6 +564,23 @@ func (r *Result) finish() {
 		r.AllocsPerOp = float64(r.hammerMallocs) / float64(r.Ops)
 		r.BytesPerOp = float64(r.hammerBytes) / float64(r.Ops)
 	}
+	r.Batches = r.STM.Batches
+	r.BatchedOps = r.STM.BatchedOps
+	if r.Batches > 0 {
+		r.AvgBatch = float64(r.BatchedOps) / float64(r.Batches)
+	}
+	if len(r.latSamples) > 0 {
+		sort.Slice(r.latSamples, func(i, j int) bool { return r.latSamples[i] < r.latSamples[j] })
+		r.P50Nanos = percentile(r.latSamples, 0.50)
+		r.P99Nanos = percentile(r.latSamples, 0.99)
+	}
+}
+
+// percentile cuts the p-quantile (0..1) of an ascending-sorted sample set
+// by nearest-rank interpolation on the index.
+func percentile(sorted []int64, p float64) uint64 {
+	i := int(p*float64(len(sorted)-1) + 0.5)
+	return uint64(sorted[i])
 }
 
 // fill initializes the set: every key in [0, keyRange) is inserted with
@@ -633,7 +687,24 @@ type Runner struct {
 	doInsert bool
 	// xkeys is the reusable per-transfer key buffer.
 	xkeys []uint64
+
+	// Latency reservoir: every latSampleEvery-th operation is timed and fed
+	// into a bounded algorithm-R reservoir. latRng is a dedicated xorshift
+	// state so sampling decisions never perturb w.rng — the workload's key
+	// stream must stay deterministic whether or not latencies are collected.
+	lat     []int64
+	latSeen uint64
+	latRng  uint64
 }
+
+// Latency sampling parameters: timing every op would put a time.Now() pair
+// on the critical path of sub-µs operations, so only every latSampleEvery-th
+// op is measured (~2ns/op amortized), and at most latReservoir measurements
+// per worker are kept via uniform reservoir replacement.
+const (
+	latSampleEvery = 32
+	latReservoir   = 2048
+)
 
 // NewRunner creates a Runner hammering a bare tree through one STM thread,
 // with its own deterministic random stream.
@@ -647,7 +718,8 @@ func NewRunner(m trees.Map, th *stm.Thread, wl Workload, seed int64) *Runner {
 // forest.Handle) with its own deterministic random stream.
 func NewTargetRunner(t Target, wl Workload, seed int64) *Runner {
 	wl.prepareZipf()
-	r := &Runner{t: t, rng: rand.New(rand.NewSource(seed)), wl: wl}
+	r := &Runner{t: t, rng: rand.New(rand.NewSource(seed)), wl: wl,
+		latRng: uint64(seed)*0x9e3779b97f4a7c15 + 1}
 	if wl.Dist == DistZipf {
 		r.gen = newZipfGenFromCDF(r.rng, wl.zipfCDF)
 	}
@@ -658,9 +730,41 @@ func NewTargetRunner(t Target, wl Workload, seed int64) *Runner {
 // when the runner targets a forest.
 func (w *Runner) Thread() *stm.Thread { return w.th }
 
-// Step executes one operation drawn from the workload mix.
+// Step executes one operation drawn from the workload mix, timing every
+// latSampleEvery-th one into the latency reservoir.
 func (w *Runner) Step() {
-	defer func() { w.Ops++ }()
+	w.latSeen++
+	if w.latSeen%latSampleEvery == 0 {
+		t0 := time.Now()
+		w.step()
+		w.recordLatency(int64(time.Since(t0)))
+	} else {
+		w.step()
+	}
+	w.Ops++
+}
+
+// recordLatency feeds one measured op duration into the bounded reservoir
+// (algorithm R: once full, the i-th sample replaces a uniformly random slot
+// with probability cap/i).
+func (w *Runner) recordLatency(d int64) {
+	if len(w.lat) < latReservoir {
+		w.lat = append(w.lat, d)
+		return
+	}
+	// xorshift64 on the dedicated state.
+	x := w.latRng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.latRng = x
+	if j := x % (w.latSeen / latSampleEvery); j < latReservoir {
+		w.lat[j] = d
+	}
+}
+
+// step executes one operation drawn from the workload mix.
+func (w *Runner) step() {
 	if w.wl.RangeFrac > 0 || w.wl.XactFrac > 0 {
 		p := w.rng.Float64()
 		if p < w.wl.RangeFrac {

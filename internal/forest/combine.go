@@ -1,0 +1,342 @@
+// Per-shard op combiner: batch-coalesced execution of the forest's
+// single-key operations (WithBatching).
+//
+// The unbatched hot path pays the STM's fixed per-transaction overhead —
+// descriptor reset, clock draw, validation, commit CAS — once per
+// operation, and on a contended shard it pays again for every abort. The
+// combiner amortizes both: submitting handles enqueue their operation into
+// the shard's bounded MPMC ring (internal/ring) and one runner, elected by
+// CAS on the shard's busy flag, drains the ring and applies the whole
+// pending batch in ONE transaction on its own shard thread. Reads are
+// answered from the batch transaction's snapshot, writes replay through the
+// trees' composable forms, results travel back through per-op futures
+// (done flag + parking token), and a durable forest appends the whole batch
+// as one multi-effect WAL record at the batch's commit position. Because at
+// most one batch transaction runs per shard at a time, batched operations
+// on a hot shard stop aborting each other entirely — the combiner trades
+// read parallelism for conflict-free, overhead-amortized serial execution,
+// which wins exactly when contention was burning the parallelism anyway.
+//
+// The scheme is flat combining in the PALM/hilbert-ring mold: there is no
+// dedicated runner goroutine — submitters themselves are elected, so every
+// queued op always has a live goroutine responsible for it and shutdown
+// cannot strand work. The wait dial selects between two policies:
+//
+//   - Drain-only (wait == 0): a submitter finding the shard uncontended
+//     (busy flag free) skips the ring entirely and runs its op as today's
+//     direct one-op transaction while holding the flag, so single-threaded
+//     latency does not regress beyond one CAS + release. Batches form only
+//     from ops that queued while a runner was busy.
+//   - Linger (wait > 0): every op enqueues, and an elected runner keeps
+//     collecting as long as scheduler yields keep producing ops (bounded by
+//     wait), maximizing the per-transaction amortization at a bounded
+//     latency cost. This is the policy that coalesces even when ops never
+//     overlap a busy runner — e.g. time-sliced threads on few cores.
+//
+// Handoff protocol (why parking cannot hang): a runner drains the ring to
+// empty before releasing the busy flag, and every release is followed by a
+// tail re-check (drainTail) that re-elects while the ring is visibly
+// non-empty. A submitter therefore parks only after a failed election —
+// i.e. while some runner is active — and that runner either pops the op or
+// leaves it to the next link of the release/re-check chain; the chain only
+// ends with an empty ring.
+package forest
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/ring"
+	"repro/internal/stm"
+	"repro/internal/trees"
+)
+
+// Submission op kinds.
+const (
+	opGet = iota
+	opContains
+	opInsert
+	opDelete
+	opUpdate
+)
+
+// lingerIdleYields bounds how many consecutive empty scheduler yields a
+// lingering runner tolerates before applying an underfull batch. Two rounds
+// cover a producer caught mid-enqueue without degenerating into a timed
+// spin when no submitter is runnable.
+const lingerIdleYields = 2
+
+// batchOp is one queued single-key operation together with its future. Each
+// handle owns one, reused across submissions (a handle submits one op at a
+// time): the submitter fills the request fields before pushing, the runner
+// fills the result fields before publishing done.
+type batchOp struct {
+	kind int
+	key  uint64
+	val  uint64
+	fn   func(*Op) // opUpdate's transaction body
+
+	resVal uint64
+	resOK  bool
+	// requeue is set instead of a result when the batch runner panicked
+	// before this op executed: the submitter re-submits, so the op that
+	// actually trips the bug panics on its own goroutine, attributably.
+	requeue bool
+
+	// done is the result-publication barrier (its Store/Load pair orders
+	// the plain fields above); wake is the parking token, capacity 1. A
+	// stale token — a completion the submitter noticed via done without
+	// receiving — is cleared at the next submission and tolerated by the
+	// wait loop's re-check.
+	done atomic.Bool
+	wake chan struct{}
+}
+
+// combiner is one shard's submission side: the bounded op ring and the
+// runner-election flag.
+type combiner struct {
+	ring *ring.Ring[*batchOp]
+	busy atomic.Bool
+	// n is the max ops per batch transaction; wait is the optional linger a
+	// runner spends topping up an underfull batch (WithBatching).
+	n    int
+	wait time.Duration
+}
+
+// newCombiner sizes the ring at four batches so producers keep queueing
+// while one batch executes; beyond that submitters help drain.
+func newCombiner(n int, wait time.Duration) *combiner {
+	return &combiner{ring: ring.New[*batchOp](4 * n), n: n, wait: wait}
+}
+
+// submit routes one single-key operation through the shard's combiner,
+// returning the op's (value, ok) result. See the package comment for the
+// protocol; the result pair is (0, inserted/deleted) for updates, the
+// (value, present) pair for reads, and (0, false) for opUpdate, whose
+// effects travel through fn's own captures.
+func (h *Handle) submit(sh *shard, si int, kind int, k, v uint64, fn func(*Op)) (uint64, bool) {
+	c := sh.comb
+	for {
+		// Uncontended fast path (drain-only mode): claim the runner slot
+		// without enqueueing and run the op directly — today's one-op
+		// transaction. Linger mode (wait > 0) skips it and always enqueues:
+		// coalescing is that mode's whole point, and the runner's linger
+		// collects ops from the ring, so they must be in it.
+		if c.wait <= 0 && c.busy.CompareAndSwap(false, true) {
+			rv, ok := h.runDirect(sh, si, kind, k, v, fn)
+			c.busy.Store(false)
+			h.drainTail(sh, si, c)
+			return rv, ok
+		}
+		if h.op == nil {
+			h.op = &batchOp{wake: make(chan struct{}, 1)}
+		}
+		op := h.op
+		select { // clear a stale completion token from a prior submission
+		case <-op.wake:
+		default:
+		}
+		op.kind, op.key, op.val, op.fn = kind, k, v, fn
+		op.requeue = false
+		op.done.Store(false)
+		if !c.ring.Push(op) {
+			// Ring full: yield and retry the whole submission, taking the
+			// runner slot ourselves if it has freed up.
+			runtime.Gosched()
+			continue
+		}
+		spins := 0
+		for !op.done.Load() {
+			if c.busy.CompareAndSwap(false, true) {
+				// Won the election: drain the ring — our own op included.
+				h.runBatches(sh, si, c)
+				c.busy.Store(false)
+				h.drainTail(sh, si, c)
+				continue
+			}
+			if spins < 32 {
+				spins++
+				runtime.Gosched()
+				continue
+			}
+			// Park until the active runner completes us (or a stale token
+			// wakes us early; the loop re-checks done and parks again).
+			<-op.wake
+		}
+		op.fn = nil // drop the closure reference
+		if !op.requeue {
+			return op.resVal, op.resOK
+		}
+	}
+}
+
+// runDirect executes one op as an ordinary direct transaction (the
+// uncontended fast path). The caller holds the shard's busy flag.
+func (h *Handle) runDirect(sh *shard, si int, kind int, k, v uint64, fn func(*Op)) (uint64, bool) {
+	th := h.thread(si)
+	switch kind {
+	case opGet, opContains:
+		return sh.m.Get(th, k)
+	case opInsert:
+		return 0, h.insertDirect(sh, th, si, k, v)
+	case opDelete:
+		return 0, h.deleteDirect(sh, th, si, k)
+	default: // opUpdate
+		h.updateDirect(sh, th, si, fn)
+		return 0, false
+	}
+}
+
+// runBatches drains the shard's submission ring, applying successive
+// batches of up to c.n operations, each in one transaction. The caller
+// must hold c.busy; runBatches returns only when the ring reads empty.
+func (h *Handle) runBatches(sh *shard, si int, c *combiner) {
+	for {
+		batch := h.batch[:0]
+		var deadline time.Time
+		idleYields := 0
+		for len(batch) < c.n {
+			op, ok := c.ring.Pop()
+			if ok {
+				batch = append(batch, op)
+				idleYields = 0
+				continue
+			}
+			if len(batch) == 0 || c.wait <= 0 || idleYields >= lingerIdleYields {
+				break
+			}
+			// Linger: yield so runnable submitters can enqueue, and keep
+			// collecting while yields keep producing ops. The idle-yield
+			// bound makes the linger adaptive — a yield that produces
+			// nothing means no submitter is ready (on a loaded single-CPU
+			// host one Gosched runs every runnable goroutine), so the batch
+			// applies immediately instead of idling out the full wait; the
+			// deadline caps the total linger when ops trickle in forever.
+			now := time.Now()
+			if deadline.IsZero() {
+				deadline = now.Add(c.wait)
+			} else if now.After(deadline) {
+				break
+			}
+			runtime.Gosched()
+			idleYields++
+		}
+		h.batch = batch
+		if len(batch) == 0 {
+			return
+		}
+		h.applyBatch(sh, si, batch)
+	}
+}
+
+// applyBatch executes one batch in a single transaction on the runner's
+// own shard thread and completes every future. Reads are answered from the
+// batch transaction's snapshot; writes replay through the trees'
+// presence-reporting composable forms (InsertTxA/DeleteTx), so each op's
+// boolean result is exact even when the batch carries several ops for one
+// key — they apply in submission (ring FIFO) order and see each other's
+// effects, which makes every op in the batch linearize at the batch
+// transaction's commit point, in queue order. On a durable forest the
+// whole batch logs as one multi-effect WAL record whose sequence number is
+// the batch's commit-clock position.
+func (h *Handle) applyBatch(sh *shard, si int, batch []*batchOp) {
+	th := h.thread(si)
+	executed := false
+	defer func() {
+		if executed {
+			return
+		}
+		// The batch transaction panicked (a foreign bug escaping the STM's
+		// retry machinery). Completing the futures with requeue keeps the
+		// waiters from hanging on a dead runner; see batchOp.requeue.
+		for _, op := range batch {
+			op.requeue = true
+			complete(op)
+		}
+	}()
+	trees.Atomic(sh.m, th, func(tx *stm.Tx) {
+		h.oplog = h.oplog[:0]
+		for _, op := range batch {
+			switch op.kind {
+			case opGet, opContains:
+				op.resVal, op.resOK = sh.m.GetTx(tx, op.key)
+			case opInsert:
+				op.resOK = sh.m.InsertTxA(tx, op.key, op.val)
+				if op.resOK && h.f.wal != nil {
+					h.oplog = append(h.oplog, durable.Op{Key: op.key, Val: op.val})
+				}
+			case opDelete:
+				op.resOK = sh.m.DeleteTx(tx, op.key)
+				if op.resOK && h.f.wal != nil {
+					h.oplog = append(h.oplog, durable.Op{Key: op.key, Del: true})
+				}
+			case opUpdate:
+				fop := Op{f: h.f, m: sh.m, tx: tx, si: si}
+				if h.f.wal != nil {
+					fop.log = &h.oplog
+				}
+				op.fn(&fop)
+			}
+		}
+		if h.f.wal != nil {
+			h.logCommit(tx, si)
+		}
+	})
+	executed = true
+	th.NoteBatch(len(batch))
+	for _, op := range batch {
+		complete(op)
+	}
+}
+
+// complete publishes op's results and wakes a parked submitter. The send is
+// non-blocking: the channel may still hold a stale token, which the
+// submitter's wait loop tolerates.
+func complete(op *batchOp) {
+	op.done.Store(true)
+	select {
+	case op.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drainTail closes the runner-handoff race: an op pushed between the
+// runner's last empty pop and its busy release would otherwise wait on a
+// runner that already left. Whoever releases the flag re-checks the ring
+// and re-elects while work is visible; a failed CAS means another runner
+// is active and has inherited the obligation.
+func (h *Handle) drainTail(sh *shard, si int, c *combiner) {
+	for c.ring.Size() > 0 && c.busy.CompareAndSwap(false, true) {
+		h.runBatches(sh, si, c)
+		c.busy.Store(false)
+	}
+}
+
+// drainCombiners flushes every shard's submission ring (bounded rounds, so
+// a concurrent submission storm cannot livelock it). Queued ops always have
+// a live submitter that will run them — the combiner is flat combining, so
+// this is not needed for progress — but Close and Quiesce call it so
+// "quiescent" includes "no coalesced op still queued" without waiting for
+// the application goroutines to be rescheduled. Caller holds maintMu (the
+// drain handle is reused across calls).
+func (f *Forest) drainCombiners() {
+	if f.batchN <= 1 {
+		return
+	}
+	if f.drainH == nil {
+		f.drainH = f.NewHandle()
+	}
+	for si, sh := range f.shards {
+		c := sh.comb
+		for rounds := 0; c.ring.Size() > 0 && rounds < 64; rounds++ {
+			if c.busy.CompareAndSwap(false, true) {
+				f.drainH.runBatches(sh, si, c)
+				c.busy.Store(false)
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}
+}

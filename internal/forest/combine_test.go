@@ -1,0 +1,251 @@
+package forest
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/trees"
+)
+
+// TestBatchedSequential exercises the combiner's uncontended fast path: a
+// single handle's ops take the direct route (immediate election win), so the
+// batched forest must behave exactly like the unbatched one — and commit no
+// batches at all.
+func TestBatchedSequential(t *testing.T) {
+	for _, kind := range []trees.Kind{trees.SFOpt, trees.RB} {
+		f := New(kind, WithBatching(16, 0))
+		h := f.NewHandle()
+		for k := uint64(0); k < 200; k++ {
+			if !h.Insert(k, k*3) {
+				t.Fatalf("%v: Insert(%d) dup", kind, k)
+			}
+		}
+		if h.Insert(7, 1) {
+			t.Fatalf("%v: re-Insert(7) succeeded", kind)
+		}
+		for k := uint64(0); k < 200; k++ {
+			if v, ok := h.Get(k); !ok || v != k*3 {
+				t.Fatalf("%v: Get(%d) = %d,%v", kind, k, v, ok)
+			}
+		}
+		if !h.Delete(11) || h.Contains(11) {
+			t.Fatalf("%v: Delete(11) broken", kind)
+		}
+		var moved bool
+		h.Update(11, func(op *Op) {
+			moved = false
+			if v, ok := op.Get(13); ok && f.SameShard(11, 13) {
+				op.Delete(13)
+				op.Insert(11, v)
+				moved = true
+			}
+		})
+		if f.SameShard(11, 13) {
+			if !moved || !h.Contains(11) || h.Contains(13) {
+				t.Fatalf("%v: batched Update move broken", kind)
+			}
+		}
+		if st := h.Stats(); st.Batches != 0 {
+			t.Fatalf("%v: single-handle sequential ops committed %d batches; fast path not taken", kind, st.Batches)
+		}
+		f.Close()
+	}
+}
+
+// TestBatchedConcurrent storms a one-shard batched forest (maximum
+// coalescing pressure) with disjoint per-goroutine key ranges and checks the
+// final contents, that every op's boolean result was exact, and that the
+// coalescing counters are consistent.
+func TestBatchedConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 3000
+	)
+	f := New(trees.SFOpt, WithBatching(32, 0))
+	defer f.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := f.NewHandle()
+			base := uint64(w * perW)
+			for i := uint64(0); i < perW; i++ {
+				k := base + i
+				if !h.Insert(k, k+1) {
+					t.Errorf("Insert(%d) reported dup", k)
+					return
+				}
+				if v, ok := h.Get(k); !ok || v != k+1 {
+					t.Errorf("Get(%d) = %d,%v after insert", k, v, ok)
+					return
+				}
+				if i%3 == 0 {
+					if !h.Delete(k) {
+						t.Errorf("Delete(%d) reported absent", k)
+						return
+					}
+					if h.Contains(k) {
+						t.Errorf("Contains(%d) after delete", k)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := f.NewHandle()
+	want := 0
+	for w := 0; w < workers; w++ {
+		for i := uint64(0); i < perW; i++ {
+			k := uint64(w*perW) + i
+			if i%3 == 0 {
+				if h.Contains(k) {
+					t.Fatalf("deleted key %d present", k)
+				}
+			} else {
+				want++
+				if v, ok := h.Get(k); !ok || v != k+1 {
+					t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+				}
+			}
+		}
+	}
+	if n := h.Len(); n != want {
+		t.Fatalf("Len = %d, want %d", n, want)
+	}
+	st := f.Stats()
+	if st.BatchedOps < st.Batches {
+		t.Fatalf("BatchedOps %d < Batches %d", st.BatchedOps, st.Batches)
+	}
+	if st.Batches == 0 {
+		t.Fatalf("8-way storm on one shard coalesced nothing (Batches = 0)")
+	}
+	t.Logf("batches=%d batched_ops=%d avg=%.1f", st.Batches, st.BatchedOps,
+		float64(st.BatchedOps)/float64(st.Batches))
+}
+
+// TestBatchedUpdateConcurrent runs composed Update transactions through the
+// combiner: per-key counters incremented from many goroutines must total
+// exactly, whichever goroutine's batch runner executed the closure.
+func TestBatchedUpdateConcurrent(t *testing.T) {
+	const (
+		workers = 6
+		keys    = 4
+		incs    = 2000
+	)
+	f := New(trees.SFOpt, WithBatching(16, 50*time.Microsecond))
+	defer f.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := f.NewHandle()
+			for i := 0; i < incs; i++ {
+				k := uint64(i % keys)
+				h.Update(k, func(op *Op) {
+					v, _ := op.Get(k)
+					op.Delete(k)
+					op.Insert(k, v+1)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	h := f.NewHandle()
+	var total uint64
+	for k := uint64(0); k < keys; k++ {
+		v, ok := h.Get(k)
+		if !ok {
+			t.Fatalf("counter %d missing", k)
+		}
+		total += v
+	}
+	if want := uint64(workers * incs); total != want {
+		t.Fatalf("counters total %d, want %d", total, want)
+	}
+}
+
+// TestBatchedStormShutdown is the shutdown-safety torture for the combiner:
+// a submission storm runs against a batched durable forest while another
+// goroutine quiesces, checkpoints, and finally closes the WAL and the
+// forest mid-storm. The invariant under test is liveness — the combiner has
+// no dedicated runner goroutine, so every queued op must retain a live
+// owner through Quiesce's and Close's combiner drains, and every storm op
+// must complete (ops on an already-closed forest still run; their WAL
+// appends become no-ops). Run under -race: the Makefile's race target
+// covers this package.
+func TestBatchedStormShutdown(t *testing.T) {
+	for _, kind := range trees.Kinds() {
+		for _, shards := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/shards=%d", kind, shards), func(t *testing.T) {
+				f := New(kind, WithShards(shards), WithBatching(16, 0))
+				dl, _, err := durable.Open(t.TempDir(), shards, durable.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.AttachWAL(dl)
+
+				const workers = 6
+				const opsEach = 400
+				var done atomic.Int64
+				var wg sync.WaitGroup
+				start := make(chan struct{})
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						h := f.NewHandle()
+						base := uint64(w * 1000)
+						<-start
+						for i := 0; i < opsEach; i++ {
+							k := base + uint64(i%97)
+							switch i % 5 {
+							case 0:
+								h.Insert(k, uint64(i))
+							case 1:
+								h.Get(k)
+							case 2:
+								h.Update(k, func(op *Op) {
+									if v, ok := op.Get(k); ok {
+										op.Delete(k)
+										op.Insert(k, v+1)
+									}
+								})
+							case 3:
+								h.Contains(k)
+							default:
+								h.Delete(k)
+							}
+							done.Add(1)
+						}
+					}(w)
+				}
+				wg.Add(1)
+				go func() { // chaos: quiesce + checkpoint racing the storm, then shutdown
+					defer wg.Done()
+					<-start
+					for i := 0; i < 3; i++ {
+						f.Quiesce(2)
+						if err := dl.Checkpoint(f); err != nil {
+							t.Errorf("Checkpoint: %v", err)
+						}
+					}
+					dl.Close()
+					f.Close()
+				}()
+				close(start)
+				wg.Wait()
+				if got := done.Load(); got != workers*opsEach {
+					t.Fatalf("%d/%d storm ops completed: a submission was lost in shutdown", got, workers*opsEach)
+				}
+				f.Close()
+			})
+		}
+	}
+}

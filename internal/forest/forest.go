@@ -80,6 +80,22 @@ type shard struct {
 	nextSweep atomic.Int64
 	sweepGap  atomic.Int64
 	nextDrain atomic.Int64
+
+	// pacing is the shard's current adaptive hint-drain gap in nanoseconds
+	// (maint.go): it backs off from the forest's base gap when the shard's
+	// structural transactions keep failing — i.e. keep aborting against
+	// application transactions — and tightens back as they succeed again.
+	// maintFails/maintOKs are the last observed structural counter totals
+	// the adaptation diffs against; they are plain fields serialized by the
+	// claim flag (the release/acquire pair of its Store/CompareAndSwap).
+	pacing     atomic.Int64
+	maintFails uint64
+	maintOKs   uint64
+
+	// comb is the shard's op combiner (nil unless WithBatching): single-key
+	// operations submit into its ring and are applied in coalesced batch
+	// transactions by an elected runner (combine.go).
+	comb *combiner
 }
 
 // Forest is a sharded transactional map from uint64 keys to uint64 values.
@@ -101,9 +117,20 @@ type Forest struct {
 	pool         *maintPool
 	maintWorkers int
 	pc           poolCounters
-	// drainPacing is the per-shard hint-drain pacing gap of the maintenance
-	// pool (WithMaintPacing); immutable after New.
+	// drainPacing is the per-shard base hint-drain pacing gap of the
+	// maintenance pool; pacingFixed pins every shard to it exactly
+	// (WithMaintPacing), otherwise the per-shard gap adapts between the base
+	// and pacingBackoffCap times it (maint.go). Both immutable after New.
 	drainPacing time.Duration
+	pacingFixed bool
+
+	// batchN/batchWait are the combiner dials (WithBatching; batchN <= 1
+	// means batching is off), immutable after New. drainH is the internal
+	// handle Close/Quiesce use to flush the combiner rings, created lazily
+	// under maintMu.
+	batchN    int
+	batchWait time.Duration
+	drainH    *Handle
 
 	// wal is the attached write-ahead log (nil for a volatile forest):
 	// every committed mutating transaction appends one record through it,
@@ -168,7 +195,10 @@ type cfg struct {
 	maintenance  bool
 	maintWorkers int
 	maintPacing  time.Duration
+	pacingFixed  bool
 	yieldEvery   int
+	batchN       int
+	batchWait    time.Duration
 }
 
 // WithShards sets the number of partitions (default 1; must be >= 1).
@@ -204,16 +234,22 @@ func defaultMaintWorkers(shards int) int {
 	return max(1, min(shards, runtime.GOMAXPROCS(0)/2))
 }
 
-// WithMaintPacing sets the per-shard hint-drain pacing gap of the shared
-// maintenance pool (default 2ms): hints younger than the gap wait and
+// WithMaintPacing pins the per-shard hint-drain pacing gap of the shared
+// maintenance pool to exactly d: hints younger than the gap wait and
 // coalesce, bounding the rate of structural transactions maintenance
 // injects against the application's. 0 disables pacing (every scan with
 // backlog drains immediately); negative values are ignored. Exposed so the
 // benchmark harness can sweep the gap against abort rates.
+//
+// Without this option the gap adapts per shard: it starts at the 2ms
+// default and backs off — up to pacingBackoffCap times the base — while
+// the shard's structural transactions keep failing against application
+// traffic, tightening back as they succeed (see maint.go's scan).
 func WithMaintPacing(d time.Duration) Option {
 	return func(c *cfg) {
 		if d >= 0 {
 			c.maintPacing = d
+			c.pacingFixed = true
 		}
 	}
 }
@@ -221,6 +257,31 @@ func WithMaintPacing(d time.Duration) Option {
 // WithYield enables the STM interleaving simulation on every shard
 // (stm.WithYield).
 func WithYield(n int) Option { return func(c *cfg) { c.yieldEvery = n } }
+
+// WithBatching routes the forest's single-key operations (Insert, Delete,
+// Get, Contains, Update) through a per-shard op combiner: concurrent
+// submissions coalesce into batches of up to n operations, each batch
+// applied in ONE transaction by a runner elected among the submitters (see
+// combine.go for the protocol and the linearizability argument). wait
+// selects the coalescing policy: 0 (the usual choice) is drain-only — an
+// uncontended submitter runs its op directly and batches form only from
+// ops that queued while a runner was busy; wait > 0 is linger mode — every
+// op enqueues and a runner keeps collecting while scheduler yields keep
+// producing ops, up to wait, maximizing coalescing at a bounded latency
+// cost.
+//
+// Batching pays off on write-contended shards, where it replaces abort
+// storms with conflict-free serial batches; on read-dominated uncontended
+// workloads it serializes reads that would have run in parallel, so leave
+// it off there. n <= 1 disables batching (the default).
+func WithBatching(n int, wait time.Duration) Option {
+	return func(c *cfg) {
+		c.batchN = n
+		if wait > 0 {
+			c.batchWait = wait
+		}
+	}
+}
 
 // New creates an empty forest of the given tree kind. Unless
 // WithoutMaintenance is given, kinds with maintenance are serviced by a
@@ -237,16 +298,21 @@ func New(kind trees.Kind, opts ...Option) *Forest {
 	if c.maintWorkers == 0 {
 		c.maintWorkers = defaultMaintWorkers(c.shards)
 	}
-	f := &Forest{kind: kind, shards: make([]*shard, c.shards), maint: c.maintenance, drainPacing: c.maintPacing}
+	f := &Forest{kind: kind, shards: make([]*shard, c.shards), maint: c.maintenance, drainPacing: c.maintPacing,
+		pacingFixed: c.pacingFixed, batchN: c.batchN, batchWait: c.batchWait}
 	maintained := false
 	now := time.Now().UnixNano()
 	for i := range f.shards {
 		s := stm.New(stm.WithMode(c.mode), stm.WithContentionManager(c.cm), stm.WithYield(c.yieldEvery))
 		sh := &shard{stm: s, m: trees.New(kind, s)}
+		if c.batchN > 1 {
+			sh.comb = newCombiner(c.batchN, c.batchWait)
+		}
 		if mt, ok := trees.HintMaintainedOf(sh.m); ok {
 			sh.mt = mt
 			sh.sweepGap.Store(int64(sweepGapMin))
 			sh.nextSweep.Store(now)
+			sh.pacing.Store(int64(c.maintPacing))
 			maintained = true
 		}
 		f.shards[i] = sh
@@ -266,6 +332,10 @@ func (f *Forest) Kind() trees.Kind { return f.kind }
 // Shards reports the number of partitions.
 func (f *Forest) Shards() int { return len(f.shards) }
 
+// Batching reports the combiner dials: the max batch size (0 or 1 when
+// batching is off) and the runner's linger.
+func (f *Forest) Batching() (int, time.Duration) { return f.batchN, f.batchWait }
+
 // Close stops the maintenance worker pool. The forest remains fully usable
 // (readable and writable); only the structural upkeep stops. Closing an
 // already-closed forest is a documented no-op, and Close is safe to call
@@ -274,6 +344,7 @@ func (f *Forest) Shards() int { return len(f.shards) }
 func (f *Forest) Close() {
 	f.maintMu.Lock()
 	defer f.maintMu.Unlock()
+	f.drainCombiners()
 	f.maint = false
 	if f.pool != nil {
 		f.pool.stop()
@@ -307,6 +378,9 @@ func (f *Forest) pauseMaintenance() func() {
 // queued hints first, then full sweeps until clean. The worker pool is
 // paused for the duration (the per-tree drains are single-driver).
 func (f *Forest) Quiesce(maxPasses int) {
+	f.maintMu.Lock()
+	f.drainCombiners()
+	f.maintMu.Unlock()
 	defer f.pauseMaintenance()()
 	for _, sh := range f.shards {
 		trees.Quiesce(sh.m, maxPasses)

@@ -24,6 +24,13 @@ type Handle struct {
 	// attempt, and a reliable post-commit hook appends them to the WAL only
 	// if the attempt commits.
 	oplog []durable.Op
+
+	// op is the handle's reusable combiner future (one in-flight submission
+	// per handle); batch is the reusable drain buffer for when this handle
+	// is elected batch runner. Both nil/empty until batching is enabled
+	// (see combine.go).
+	op    *batchOp
+	batch []*batchOp
 }
 
 // NewHandle returns a handle with no shard threads allocated yet.
@@ -105,9 +112,20 @@ func (h *Handle) logCommit(tx *stm.Tx, si int) {
 // Insert maps k to v; false when k was already present. On a durable
 // forest the insert runs as a composable transaction with a logged effect
 // (tree-managed allocation, so an aborted linking attempt may leak one
-// arena node — the InsertTxA discipline).
+// arena node — the InsertTxA discipline). On a batched forest the op is
+// coalesced through the shard's combiner (combine.go).
 func (h *Handle) Insert(k, v uint64) bool {
 	sh, th, si := h.route(k)
+	if sh.comb != nil {
+		_, ok := h.submit(sh, si, opInsert, k, v, nil)
+		return ok
+	}
+	return h.insertDirect(sh, th, si, k, v)
+}
+
+// insertDirect is the unbatched (and combiner fast-path) insert: one
+// transaction of its own.
+func (h *Handle) insertDirect(sh *shard, th *stm.Thread, si int, k, v uint64) bool {
 	if h.f.wal == nil {
 		return sh.m.Insert(th, k, v)
 	}
@@ -126,6 +144,15 @@ func (h *Handle) Insert(k, v uint64) bool {
 // Delete removes k; false when absent.
 func (h *Handle) Delete(k uint64) bool {
 	sh, th, si := h.route(k)
+	if sh.comb != nil {
+		_, ok := h.submit(sh, si, opDelete, k, 0, nil)
+		return ok
+	}
+	return h.deleteDirect(sh, th, si, k)
+}
+
+// deleteDirect is the unbatched (and combiner fast-path) delete.
+func (h *Handle) deleteDirect(sh *shard, th *stm.Thread, si int, k uint64) bool {
 	if h.f.wal == nil {
 		return sh.m.Delete(th, k)
 	}
@@ -143,13 +170,20 @@ func (h *Handle) Delete(k uint64) bool {
 
 // Get returns the value at k.
 func (h *Handle) Get(k uint64) (uint64, bool) {
-	sh, th, _ := h.route(k)
+	sh, th, si := h.route(k)
+	if sh.comb != nil {
+		return h.submit(sh, si, opGet, k, 0, nil)
+	}
 	return sh.m.Get(th, k)
 }
 
 // Contains reports whether k is present.
 func (h *Handle) Contains(k uint64) bool {
-	sh, th, _ := h.route(k)
+	sh, th, si := h.route(k)
+	if sh.comb != nil {
+		_, ok := h.submit(sh, si, opContains, k, 0, nil)
+		return ok
+	}
 	return sh.m.Contains(th, k)
 }
 
@@ -387,8 +421,24 @@ func mergeSnaps(snaps [][]kv, fn func(k, v uint64) bool) bool {
 // key k. Every key touched inside fn must belong to that same shard (check
 // with SameShard); touching a foreign key panics, because silently reading
 // another shard's tree from this shard's transaction would break isolation.
+//
+// On a batched forest fn is coalesced through the shard's combiner like the
+// single-key ops, which means it may execute on another goroutine — the
+// elected batch runner — while this one waits. fn's usual contract (free of
+// side effects beyond the Op and re-assigned captured locals) already makes
+// that transparent: the captures are published back to the caller with the
+// op's completion.
 func (h *Handle) Update(k uint64, fn func(op *Op)) {
 	sh, th, si := h.route(k)
+	if sh.comb != nil {
+		h.submit(sh, si, opUpdate, k, 0, fn)
+		return
+	}
+	h.updateDirect(sh, th, si, fn)
+}
+
+// updateDirect is the unbatched (and combiner fast-path) Update body.
+func (h *Handle) updateDirect(sh *shard, th *stm.Thread, si int, fn func(op *Op)) {
 	trees.Atomic(sh.m, th, func(tx *stm.Tx) {
 		op := Op{f: h.f, m: sh.m, tx: tx, si: si}
 		if h.f.wal != nil {

@@ -33,6 +33,9 @@ const (
 	// idleWaitMax caps a worker's idle sleep so a lost deadline estimate
 	// can never park a worker for long.
 	idleWaitMax = sweepGapMax
+	// pacingBackoffCap bounds the adaptive hint-drain gap at this multiple
+	// of the forest's base gap (see adaptPacing).
+	pacingBackoffCap = 16
 )
 
 // poolCounters aggregates pool activity. It lives on the Forest, not the
@@ -63,6 +66,12 @@ type PoolStats struct {
 	HintBatches uint64
 	// Backlog is the instantaneous number of queued hints across shards.
 	Backlog int
+	// PacingNanos is the mean current hint-drain pacing gap over the
+	// maintained shards, in nanoseconds. With WithMaintPacing it equals the
+	// pinned gap; otherwise it reflects where the per-shard adaptation
+	// (abort-rate-driven backoff between the base gap and pacingBackoffCap
+	// times it) currently sits.
+	PacingNanos uint64
 }
 
 // PoolStats returns a snapshot of the pool's activity counters. Counters
@@ -70,11 +79,17 @@ type PoolStats struct {
 // pause/resume cycles and survive Close — Close freezes the numbers, it
 // does not zero them.
 func (f *Forest) PoolStats() PoolStats {
-	backlog := 0
+	backlog, maintained := 0, 0
+	var pacing int64
 	for _, sh := range f.shards {
 		if sh.mt != nil {
 			backlog += sh.mt.HintBacklog()
+			pacing += sh.pacing.Load()
+			maintained++
 		}
+	}
+	if maintained > 0 {
+		pacing /= int64(maintained)
 	}
 	return PoolStats{
 		Workers:     f.maintWorkers,
@@ -83,6 +98,7 @@ func (f *Forest) PoolStats() PoolStats {
 		Sweeps:      f.pc.sweeps.Load(),
 		HintBatches: f.pc.hintBatches.Load(),
 		Backlog:     backlog,
+		PacingNanos: uint64(pacing),
 	}
 }
 
@@ -194,7 +210,7 @@ func (p *maintPool) scan() bool {
 		hints, work := 0, 0
 		if backlog {
 			hints, work = sh.mt.DrainHints(maintBatch)
-			sh.nextDrain.Store(time.Now().UnixNano() + int64(p.f.drainPacing))
+			sh.nextDrain.Store(time.Now().UnixNano() + p.adaptPacing(sh))
 			if hints > 0 {
 				p.f.pc.hintBatches.Add(1)
 			}
@@ -221,6 +237,61 @@ func (p *maintPool) scan() bool {
 		}
 	}
 	return busy
+}
+
+// adaptPacing returns the gap to apply after a drain session and updates
+// the shard's adaptive pacing state. The signal is the shard's structural
+// failure counters (FailedRot/FailedRemove — structural transactions that
+// returned false, i.e. aborted against concurrent application traffic)
+// diffed against the successes since the previous drain: a
+// failure-dominated session doubles the gap (up to pacingBackoffCap times
+// the base), so repairs wait for the contention to pass and coalesce
+// harder, while a clean session halves it back toward the base. With
+// WithMaintPacing the gap is pinned and this degenerates to the constant.
+// Caller holds the shard's claim, which serializes the plain last-seen
+// fields.
+func (p *maintPool) adaptPacing(sh *shard) int64 {
+	base := int64(p.f.drainPacing)
+	if p.f.pacingFixed {
+		return base
+	}
+	sf, ok := sh.m.(interface{ Stats() sftree.Stats })
+	if !ok {
+		return base
+	}
+	st := sf.Stats()
+	fails := st.FailedRot + st.FailedRemove
+	oks := st.Rotations + st.Removals + st.TargetedRepairs
+	dFail := fails - sh.maintFails
+	dOK := oks - sh.maintOKs
+	sh.maintFails, sh.maintOKs = fails, oks
+	cur := pacePolicy(sh.pacing.Load(), base, dFail, dOK)
+	sh.pacing.Store(cur)
+	return cur
+}
+
+// pacePolicy is the pure adaptation step: the next drain gap given the
+// current one, the configured base, and the failed/successful structural
+// transaction counts of the session just ended.
+func pacePolicy(cur, base int64, dFail, dOK uint64) int64 {
+	switch {
+	case dFail > dOK:
+		// More failed than successful structural transactions since the
+		// last drain: the shard is abort-hot, back off. A zero base still
+		// backs off (from a 1ms floor), so disabled pacing only stays
+		// disabled when pinned.
+		floor := base
+		if floor <= 0 {
+			floor = int64(time.Millisecond)
+		}
+		return min(max(2*cur, floor), pacingBackoffCap*floor)
+	case dFail == 0:
+		// Clean session: tighten back toward the base.
+		return max(cur/2, base)
+	default:
+		// Mixed session (some failures, not dominating): hold.
+		return cur
+	}
 }
 
 // nextWait returns how long an idle worker may sleep: until the earliest

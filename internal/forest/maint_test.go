@@ -208,6 +208,56 @@ func TestMaintPacingOption(t *testing.T) {
 	}
 }
 
+// TestAdaptivePacing covers the abort-rate-driven drain pacing: the pure
+// policy's backoff/tighten/hold behavior, the WithMaintPacing pin, and the
+// PacingNanos report.
+func TestAdaptivePacing(t *testing.T) {
+	base := int64(drainGap)
+	// Failure-dominated sessions double up to the cap.
+	if got := pacePolicy(base, base, 10, 2); got != 2*base {
+		t.Fatalf("backoff: got %d, want %d", got, 2*base)
+	}
+	cur := base
+	for i := 0; i < 20; i++ {
+		cur = pacePolicy(cur, base, 100, 0)
+	}
+	if cur != pacingBackoffCap*base {
+		t.Fatalf("cap: got %d, want %d", cur, pacingBackoffCap*base)
+	}
+	// Clean sessions halve back down to the base, never below.
+	if got := pacePolicy(cur, base, 0, 5); got != cur/2 {
+		t.Fatalf("tighten: got %d, want %d", got, cur/2)
+	}
+	if got := pacePolicy(base, base, 0, 0); got != base {
+		t.Fatalf("floor: got %d, want base %d", got, base)
+	}
+	// Mixed sessions hold.
+	if got := pacePolicy(4*base, base, 3, 7); got != 4*base {
+		t.Fatalf("hold: got %d, want %d", got, 4*base)
+	}
+	// A zero adaptive base still backs off from the 1ms floor.
+	if got := pacePolicy(0, 0, 9, 1); got != int64(time.Millisecond) {
+		t.Fatalf("zero-base backoff: got %d, want 1ms", got)
+	}
+
+	// WithMaintPacing pins the gap: adaptPacing returns the base verbatim.
+	f := New(trees.SFOpt, WithShards(2), WithoutMaintenance(), WithMaintPacing(10*time.Millisecond))
+	defer f.Close()
+	p := &maintPool{f: f}
+	if got := p.adaptPacing(f.shards[0]); got != int64(10*time.Millisecond) {
+		t.Fatalf("pinned adaptPacing = %d, want 10ms", got)
+	}
+	if ps := f.PoolStats(); ps.PacingNanos != uint64(10*time.Millisecond) {
+		t.Fatalf("PacingNanos = %d, want the pinned 10ms", ps.PacingNanos)
+	}
+	// The default (adaptive) forest starts at — and reports — the base gap.
+	f2 := New(trees.SFOpt, WithShards(2), WithoutMaintenance())
+	defer f2.Close()
+	if ps := f2.PoolStats(); ps.PacingNanos != uint64(drainGap) {
+		t.Fatalf("initial PacingNanos = %d, want %d", ps.PacingNanos, drainGap)
+	}
+}
+
 // TestMaintPoolStopsOnClose: after Close no maintenance runs — counters
 // freeze even under further updates (the regression guard the per-shard
 // goroutine design had, retargeted at the pool).

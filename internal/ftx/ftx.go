@@ -122,6 +122,11 @@ type Stats struct {
 	// committed as one ordinary atomic transaction with no intents, no
 	// prepare and no cross-shard window.
 	Fallbacks uint64
+	// ReadOnly counts the subset of Commits that took the read-only
+	// cross-shard fast path: the transaction wrote nothing, so it skipped
+	// intents and prepare entirely and validated with a double read of the
+	// participating shards' version clocks (see commitReadOnly).
+	ReadOnly uint64
 	// Aborts counts failed commit attempts that were retried: read
 	// revalidation mismatches, lost lock races, and intent conflicts.
 	Aborts uint64
@@ -137,6 +142,7 @@ type Stats struct {
 func (s *Stats) Add(o Stats) {
 	s.Commits += o.Commits
 	s.Fallbacks += o.Fallbacks
+	s.ReadOnly += o.ReadOnly
 	s.Aborts += o.Aborts
 	s.IntentConflicts += o.IntentConflicts
 	s.UserAborts += o.UserAborts
@@ -153,8 +159,10 @@ type Coordinator struct {
 	// atomicity carries onto disk — the record is wholly present or wholly
 	// torn), or an ordinary update record for the single-shard fallback.
 	wal *durable.Log
-	// opbuf is the reusable single-shard record buffer.
-	opbuf []durable.Op
+	// opbuf is the reusable single-shard record buffer; clkbuf the reusable
+	// clock-sample buffer of the read-only fast path.
+	opbuf  []durable.Op
+	clkbuf []uint64
 }
 
 // NewCoordinator returns a coordinator for d.
@@ -244,8 +252,61 @@ func (c *Coordinator) commit(parts []*participant) bool {
 	case 1:
 		return c.commitSingle(parts[0])
 	default:
-		return c.commitCross(parts)
+		for _, p := range parts {
+			if len(p.writes) > 0 {
+				return c.commitCross(parts)
+			}
+		}
+		return c.commitReadOnly(parts)
 	}
+}
+
+// commitReadOnly commits a no-write cross-shard transaction without intents
+// and without prepare: it samples every participating shard's version clock,
+// revalidates each shard's logged reads in one ordinary read-only
+// transaction, and re-samples the clocks — any clock that moved fails the
+// attempt back to the coordinator's retry loop.
+//
+// Why the clock double-read is enough: a shard's clock advances only inside
+// commit, after the committer has acquired its write locks and before it
+// publishes and releases them (the GV4/GV5 protocol comment in stm's
+// commit). So if a shard's clock reads the same before and after our
+// replays, every writer that bumped that clock did so before our first
+// sample — and such a writer's locks were either already released (its
+// writes fully published before we read) or still held (our replay of any
+// word it touches waits out the lock and sees the published value). Either
+// way each replay observes a state that stays valid for the whole window,
+// which makes all the per-shard replays simultaneously valid at the second
+// sample: that instant is the transaction's serialization point. A
+// read-only transaction never advances a clock itself, so the replays do
+// not disturb the validation they are part of.
+func (c *Coordinator) commitReadOnly(parts []*participant) bool {
+	if cap(c.clkbuf) < len(parts) {
+		c.clkbuf = make([]uint64, len(parts))
+	}
+	clocks := c.clkbuf[:len(parts)]
+	for i, p := range parts {
+		clocks[i] = p.sh.Thread.STM().Now()
+	}
+	for _, p := range parts {
+		ok := false
+		// Full read tracking (CTL), exactly as commitSingle: every replayed
+		// read must be validated at the replay's own commit point.
+		p.sh.Thread.AtomicMode(stm.CTL, func(tx *stm.Tx) {
+			ok = replayReads(p.sh.Map, tx, p.reads)
+		})
+		if !ok {
+			return false
+		}
+	}
+	for i, p := range parts {
+		if p.sh.Thread.STM().Now() != clocks[i] {
+			return false
+		}
+	}
+	c.stats.Commits++
+	c.stats.ReadOnly++
+	return true
 }
 
 // commitSingle is the fallback fast path: one participating shard, one

@@ -213,6 +213,53 @@ func TestRunEmptyTransaction(t *testing.T) {
 	}
 }
 
+// TestRunReadOnlyFastPath: a cross-shard transaction that writes nothing
+// must commit through the read-only fast path — no intents, no prepares —
+// and still return a consistent view.
+func TestRunReadOnlyFastPath(t *testing.T) {
+	f := forest.New(trees.SFOpt, forest.WithShards(4), forest.WithoutMaintenance())
+	defer f.Close()
+	h := f.NewHandle()
+	a, b := crossPair(t, f)
+	h.Insert(a, 7)
+	h.Insert(b, 9)
+
+	prepBefore := f.Stats().Prepares
+	var av, bv uint64
+	if err := h.Atomic(func(tx *ftx.Tx) error {
+		av, _ = tx.Get(a)
+		bv, _ = tx.Get(b)
+		return nil
+	}); err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if av != 7 || bv != 9 {
+		t.Fatalf("read %d,%d want 7,9", av, bv)
+	}
+	st := h.XactStats()
+	if st.Commits != 1 || st.ReadOnly != 1 || st.Fallbacks != 0 {
+		t.Fatalf("stats %+v: want 1 commit via the read-only fast path", st)
+	}
+	if st.IntentConflicts != 0 {
+		t.Fatalf("stats %+v: read-only path acquired intents", st)
+	}
+	if prepAfter := f.Stats().Prepares; prepAfter != prepBefore {
+		t.Fatalf("Prepares went %d -> %d: read-only path ran prepare", prepBefore, prepAfter)
+	}
+	// A writing transaction over the same keys must still take the full
+	// protocol (the fast path is for no-write transactions only).
+	if err := h.Atomic(func(tx *ftx.Tx) error {
+		v, _ := tx.Get(a)
+		tx.Put(b, v)
+		return nil
+	}); err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if st := h.XactStats(); st.ReadOnly != 1 || st.Commits != 2 {
+		t.Fatalf("stats %+v: writing transaction misrouted to the read-only path", st)
+	}
+}
+
 // TestRunRevalidationRetry: fn's observations change between execution and
 // commit — the coordinator must re-execute and commit the fresh view, never
 // the stale one.

@@ -1,0 +1,120 @@
+// Package ring provides a bounded lock-free multi-producer multi-consumer
+// queue (Vyukov's bounded MPMC ring), generic over the element type. It is
+// the shared submission substrate of the repository's two producer/consumer
+// fast paths: the sftree maintenance hint queues (many committing
+// application threads, one externally-serialized maintenance driver) and
+// the forest's per-shard op combiner (many submitting handles, one
+// CAS-elected batch runner).
+//
+// Each slot carries a sequence word. A producer claims a slot by CAS on the
+// enqueue counter and publishes the element by advancing the slot's
+// sequence; a consumer symmetrically claims via the dequeue counter and
+// recycles the slot for the ring's next lap. Push fails (returns false)
+// when the ring is full and Pop when it is empty — the ring never blocks
+// and never allocates after New.
+package ring
+
+import "sync/atomic"
+
+// cell is one slot of the ring: the element and the sequence word that
+// states which lap of the ring the slot currently belongs to.
+type cell[T any] struct {
+	seq atomic.Uint64
+	v   T
+}
+
+// Ring is a bounded MPMC queue. The zero value is not usable; create with
+// New. Peek is the one operation that needs external serialization of the
+// consumer side; Push/Pop/Size are safe from any number of goroutines.
+type Ring[T any] struct {
+	mask uint64
+	enq  atomic.Uint64
+	deq  atomic.Uint64
+	buf  []cell[T]
+}
+
+// New creates a ring with the given capacity rounded up to a power of two
+// (minimum 1).
+func New[T any](capacity int) *Ring[T] {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	q := &Ring[T]{mask: uint64(n - 1), buf: make([]cell[T], n)}
+	for i := range q.buf {
+		q.buf[i].seq.Store(uint64(i))
+	}
+	return q
+}
+
+// Cap reports the ring's capacity (the rounded power of two).
+func (q *Ring[T]) Cap() int { return len(q.buf) }
+
+// Push enqueues v, returning false when the ring is full.
+func (q *Ring[T]) Push(v T) bool {
+	pos := q.enq.Load()
+	for {
+		cell := &q.buf[pos&q.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos:
+			if q.enq.CompareAndSwap(pos, pos+1) {
+				cell.v = v
+				cell.seq.Store(pos + 1)
+				return true
+			}
+			pos = q.enq.Load()
+		case seq < pos:
+			return false // full: the consumer has not freed this slot yet
+		default:
+			pos = q.enq.Load()
+		}
+	}
+}
+
+// Peek returns the element at the front without dequeuing it. It is only
+// meaningful on an externally-serialized consumer side (e.g. the single
+// maintenance driver of a hint queue): no other goroutine may pop the
+// peeked cell, and producers never touch a cell whose sequence marks it
+// filled.
+func (q *Ring[T]) Peek() (T, bool) {
+	pos := q.deq.Load()
+	cell := &q.buf[pos&q.mask]
+	if cell.seq.Load() == pos+1 {
+		return cell.v, true
+	}
+	var zero T
+	return zero, false
+}
+
+// Pop dequeues one element, returning ok=false when the ring is empty.
+func (q *Ring[T]) Pop() (T, bool) {
+	pos := q.deq.Load()
+	for {
+		cell := &q.buf[pos&q.mask]
+		seq := cell.seq.Load()
+		switch {
+		case seq == pos+1:
+			if q.deq.CompareAndSwap(pos, pos+1) {
+				v := cell.v
+				cell.seq.Store(pos + q.mask + 1)
+				return v, true
+			}
+			pos = q.deq.Load()
+		case seq < pos+1:
+			var zero T
+			return zero, false
+		default:
+			pos = q.deq.Load()
+		}
+	}
+}
+
+// Size estimates the number of queued elements (exact when quiescent).
+func (q *Ring[T]) Size() int {
+	e, d := q.enq.Load(), q.deq.Load()
+	if e <= d {
+		return 0
+	}
+	return int(e - d)
+}

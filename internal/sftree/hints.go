@@ -1,10 +1,10 @@
 package sftree
 
 import (
-	"sync/atomic"
 	"time"
 
 	"repro/internal/arena"
+	"repro/internal/ring"
 )
 
 // This file implements the hint side of the hint-driven maintenance
@@ -88,9 +88,9 @@ func newHintPQ(capacity int, promoteAge time.Duration) *hintPQ {
 // level's ring is full.
 func (q *hintPQ) push(h hint) bool {
 	if h.kind == hintRemove {
-		return q.remove.push(h)
+		return q.remove.Push(h)
 	}
-	return q.rebalance.push(h)
+	return q.rebalance.Push(h)
 }
 
 // pop dequeues the highest-priority queued hint: an over-age rebalance
@@ -103,119 +103,34 @@ func (q *hintPQ) pop() (hint, bool) { return q.popAt(time.Now().UnixNano()) }
 // the maintenance scheduler covers the peek-then-pop window.
 func (q *hintPQ) popAt(now int64) (hint, bool) {
 	if q.promoteAge > 0 && !q.promoted {
-		if h, ok := q.rebalance.peek(); ok && now-h.at > q.promoteAge {
-			if h, ok := q.rebalance.pop(); ok {
+		if h, ok := q.rebalance.Peek(); ok && now-h.at > q.promoteAge {
+			if h, ok := q.rebalance.Pop(); ok {
 				q.promoted = true
 				return h, true
 			}
 		}
 	}
 	q.promoted = false
-	if h, ok := q.remove.pop(); ok {
+	if h, ok := q.remove.Pop(); ok {
 		return h, true
 	}
-	return q.rebalance.pop()
+	return q.rebalance.Pop()
 }
 
 // size estimates the number of queued hints across both levels.
-func (q *hintPQ) size() int { return q.remove.size() + q.rebalance.size() }
+func (q *hintPQ) size() int { return q.remove.Size() + q.rebalance.Size() }
 
-// hintCell is one slot of the bounded queue ring.
-type hintCell struct {
-	seq atomic.Uint64
-	h   hint
-}
+// hintQueue is one priority level's bounded lock-free multi-producer queue
+// (internal/ring's Vyukov bounded MPMC ring). Producers are the application
+// threads firing commit hooks; the consumer side is serialized externally
+// (one maintenance driver per tree at a time — the tree's own loop, a pool
+// worker holding the shard claim, or a Quiesce caller), but the ring
+// tolerates MPMC so the claim discipline is a scheduling concern, not a
+// memory-safety one. The Peek used by age promotion is the one consumer-
+// serialized operation.
+type hintQueue = ring.Ring[hint]
 
-// hintQueue is a bounded lock-free multi-producer queue (Vyukov's bounded
-// MPMC ring). Producers are the application threads firing commit hooks;
-// the consumer side is serialized externally (one maintenance driver per
-// tree at a time — the tree's own loop, a pool worker holding the shard
-// claim, or a Quiesce caller), but the queue tolerates MPMC so the claim
-// discipline is a scheduling concern, not a memory-safety one.
-type hintQueue struct {
-	mask uint64
-	enq  atomic.Uint64
-	deq  atomic.Uint64
-	buf  []hintCell
-}
-
-func newHintQueue(capacity int) *hintQueue {
-	n := 1
-	for n < capacity {
-		n <<= 1
-	}
-	q := &hintQueue{mask: uint64(n - 1), buf: make([]hintCell, n)}
-	for i := range q.buf {
-		q.buf[i].seq.Store(uint64(i))
-	}
-	return q
-}
-
-// push enqueues h, returning false when the queue is full.
-func (q *hintQueue) push(h hint) bool {
-	pos := q.enq.Load()
-	for {
-		cell := &q.buf[pos&q.mask]
-		seq := cell.seq.Load()
-		switch {
-		case seq == pos:
-			if q.enq.CompareAndSwap(pos, pos+1) {
-				cell.h = h
-				cell.seq.Store(pos + 1)
-				return true
-			}
-			pos = q.enq.Load()
-		case seq < pos:
-			return false // full: the consumer has not freed this slot yet
-		default:
-			pos = q.enq.Load()
-		}
-	}
-}
-
-// peek returns the hint at the front without dequeuing it. It is only
-// meaningful on the externally-serialized consumer side (the single
-// maintenance driver): no other goroutine can pop the peeked cell, and
-// producers never touch a cell whose sequence marks it filled.
-func (q *hintQueue) peek() (hint, bool) {
-	pos := q.deq.Load()
-	cell := &q.buf[pos&q.mask]
-	if cell.seq.Load() == pos+1 {
-		return cell.h, true
-	}
-	return hint{}, false
-}
-
-// pop dequeues one hint, returning ok=false when the queue is empty.
-func (q *hintQueue) pop() (hint, bool) {
-	pos := q.deq.Load()
-	for {
-		cell := &q.buf[pos&q.mask]
-		seq := cell.seq.Load()
-		switch {
-		case seq == pos+1:
-			if q.deq.CompareAndSwap(pos, pos+1) {
-				h := cell.h
-				cell.seq.Store(pos + q.mask + 1)
-				return h, true
-			}
-			pos = q.deq.Load()
-		case seq < pos+1:
-			return hint{}, false
-		default:
-			pos = q.deq.Load()
-		}
-	}
-}
-
-// size estimates the number of queued hints (exact when quiescent).
-func (q *hintQueue) size() int {
-	e, d := q.enq.Load(), q.deq.Load()
-	if e <= d {
-		return 0
-	}
-	return int(e - d)
-}
+func newHintQueue(capacity int) *hintQueue { return ring.New[hint](capacity) }
 
 // OnTxCommit implements stm.CommitHook: it fires after an application
 // transaction that registered a hint commits, publishing the hint into the

@@ -317,11 +317,11 @@ func TestHintRemoveNeverDemotedByDedup(t *testing.T) {
 	// Insert queues a rebalance hint for the new leaf and sets its dedup
 	// bit; the following delete's removal hint hits the set bit.
 	tr.Insert(th, 7, 7)
-	if tr.hintq.remove.size() != 0 {
+	if tr.hintq.remove.Size() != 0 {
 		t.Fatal("insert queued a removal hint")
 	}
 	tr.Delete(th, 7)
-	if tr.hintq.remove.size() == 0 {
+	if tr.hintq.remove.Size() == 0 {
 		t.Fatal("removal hint was folded into the queued rebalance hint (demoted to low priority)")
 	}
 	h, ok := tr.hintq.pop()
@@ -343,7 +343,7 @@ func TestHintQueueMPMC(t *testing.T) {
 		go func(p int) {
 			defer wg.Done()
 			for i := 0; i < perProducer; i++ {
-				if q.push(hint{key: uint64(p*perProducer + i)}) {
+				if q.Push(hint{key: uint64(p*perProducer + i)}) {
 					pushed[p]++
 				} else {
 					dropped[p]++
@@ -365,14 +365,14 @@ func TestHintQueueMPMC(t *testing.T) {
 	go func() {
 		defer close(done)
 		for {
-			if h, ok := q.pop(); ok {
+			if h, ok := q.Pop(); ok {
 				take(h)
 				continue
 			}
 			select {
 			case <-doneProducing:
 				for { // final drain
-					h, ok := q.pop()
+					h, ok := q.Pop()
 					if !ok {
 						return
 					}

@@ -282,8 +282,8 @@ func TestCommitFastPathWriteSkew(t *testing.T) {
 		go func() {
 			defer close(done)
 			th2.Atomic(func(tx *Tx) {
-				t2Began.Store(true)     // attempt begun: snapshot drawn
-				guard := tx.Read(&b)    // validated first at commit
+				t2Began.Store(true)  // attempt begun: snapshot drawn
+				guard := tx.Read(&b) // validated first at commit
 				var sink uint64
 				for i := range filler {
 					sink += tx.Read(&filler[i])

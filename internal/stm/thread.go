@@ -83,6 +83,15 @@ func (th *Thread) Stats() Stats { return th.stats }
 // ResetStats zeroes the thread's counters (between benchmark phases).
 func (th *Thread) ResetStats() { th.stats = Stats{} }
 
+// NoteBatch records one combiner batch of n coalesced operations committed
+// through this thread in a single transaction (Stats.Batches/BatchedOps).
+// Like the rest of the counters it is owner-local: only the thread's own
+// goroutine — the batch runner — may call it.
+func (th *Thread) NoteBatch(n int) {
+	th.stats.Batches++
+	th.stats.BatchedOps += uint64(n)
+}
+
 // Pending reports whether the thread is currently inside an operation.
 func (th *Thread) Pending() bool { return th.pending.Load() }
 

@@ -58,6 +58,7 @@ package repro
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/durable"
 	"repro/internal/forest"
@@ -151,6 +152,8 @@ type treeCfg struct {
 	maintWorkers int
 	cm           stm.ContentionManager
 	dur          *durable.Options
+	batchN       int
+	batchWait    time.Duration
 }
 
 // WithTMMode selects the TM algorithm (default CommitTimeLocking).
@@ -177,6 +180,31 @@ func WithShards(n int) Option { return func(c *treeCfg) { c.shards = n } }
 // Ignored on unsharded trees, whose single maintenance goroutine plays the
 // same role.
 func WithMaintWorkers(n int) Option { return func(c *treeCfg) { c.maintWorkers = n } }
+
+// WithBatching routes single-key operations (Insert, Delete, Get, Contains,
+// UpdateShard) through a per-shard op combiner: concurrent submissions
+// coalesce into batches of up to n operations, each batch applied in one
+// STM transaction by a runner elected among the submitters, with results
+// delivered back through per-op futures. wait selects the coalescing
+// policy: 0 (the usual choice) is drain-only — uncontended operations run
+// directly and batches form only under contention; wait > 0 makes every
+// operation enqueue and runners linger up to wait for fuller batches,
+// maximizing coalescing at a bounded latency cost. n <= 1 disables
+// batching (the default).
+//
+// Batching pays off on write-contended trees, where coalescing replaces
+// abort storms with conflict-free serial batches and amortizes the
+// per-transaction overhead; on read-dominated uncontended workloads it
+// serializes reads that would have run in parallel, so leave it off there.
+// A batched tree always runs on the forest path, even unsharded.
+func WithBatching(n int, wait time.Duration) Option {
+	return func(c *treeCfg) {
+		c.batchN = n
+		if wait > 0 {
+			c.batchWait = wait
+		}
+	}
+}
 
 // WithContention selects the contention-management policy consulted between
 // an aborted transaction attempt and its retry (default ContentionBackoff).
@@ -256,6 +284,9 @@ func Open(dir string, kind Kind, opts ...Option) (*Tree, error) {
 	if !cfg.maintenance {
 		fopts = append(fopts, forest.WithoutMaintenance())
 	}
+	if cfg.batchN > 1 {
+		fopts = append(fopts, forest.WithBatching(cfg.batchN, cfg.batchWait))
+	}
 	f := forest.New(kind, fopts...)
 	h := f.NewHandle()
 	for k, v := range rec.State {
@@ -310,7 +341,10 @@ func NewTree(kind Kind, opts ...Option) *Tree {
 	if cfg.dur != nil {
 		panic("repro: WithDurability requires a directory; use repro.Open(dir, kind, ...)")
 	}
-	if cfg.shards > 1 {
+	// A batched tree runs on the forest path whatever the shard count: the
+	// combiner lives in the forest layer, and with one shard a forest is
+	// semantically identical to the bare tree.
+	if cfg.shards > 1 || cfg.batchN > 1 {
 		fopts := []forest.Option{
 			forest.WithShards(cfg.shards),
 			forest.WithTMMode(cfg.mode),
@@ -321,6 +355,9 @@ func NewTree(kind Kind, opts ...Option) *Tree {
 		}
 		if !cfg.maintenance {
 			fopts = append(fopts, forest.WithoutMaintenance())
+		}
+		if cfg.batchN > 1 {
+			fopts = append(fopts, forest.WithBatching(cfg.batchN, cfg.batchWait))
 		}
 		f := forest.New(kind, fopts...)
 		return &Tree{f: f, stop: f.Close, maint: cfg.maintenance}

@@ -479,3 +479,84 @@ func TestDurableCheckpointStress(t *testing.T) {
 		t.Fatalf("account sum %d after recovery, want %d (transfer atomicity broken)", sum, accounts*seedVal)
 	}
 }
+
+// TestDurableBatchedRecoveryOracle is the batching-enabled variant of the
+// recovery oracle: concurrent workers churn worker-owned key stripes
+// through the per-shard op combiner (WithBatching) on a durable tree, so
+// committed batches reach the WAL as multi-effect records; after Close and
+// reopen the recovered abstraction must equal the model exactly. Per-stripe
+// single-writership makes the model exact despite the concurrency.
+func TestDurableBatchedRecoveryOracle(t *testing.T) {
+	durableKindsAndShards(t, func(t *testing.T, kind Kind, shards int) {
+		dir := t.TempDir()
+		opts := []Option{WithShards(shards), WithBatching(16, 0),
+			WithDurability(DurabilityOptions{CheckpointEvery: -1})}
+		tr, err := Open(dir, kind, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const workers = 4
+		const iterations = 300
+		const stripe = 128
+		var modelMu sync.Mutex
+		model := map[uint64]uint64{}
+
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				h := tr.NewHandle()
+				rng := rand.New(rand.NewSource(int64(w)*104729 + int64(shards)))
+				base := uint64(1000 * (w + 1))
+				for i := 0; i < iterations; i++ {
+					k := base + uint64(rng.Intn(stripe))
+					switch rng.Intn(5) {
+					case 0, 1:
+						v := uint64(rng.Intn(1000)) + 1
+						if h.Insert(k, v) {
+							modelMu.Lock()
+							model[k] = v
+							modelMu.Unlock()
+						}
+					case 2:
+						if h.Delete(k) {
+							modelMu.Lock()
+							delete(model, k)
+							modelMu.Unlock()
+						}
+					case 3:
+						h.UpdateShard(k, func(op *Op) {
+							if v, ok := op.Get(k); ok {
+								op.Delete(k)
+								op.Insert(k, v+1)
+							} else {
+								op.Insert(k, 7)
+							}
+						})
+						modelMu.Lock()
+						if v, ok := model[k]; ok {
+							model[k] = v + 1
+						} else {
+							model[k] = 7
+						}
+						modelMu.Unlock()
+					default:
+						h.Get(k)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		tr.Close()
+
+		tr, err = Open(dir, kind, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		assertStateEqual(t, tr.NewHandle(), model, "after batched recovery")
+	})
+}

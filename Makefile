@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DURATION ?= 1s
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race vet ci bench-range bench-xact bench-durable bench-batch bench-json profile benchdiff
+.PHONY: all build test race vet fuzz ci bench-range bench-xact bench-durable bench-recovery bench-batch bench-json profile benchdiff
 
 all: build
 
@@ -23,6 +23,18 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Short fuzz smoke over the durable on-disk codecs: the WAL record framing
+# and the incremental-checkpoint delta/manifest formats. Each corpus is
+# seeded with valid encodings plus systematic corruptions; a few seconds per
+# fuzzer is enough to keep the decode/re-encode identity and the
+# never-crash-on-garbage property honest in CI (go test allows one -fuzz
+# pattern per invocation, hence three runs).
+FUZZTIME ?= 5s
+fuzz:
+	$(GO) test ./internal/durable -run '^$$' -fuzz FuzzRecordDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/durable -run '^$$' -fuzz FuzzDeltaDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/durable -run '^$$' -fuzz FuzzManifestDecode -fuzztime $(FUZZTIME)
 
 # Range-scan microbenchmark points: the scan mix at one shard (the paper's
 # single-domain tree) and at eight (per-shard snapshot + k-way merge).
@@ -50,6 +62,19 @@ bench-durable:
 	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 8
 	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -fsync -shards 8
 
+# Recovery-cost microbenchmark points: the same durable workload at two
+# store sizes (key ranges 1<<15 and 1<<17), with incremental checkpoints on
+# (the default chain, ckpt_compact 8) and off (-ckpt-compact -1, the
+# pre-delta full-checkpoint regime). The ckpt_bytes and ckpt_dirty_frac
+# columns show checkpoint cost tracking churn rather than store size, and
+# recovery_ns/recovery_appliers time the segment-parallel replay of the
+# directory after the run.
+bench-recovery:
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 8 -range 32768 -header
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 8 -range 32768 -ckpt-compact -1
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 8 -range 131072
+	$(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 8 -range 131072 -ckpt-compact -1
+
 # Batched-execution microbenchmark points: the contended skewed update mix
 # with the per-shard op combiner off and on, at one shard (maximum
 # coalescing pressure — the combiner's headline configuration) and at
@@ -71,8 +96,11 @@ bench-batch:
 # explicitly small pool on the skewed (Zipf) workload — the configuration
 # the sub-linear-maintenance-CPU claim is about (see the maint_* CSV
 # columns); then the multi-key transfer workload at shards 1 and 8 (see
-# the xact_* columns) and a durable (WAL-attached) point. The final three
-# rows are the batched-execution series: the contended skewed update mix at
+# the xact_* columns) and a durable (WAL-attached) point, followed by the
+# recovery-cost pair: the durable workload at key ranges 1<<15 and 1<<17, so
+# the artifact records ckpt_bytes/ckpt_dirty_frac (incremental-checkpoint
+# cost vs store size) and recovery_ns (segment-parallel replay) at two store
+# sizes. The final three rows are the batched-execution series: the contended skewed update mix at
 # t8 shards=1 unbatched (anchor) and with the op combiner at batch 64, plus
 # the sharded batched point (see the batched_ops/batches/avg_batch and
 # p50_ns/p99_ns columns).
@@ -86,6 +114,8 @@ bench-json:
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -xact-frac 0.2 -shards 1 -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -xact-frac 0.2 -shards 8 -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 8 -duration $(BENCH_DURATION) ; \
+	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 8 -range 32768 -duration $(BENCH_DURATION) ; \
+	  $(GO) run ./cmd/microbench -tree sf-opt -threads 4 -update 20 -durable -shards 8 -range 131072 -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 8 -update 20 -dist zipf -shards 1 -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 8 -update 20 -dist zipf -shards 1 -batch 64 -duration $(BENCH_DURATION) ; \
 	  $(GO) run ./cmd/microbench -tree sf-opt -threads 8 -update 20 -dist zipf -shards 8 -batch 64 -duration $(BENCH_DURATION) ; } \
@@ -108,4 +138,4 @@ profile:
 benchdiff:
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) $(BASE) $(NEW)
 
-ci: build vet test race
+ci: build vet test race fuzz

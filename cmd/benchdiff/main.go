@@ -45,7 +45,7 @@ var keyCols = []string{
 	"tree", "mode", "threads", "shards", "cm", "dist",
 	"update", "move", "biased", "range",
 	"range_frac", "range_len", "xact_frac", "xact_keys", "xact_cross",
-	"batch", "durable", "fsync",
+	"batch", "durable", "fsync", "ckpt_compact",
 }
 
 // keyDefaults supplies the value a key column had before it existed: the
@@ -63,6 +63,9 @@ var keyDefaults = map[string]any{
 	"batch":      0.0,
 	"durable":    false,
 	"fsync":      false,
+	// Incremental checkpointing shipped with a default compaction period of
+	// 8; artifacts from before the column existed ran at exactly that value.
+	"ckpt_compact": 8.0,
 }
 
 // artifact is one parsed BENCH_*.json file.

@@ -40,8 +40,14 @@
 // performs a timed full recovery of the directory. -fsync switches from
 // asynchronous group commit to per-operation fsync. The durable CSV columns
 // report the log's record/byte/sync/checkpoint counters plus recovery_ms
-// and recovered_keys. A durable run always uses the forest path (shards=1
-// becomes a one-shard forest, as repro.Open arranges).
+// and recovered_keys. Incremental checkpointing adds -ckpt-compact (the
+// delta-chain compaction period; 0 = default, negative = every checkpoint
+// full) and the columns ckpt_compact, delta_checkpoints, ckpt_bytes (bytes
+// written across checkpoint/delta/manifest files), ckpt_dirty_frac (mean
+// dirty fraction per delta), wal_stalls/wal_dropped (group-commit
+// backpressure), and recovery_ns/recovery_appliers/recovery_deltas for the
+// timed segment-parallel recovery. A durable run always uses the forest
+// path (shards=1 becomes a one-shard forest, as repro.Open arranges).
 //
 // -maint-workers sizes the shared maintenance worker pool of a sharded run
 // (0 = the forest default, min(shards, GOMAXPROCS/2)); the CSV reports the
@@ -64,6 +70,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/durable"
 	"repro/internal/stm"
 	"repro/internal/trees"
 )
@@ -95,6 +102,7 @@ func main() {
 	durableFlag := flag.Bool("durable", false, "attach a write-ahead log (temp dir) and time a post-run recovery")
 	fsync := flag.Bool("fsync", false, "with -durable: fsync before every update returns instead of group commit")
 	ckptEvery := flag.Duration("checkpoint-every", 0, "with -durable: periodic checkpoint interval (0 = 500ms, negative disables)")
+	ckptCompact := flag.Int("ckpt-compact", 0, "with -durable: fold the delta chain into a fresh full base after this many incremental checkpoints (0 = default, negative = every checkpoint full)")
 	yieldEvery := flag.Int("yield", 0, "STM interleaving simulation: yield every N accesses (0 off)")
 	header := flag.Bool("header", false, "print the CSV header line first")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -176,8 +184,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "microbench: -maint-pacing must be >= 0")
 		os.Exit(2)
 	}
-	if (*fsync || *ckptEvery != 0) && !*durableFlag {
-		fmt.Fprintln(os.Stderr, "microbench: -fsync and -checkpoint-every require -durable")
+	if (*fsync || *ckptEvery != 0 || *ckptCompact != 0) && !*durableFlag {
+		fmt.Fprintln(os.Stderr, "microbench: -fsync, -checkpoint-every and -ckpt-compact require -durable")
 		os.Exit(2)
 	}
 	if *batch < 0 {
@@ -233,12 +241,21 @@ func main() {
 		Durable:           *durableFlag,
 		Fsync:             *fsync,
 		DurableCheckpoint: *ckptEvery,
+		DurableCompact:    *ckptCompact,
 	})
 
-	if *header {
-		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,range_frac,range_len,xact_frac,xact_keys,xact_cross,batch,duration_s,ops,throughput_ops_per_us,effective_ratio,allocs_per_op,bytes_per_op,range_scans,range_items,xact_ops,xact_moved,xact_commits,xact_fallbacks,xact_aborts,xact_intent_conflicts,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,spin_exhausted,rotations,maint_workers,hints_emitted,hints_coalesced,hints_dropped,targeted_repairs,sweep_passes,maint_busy_ms,worker_util,durable,fsync,wal_records,wal_atomic_records,wal_bytes,wal_syncs,checkpoints,checkpoint_pairs,recovery_ms,recovered_keys,batched_ops,batches,avg_batch,p50_ns,p99_ns")
+	// The ckpt_compact key column reports the effective compaction period
+	// (the durable default when the flag is 0), so rows match across
+	// artifacts whether or not the flag was spelled out.
+	compactCol := *ckptCompact
+	if compactCol == 0 {
+		compactCol = durable.DefaultCompactEvery
 	}
-	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%.4f,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%t,%t,%d,%d,%d,%d,%d,%d,%.3f,%d,%d,%d,%.2f,%d,%d\n",
+
+	if *header {
+		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,range_frac,range_len,xact_frac,xact_keys,xact_cross,batch,duration_s,ops,throughput_ops_per_us,effective_ratio,allocs_per_op,bytes_per_op,range_scans,range_items,xact_ops,xact_moved,xact_commits,xact_fallbacks,xact_aborts,xact_intent_conflicts,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,spin_exhausted,rotations,maint_workers,hints_emitted,hints_coalesced,hints_dropped,targeted_repairs,sweep_passes,maint_busy_ms,worker_util,durable,fsync,ckpt_compact,wal_records,wal_atomic_records,wal_bytes,wal_syncs,wal_stalls,wal_dropped,checkpoints,delta_checkpoints,checkpoint_pairs,ckpt_bytes,ckpt_dirty_frac,recovery_ms,recovery_ns,recovery_appliers,recovery_deltas,recovered_keys,batched_ops,batches,avg_batch,p50_ns,p99_ns")
+	}
+	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%.4f,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%t,%t,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%.3f,%d,%d,%d,%d,%d,%d,%.2f,%d,%d\n",
 		kind, m, res.Threads, res.Shards, res.CM, res.Dist, *update, *movePct, *biased, *keyRange,
 		*rangeFrac, *rangeLen, *xactFrac, *xactKeys, *xactCross, res.Batch,
 		res.Elapsed.Seconds(), res.Ops, res.Throughput, res.EffectiveRatio,
@@ -251,9 +268,12 @@ func main() {
 		res.Pool.Workers, res.TreeStats.HintsEmitted, res.TreeStats.HintsCoalesced,
 		res.TreeStats.HintsDropped, res.TreeStats.TargetedRepairs, res.TreeStats.Passes,
 		float64(res.Pool.BusyNanos)/1e6, res.WorkerUtilization(),
-		res.Durable, *fsync, res.Wal.Records, res.Wal.AtomicRecords, res.Wal.Bytes,
-		res.Wal.Syncs, res.Wal.Checkpoints, res.Wal.CheckpointPairs,
-		float64(res.RecoveryNanos)/1e6, res.RecoveredPairs,
+		res.Durable, *fsync, compactCol, res.Wal.Records, res.Wal.AtomicRecords, res.Wal.Bytes,
+		res.Wal.Syncs, res.Wal.Stalls, res.Wal.Dropped,
+		res.Wal.Checkpoints, res.Wal.DeltaCheckpoints, res.Wal.CheckpointPairs,
+		res.Wal.CheckpointBytes, res.CheckpointDirtyFrac(),
+		float64(res.RecoveryNanos)/1e6, res.RecoveryNanos, res.RecoveryAppliers,
+		res.RecoveryDeltas, res.RecoveredPairs,
 		res.BatchedOps, res.Batches, res.AvgBatch, res.P50Nanos, res.P99Nanos)
 	for si, sr := range res.PerShard {
 		fmt.Printf("shard,%d,ops,%d,throughput_ops_per_us,%.3f,commits,%d,aborts,%d,abort_rate,%.4f\n",

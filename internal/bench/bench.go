@@ -172,6 +172,13 @@ type Options struct {
 	// DurableCheckpoint is the periodic checkpoint interval of a durable
 	// run (0 selects 500ms; negative disables periodic checkpoints).
 	DurableCheckpoint time.Duration
+	// DurableCompact is the durable run's delta-chain compaction period
+	// (durable.Options.CompactEvery): after that many incremental delta
+	// checkpoints the next one folds the chain into a fresh full base.
+	// 0 selects the durable default (durable.DefaultCompactEvery); a
+	// negative value disables delta checkpoints, restoring the pre-delta
+	// every-checkpoint-is-full regime.
+	DurableCompact int
 }
 
 // defaultBenchCheckpoint is the durable run's checkpoint interval default.
@@ -264,10 +271,12 @@ type Result struct {
 	// Durability accounting (zero unless Options.Durable): the WAL's own
 	// counters over the hammer phase, plus a timed full recovery of the
 	// directory performed after the run.
-	Durable        bool
-	Wal            durable.Stats
-	RecoveryNanos  uint64 // wall time of the post-run recovery
-	RecoveredPairs int    // elements the recovery reconstructed
+	Durable          bool
+	Wal              durable.Stats
+	RecoveryNanos    uint64 // wall time of the post-run recovery
+	RecoveredPairs   int    // elements the recovery reconstructed
+	RecoveryAppliers int    // applier goroutines the recovery replay used
+	RecoveryDeltas   int    // delta generations in the recovered chain
 
 	// Raw MemStats deltas captured by hammer; finish divides them by Ops.
 	hammerMallocs uint64
@@ -284,6 +293,17 @@ func (r *Result) WorkerUtilization() float64 {
 		return 0
 	}
 	return float64(r.Pool.BusyNanos) / (float64(r.Elapsed.Nanoseconds()) * float64(r.Pool.Workers))
+}
+
+// CheckpointDirtyFrac returns the mean dirty fraction across the run's
+// delta checkpoints — dirty keys over the base's pair count, averaged over
+// the deltas written (0 when none ran). Small values mean the incremental
+// checkpoints are writing churn, not store size.
+func (r *Result) CheckpointDirtyFrac() float64 {
+	if r.Wal.DeltaCheckpoints == 0 {
+		return 0
+	}
+	return r.Wal.DirtyFracSum / float64(r.Wal.DeltaCheckpoints)
 }
 
 // subTreeStats returns cur minus the pre-measurement base, so the reported
@@ -427,7 +447,7 @@ func runForest(o Options) Result {
 		if err != nil {
 			panic(err)
 		}
-		dopts = durable.Options{Sync: o.Fsync, CheckpointEvery: ckpt}
+		dopts = durable.Options{Sync: o.Fsync, CheckpointEvery: ckpt, CompactEvery: o.DurableCompact}
 		dl, _, err = durable.Open(dir, shards, dopts)
 		if err != nil {
 			panic(err)
@@ -468,6 +488,8 @@ func runForest(o Options) Result {
 		}
 		res.RecoveryNanos = uint64(time.Since(t0).Nanoseconds())
 		res.RecoveredPairs = len(rec.State)
+		res.RecoveryAppliers = rec.Appliers
+		res.RecoveryDeltas = rec.ChainDeltas
 		l2.Close()
 		os.RemoveAll(dir)
 	}

@@ -38,9 +38,9 @@ func checkpointName(dir string, gen uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("checkpoint-%016d.ckpt", gen))
 }
 
-// writeCheckpoint writes and seals one checkpoint file, fsyncing the file
-// before the rename and the directory after it.
-func writeCheckpoint(dir string, shards int, gen, baseSeg uint64, cuts []uint64, pairs []kvPair) error {
+// writeCheckpoint writes and seals one full checkpoint file (tmp + fsync +
+// rename + directory sync), reporting the bytes it wrote.
+func writeCheckpoint(dir string, shards int, gen, baseSeg uint64, cuts []uint64, pairs []kvPair) (int, error) {
 	b := make([]byte, 0, len(ckptMagic)+4+16+8*len(cuts)+8+16*len(pairs)+4)
 	b = append(b, ckptMagic...)
 	b = binary.LittleEndian.AppendUint32(b, uint32(shards))
@@ -55,91 +55,71 @@ func writeCheckpoint(dir string, shards int, gen, baseSeg uint64, cuts []uint64,
 		b = binary.LittleEndian.AppendUint64(b, p.v)
 	}
 	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
-
-	tmp := checkpointName(dir, gen) + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
+	if err := sealFile(dir, checkpointName(dir, gen), b); err != nil {
+		return 0, err
 	}
-	if _, err := f.Write(b); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, checkpointName(dir, gen)); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return syncDir(dir)
+	return len(b), nil
 }
 
-// readCheckpoint loads and validates one sealed checkpoint file into state.
-// It returns an error for any structural damage — recovery then falls back
-// to the next-older generation.
-func readCheckpoint(path string, shards int, state map[uint64]uint64) (checkpointMeta, error) {
+// readCheckpoint loads and validates one sealed full checkpoint file,
+// returning its header and pairs. It returns an error for any structural
+// damage — recovery then falls back to an older candidate.
+func readCheckpoint(path string, shards int) (checkpointMeta, []kvPair, error) {
 	var meta checkpointMeta
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return meta, err
+		return meta, nil, err
 	}
 	if len(b) < len(ckptMagic)+4+16+8+4 || string(b[:len(ckptMagic)]) != ckptMagic {
-		return meta, fmt.Errorf("durable: %s: not a checkpoint file", path)
+		return meta, nil, fmt.Errorf("durable: %s: not a checkpoint file", path)
 	}
 	body, tail := b[:len(b)-4], b[len(b)-4:]
 	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
-		return meta, fmt.Errorf("durable: %s: checkpoint checksum mismatch", path)
+		return meta, nil, fmt.Errorf("durable: %s: checkpoint checksum mismatch", path)
 	}
 	d := &decoder{b: body, off: len(ckptMagic)}
 	ns, err := d.u32()
 	if err != nil {
-		return meta, err
+		return meta, nil, err
 	}
 	if int(ns) != shards {
-		return meta, fmt.Errorf("durable: %s: checkpoint has %d shards, log opened with %d", path, ns, shards)
+		return meta, nil, fmt.Errorf("durable: %s: checkpoint has %d shards, log opened with %d", path, ns, shards)
 	}
 	if meta.gen, err = d.u64(); err != nil {
-		return meta, err
+		return meta, nil, err
 	}
 	if meta.baseSeg, err = d.u64(); err != nil {
-		return meta, err
+		return meta, nil, err
 	}
 	meta.cuts = make([]uint64, shards)
 	for i := range meta.cuts {
 		if meta.cuts[i], err = d.u64(); err != nil {
-			return meta, err
+			return meta, nil, err
 		}
 	}
 	n, err := d.u64()
 	if err != nil {
-		return meta, err
+		return meta, nil, err
 	}
 	if n > uint64(len(body)-d.off)/16 {
-		return meta, fmt.Errorf("durable: %s: pair count %d exceeds file size", path, n)
+		return meta, nil, fmt.Errorf("durable: %s: pair count %d exceeds file size", path, n)
 	}
+	pairs := make([]kvPair, 0, n)
 	for i := uint64(0); i < n; i++ {
 		k, err := d.u64()
 		if err != nil {
-			return meta, err
+			return meta, nil, err
 		}
 		v, err := d.u64()
 		if err != nil {
-			return meta, err
+			return meta, nil, err
 		}
-		state[k] = v
+		pairs = append(pairs, kvPair{k: k, v: v})
 	}
 	if d.off != len(body) {
-		return meta, fmt.Errorf("durable: %s: %d trailing bytes", path, len(body)-d.off)
+		return meta, nil, fmt.Errorf("durable: %s: %d trailing bytes", path, len(body)-d.off)
 	}
-	return meta, nil
+	return meta, pairs, nil
 }
 
 // kvPair is one checkpointed element.

@@ -49,6 +49,32 @@
 // segments at or above its base, and skips any record position at or below
 // the checkpoint's per-shard cut — stale files left by an interrupted
 // truncation are ignored or re-deleted.
+//
+// # Incremental checkpoints
+//
+// Rewriting the whole store every checkpoint makes checkpoint cost grow
+// with store size even when almost nothing changed. The log therefore
+// tracks, per shard, the set of keys mutated since the last checkpoint —
+// maintained at append time, under the same lock the records take, so the
+// set is exactly the keys of the records in the segments a checkpoint
+// covers. When the dirty set is small relative to the store, the
+// checkpoint writes a delta generation instead of a full base: only the
+// dirty keys, read under a consistent per-shard snapshot (puts for present
+// keys, tombstones for absent ones), plus a manifest chaining the delta
+// back through its ancestors to the last full base. Long chains are folded
+// by compaction — after Options.CompactEvery deltas (or when the dirty
+// fraction exceeds Options.DeltaMaxFrac) the next checkpoint is a fresh
+// full base and the old chain is deleted. A checkpoint with an empty dirty
+// set is skipped outright, so an idle store costs no checkpoint I/O at all.
+//
+// Correctness does not depend on append timing: a record can reach the log
+// after the delta that covers its window was cut (its committer was
+// preempted between publication and append). Such a record's key is not in
+// the delta, and recovery's skip rule is per key — a replayed record is
+// skipped only when its position is at or below the cut of the newest
+// chain generation that actually covered its key (the full base covers
+// every key; a delta covers only its own entries) — so the late record is
+// replayed rather than lost.
 package durable
 
 import (
@@ -57,6 +83,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 )
@@ -69,6 +96,19 @@ const (
 	// DefaultCheckpointEvery is the periodic-checkpoint interval when none
 	// is configured.
 	DefaultCheckpointEvery = time.Second
+	// DefaultCompactEvery is the delta-chain length at which the next
+	// checkpoint compacts to a fresh full base.
+	DefaultCompactEvery = 8
+	// DefaultDeltaMaxFrac is the dirty fraction (dirty keys over the last
+	// full base's pairs) above which a checkpoint writes a full base
+	// instead of a delta.
+	DefaultDeltaMaxFrac = 0.25
+	// DefaultMaxUnsynced is the backpressure bound on bytes appended but
+	// not yet fsynced under group commit.
+	DefaultMaxUnsynced = 1 << 20
+	// defaultRecoveryAppliers caps the parallel recovery applier count when
+	// none is configured (the effective count is min(shards, this)).
+	defaultRecoveryAppliers = 8
 )
 
 // segMagic heads every WAL segment, followed by the shard count.
@@ -91,6 +131,27 @@ type Options struct {
 	// StartCheckpoints. 0 selects DefaultCheckpointEvery; a negative value
 	// disables periodic checkpoints (manual Checkpoint calls still work).
 	CheckpointEvery time.Duration
+	// CompactEvery bounds the delta chain: after this many delta
+	// generations the next checkpoint writes a fresh full base and deletes
+	// the old chain. 0 selects DefaultCompactEvery; a negative value
+	// disables incremental checkpoints entirely (every checkpoint is a
+	// full base, the PR 5 behavior).
+	CompactEvery int
+	// DeltaMaxFrac is the dirty fraction above which a checkpoint writes a
+	// full base rather than a delta: when more than this fraction of the
+	// last full base's pairs mutated, a delta would not pay for itself.
+	// 0 selects DefaultDeltaMaxFrac.
+	DeltaMaxFrac float64
+	// MaxUnsynced bounds the bytes appended but not yet fsynced under
+	// group commit: an append that would exceed it flushes and fsyncs
+	// inline (bounded blocking — backpressure instead of an unbounded
+	// loss window when writers outrun the committer). 0 selects
+	// DefaultMaxUnsynced; a negative value disables the bound.
+	MaxUnsynced int
+	// RecoveryAppliers is the number of parallel applier goroutines
+	// recovery partitions its replay across. 0 selects min(shards,
+	// defaultRecoveryAppliers); 1 forces the serial path.
+	RecoveryAppliers int
 }
 
 func (o Options) groupCommit() time.Duration {
@@ -113,6 +174,41 @@ func (o Options) checkpointEvery() time.Duration {
 	return o.CheckpointEvery
 }
 
+// deltas reports whether incremental checkpoints are enabled.
+func (o Options) deltas() bool { return o.CompactEvery >= 0 }
+
+func (o Options) compactEvery() int {
+	if o.CompactEvery == 0 {
+		return DefaultCompactEvery
+	}
+	return o.CompactEvery
+}
+
+func (o Options) deltaMaxFrac() float64 {
+	if o.DeltaMaxFrac <= 0 {
+		return DefaultDeltaMaxFrac
+	}
+	return o.DeltaMaxFrac
+}
+
+func (o Options) maxUnsynced() int {
+	if o.MaxUnsynced == 0 {
+		return DefaultMaxUnsynced
+	}
+	if o.MaxUnsynced < 0 {
+		return int(^uint(0) >> 1)
+	}
+	return o.MaxUnsynced
+}
+
+func (o Options) recoveryAppliers(shards int) int {
+	n := o.RecoveryAppliers
+	if n <= 0 {
+		n = min(shards, defaultRecoveryAppliers)
+	}
+	return max(1, n)
+}
+
 // Source is the in-memory store a Log checkpoints: per-shard consistent
 // snapshots cut at a commit-clock position. forest.Forest implements it.
 // SnapshotShard is called by one checkpointer at a time (never
@@ -127,18 +223,39 @@ type Source interface {
 	SnapshotShard(si int, fn func(k, v uint64)) uint64
 }
 
+// DeltaSource is an optional Source extension for incremental checkpoints:
+// a consistent read of exactly the given keys of one shard, so a delta's
+// read cost is proportional to the churn rather than the store size.
+// Sources without it still get delta checkpoints — the log falls back to a
+// full SnapshotShard scan filtered to the dirty set (delta-sized writes,
+// store-sized reads). forest.Forest implements it.
+type DeltaSource interface {
+	Source
+	// SnapshotShardKeys reads the given keys of shard si under one
+	// consistent snapshot, calling fn(k, v, true) for each present key and
+	// fn(k, 0, false) for each absent one (in the order given), and
+	// returns the shard-clock position the snapshot was cut at.
+	SnapshotShardKeys(si int, keys []uint64, fn func(k, v uint64, ok bool)) uint64
+}
+
 // Stats counts a Log's activity. All fields are monotonically increasing.
 type Stats struct {
-	Records         uint64 // records appended (update + atomic)
-	AtomicRecords   uint64 // the cross-shard subset of Records
-	Bytes           uint64 // framed bytes appended
-	Flushes         uint64 // buffered-writer flushes
-	Syncs           uint64 // fsyncs of the live segment
-	Checkpoints     uint64 // checkpoints sealed
-	CheckpointPairs uint64 // pairs written across all checkpoints
-	CheckpointNanos uint64 // wall time spent checkpointing
-	Rotations       uint64 // segment rotations
-	FilesRemoved    uint64 // obsolete segments and checkpoints deleted
+	Records            uint64  // records appended (update + atomic)
+	AtomicRecords      uint64  // the cross-shard subset of Records
+	Bytes              uint64  // framed bytes appended
+	Flushes            uint64  // buffered-writer flushes
+	Syncs              uint64  // fsyncs of the live segment
+	Stalls             uint64  // appends that hit the MaxUnsynced bound and fsynced inline
+	Dropped            uint64  // records not logged: oversize payload, or appended while wedged on an I/O error
+	Checkpoints        uint64  // checkpoints sealed (full bases + deltas)
+	DeltaCheckpoints   uint64  // the incremental subset of Checkpoints
+	SkippedCheckpoints uint64  // checkpoints skipped because nothing was dirty
+	CheckpointPairs    uint64  // pairs written across all checkpoints (delta entries included)
+	CheckpointBytes    uint64  // bytes written across checkpoint, delta, and manifest files
+	CheckpointNanos    uint64  // wall time spent checkpointing
+	DirtyFracSum       float64 // sum over delta checkpoints of dirtyKeys/basePairs (mean = /DeltaCheckpoints)
+	Rotations          uint64  // segment rotations
+	FilesRemoved       uint64  // obsolete segments, checkpoints, and manifests deleted
 }
 
 // errClosed is returned by operations on a closed Log.
@@ -154,21 +271,34 @@ type Log struct {
 	o      Options
 	shards int
 
-	mu      sync.Mutex
-	f       *os.File
-	w       *bufio.Writer
-	seg     uint64 // live segment index
-	nextGen uint64 // next checkpoint generation
-	dirty   bool   // bytes written since the last fsync
-	closed  bool
-	err     error // first write error, sticky
-	payload []byte
-	framed  []byte
-	st      Stats
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	seg      uint64 // live segment index
+	nextGen  uint64 // next checkpoint generation
+	dirty    bool   // bytes written since the last fsync
+	closed   bool
+	err      error // first write error, sticky (surfaced by Err)
+	wedged   bool  // an I/O error poisoned the live segment; appends drop until the next rotation
+	unsynced int   // framed bytes appended since the last fsync (backpressure)
+	payload  []byte
+	framed   []byte
+	st       Stats
+
+	// dirtyKeys is the per-shard set of keys mutated since the last
+	// checkpoint capture, maintained at append time under mu — the same
+	// critical section the records take, so a checkpoint's captured set is
+	// exactly the keys of the records in the segments it covers. Nil when
+	// incremental checkpoints are disabled.
+	dirtyKeys []map[uint64]struct{}
 
 	// ckptMu serializes whole checkpoints (the periodic loop and manual
-	// Checkpoint calls).
-	ckptMu sync.Mutex
+	// Checkpoint calls). It also guards the chain fields below, which only
+	// the single checkpoint driver touches.
+	ckptMu         sync.Mutex
+	chain          []manifestEntry // current generation chain, full base first
+	chainFullGen   uint64          // generation of the chain's full base
+	chainFullPairs int             // pairs in the chain's full base (store-size estimate)
 
 	committerStop chan struct{}
 	committerDone chan struct{}
@@ -189,11 +319,14 @@ func Open(dir string, shards int, o Options) (*Log, *Recovery, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, err
 	}
-	rec, maxSeg, maxGen, err := recoverDir(dir, shards)
+	rec, maxSeg, maxGen, err := recoverDir(dir, shards, o.recoveryAppliers(shards))
 	if err != nil {
 		return nil, nil, err
 	}
 	l := &Log{dir: dir, o: o, shards: shards, seg: maxSeg, nextGen: maxGen + 1}
+	if o.deltas() {
+		l.dirtyKeys = freshDirty(shards)
+	}
 	l.mu.Lock()
 	err = l.openSegmentLocked(maxSeg + 1)
 	l.mu.Unlock()
@@ -221,9 +354,14 @@ func (l *Log) Stats() Stats {
 	return l.st
 }
 
-// Err returns the first write error the log encountered, if any. A log
-// with a sticky error keeps accepting appends (they are dropped) so the
-// in-memory store stays usable; the caller decides whether to fail over.
+// Err returns the first write error the log encountered, if any (sticky —
+// later errors do not replace it). After an I/O error the log wedges:
+// appends to the poisoned segment are dropped and counted in
+// Stats.Dropped, until the next successful rotation opens a fresh segment.
+// With incremental checkpoints enabled the dropped records' keys stay in
+// the dirty set, so the next delta checkpoint re-captures their current
+// values and the loss window closes at the next checkpoint. The in-memory
+// store stays usable throughout; the caller decides whether to fail over.
 func (l *Log) Err() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -259,6 +397,8 @@ func (l *Log) openSegmentLocked(i uint64) error {
 		return err
 	}
 	l.dirty = true
+	l.unsynced = 0
+	l.wedged = false // fresh segment, fresh writer: past I/O errors stay in Err only
 	return syncDir(l.dir)
 }
 
@@ -274,6 +414,12 @@ func (l *Log) LogUpdate(shard int, seq uint64, ops []Op) {
 	defer l.mu.Unlock()
 	if l.closed {
 		return
+	}
+	if l.dirtyKeys != nil {
+		d := l.dirtyKeys[shard]
+		for i := range ops {
+			d[ops[i].Key] = struct{}{}
+		}
 	}
 	l.payload = encodeUpdate(l.payload[:0], shard, seq, ops)
 	l.appendLocked(false)
@@ -304,25 +450,53 @@ func (l *Log) LogAtomic(parts []ShardOps) {
 	if l.closed {
 		return
 	}
+	if l.dirtyKeys != nil {
+		for _, p := range live {
+			d := l.dirtyKeys[p.Shard]
+			for i := range p.Ops {
+				d[p.Ops[i].Key] = struct{}{}
+			}
+		}
+	}
 	l.payload = encodeAtomic(l.payload[:0], live)
 	l.appendLocked(true)
+}
+
+// freshDirty allocates one empty dirty-key set per shard.
+func freshDirty(shards int) []map[uint64]struct{} {
+	d := make([]map[uint64]struct{}, shards)
+	for i := range d {
+		d[i] = make(map[uint64]struct{})
+	}
+	return d
 }
 
 // appendLocked frames l.payload into the live segment and applies the
 // configured flush/sync discipline. Caller holds mu.
 func (l *Log) appendLocked(atomic bool) {
+	if l.wedged {
+		// An earlier I/O error poisoned this segment; writing more into it
+		// cannot produce a recoverable prefix. Count the drop and wait for
+		// the next rotation to try a fresh segment.
+		l.st.Dropped++
+		return
+	}
 	if len(l.payload) > maxPayload {
 		// Recovery rejects frames over maxPayload as corruption and drops
 		// everything after them, so writing one would poison the whole log
 		// tail. A transaction whose write set encodes past 16MB (~1M ops)
 		// is far outside this system's envelope; surface it as the sticky
-		// error instead of appending.
+		// error instead of appending. Only this record is dropped — the
+		// segment stays healthy.
+		l.st.Dropped++
 		l.setErrLocked(fmt.Errorf("durable: record payload %d bytes exceeds the %d-byte bound; transaction not logged", len(l.payload), maxPayload))
 		return
 	}
 	l.framed = frame(l.framed[:0], l.payload)
 	if _, err := l.w.Write(l.framed); err != nil {
+		l.st.Dropped++
 		l.setErrLocked(err)
+		l.wedged = true
 		return
 	}
 	l.st.Records++
@@ -331,16 +505,28 @@ func (l *Log) appendLocked(atomic bool) {
 	}
 	l.st.Bytes += uint64(len(l.framed))
 	l.dirty = true
+	l.unsynced += len(l.framed)
 	if l.o.Sync {
 		l.flushSyncLocked()
-	} else if l.o.groupCommit() == 0 {
+		return
+	}
+	if l.o.groupCommit() == 0 {
 		// No committer: hand the record to the OS immediately so the loss
 		// window is the OS cache, not this process's buffer.
 		if err := l.w.Flush(); err != nil {
 			l.setErrLocked(err)
+			l.wedged = true
 			return
 		}
 		l.st.Flushes++
+	}
+	if l.unsynced > l.o.maxUnsynced() {
+		// Backpressure: writers outran the group committer past the bound.
+		// Blocking this append for one flush+fsync keeps the loss window
+		// (and the committer's queue) bounded instead of letting it grow
+		// with the write rate.
+		l.st.Stalls++
+		l.flushSyncLocked()
 	}
 }
 
@@ -352,11 +538,14 @@ func (l *Log) setErrLocked(err error) {
 }
 
 // flushSyncLocked flushes the buffered writer and fsyncs the segment if
-// anything reached it since the last sync. Caller holds mu.
+// anything reached it since the last sync. Caller holds mu. Flush and
+// fsync failures wedge the segment (post-failure write state is unknown);
+// the next rotation un-wedges onto a fresh file.
 func (l *Log) flushSyncLocked() {
 	if l.w.Buffered() > 0 {
 		if err := l.w.Flush(); err != nil {
 			l.setErrLocked(err)
+			l.wedged = true
 			return
 		}
 		l.st.Flushes++
@@ -364,11 +553,13 @@ func (l *Log) flushSyncLocked() {
 	if l.dirty {
 		if err := l.f.Sync(); err != nil {
 			l.setErrLocked(err)
+			l.wedged = true
 			return
 		}
 		l.st.Syncs++
 		l.dirty = false
 	}
+	l.unsynced = 0
 }
 
 // Sync flushes and fsyncs the live segment (the group committer's tick,
@@ -400,11 +591,14 @@ func (l *Log) committer(d time.Duration) {
 }
 
 // Checkpoint seals one consistent checkpoint of src and truncates the log
-// behind it: rotate to a fresh segment, snapshot every shard, write and
-// seal the checkpoint file, then delete the now-covered older segments and
-// checkpoints. Concurrent appends proceed throughout (into the fresh
-// segment during the snapshot). Checkpoint calls serialize with each other
-// and with the periodic loop.
+// behind it: rotate to a fresh segment, snapshot (all pairs for a full
+// base, just the dirty keys for a delta), write and seal the checkpoint
+// and its manifest, then delete the now-covered older segments and
+// superseded chain files. Concurrent appends proceed throughout (into the
+// fresh segment during the snapshot). Checkpoint calls serialize with each
+// other and with the periodic loop. When nothing was appended since the
+// previous checkpoint, the call is a no-op (counted in
+// Stats.SkippedCheckpoints) — an idle store costs no checkpoint I/O.
 func (l *Log) Checkpoint(src Source) error {
 	l.ckptMu.Lock()
 	defer l.ckptMu.Unlock()
@@ -412,20 +606,47 @@ func (l *Log) Checkpoint(src Source) error {
 }
 
 // checkpoint is Checkpoint with the truncation step separable, so crash
-// tests can reproduce the "sealed but not yet truncated" window.
+// tests can reproduce the "sealed but not yet truncated" window. Caller
+// holds ckptMu.
 func (l *Log) checkpoint(src Source, truncate bool) error {
 	if src.Shards() != l.shards {
 		return fmt.Errorf("durable: source has %d shards, log %d", src.Shards(), l.shards)
 	}
 	start := time.Now()
+	deltas := l.o.deltas()
 
 	// Rotate first: every record already in the old segments belongs to a
 	// transaction that published before the snapshot below draws its clock
-	// positions, so the snapshot covers the old segments entirely.
+	// positions, so the snapshot covers the old segments entirely. The
+	// dirty capture happens in the same critical section as the rotation,
+	// so the captured set is exactly (a superset of) the keys of every
+	// record in the segments below the new base.
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return errClosed
+	}
+	dirtyCount := 0
+	if deltas {
+		for _, m := range l.dirtyKeys {
+			dirtyCount += len(m)
+		}
+		if dirtyCount == 0 && len(l.chain) > 0 && truncate {
+			// Nothing appended since the last capture: the chain tip plus
+			// the (empty) live tail already describe the store exactly.
+			l.st.SkippedCheckpoints++
+			l.mu.Unlock()
+			return nil
+		}
+	}
+	wantDelta := deltas && len(l.chain) > 0 &&
+		len(l.chain)-1 < l.o.compactEvery() &&
+		l.chainFullPairs > 0 &&
+		float64(dirtyCount) <= l.o.deltaMaxFrac()*float64(l.chainFullPairs)
+	var captured []map[uint64]struct{}
+	if deltas {
+		captured = l.dirtyKeys
+		l.dirtyKeys = freshDirty(l.shards)
 	}
 	l.flushSyncLocked()
 	if err := l.f.Close(); err != nil {
@@ -442,14 +663,14 @@ func (l *Log) checkpoint(src Source, truncate bool) error {
 	l.st.Rotations++
 	l.mu.Unlock()
 
-	cuts := make([]uint64, l.shards)
-	var pairs []kvPair
-	for si := 0; si < l.shards; si++ {
-		cuts[si] = src.SnapshotShard(si, func(k, v uint64) {
-			pairs = append(pairs, kvPair{k: k, v: v})
-		})
+	var err error
+	var fileBytes, pairCount int
+	if wantDelta {
+		fileBytes, pairCount, err = l.writeDeltaGeneration(src, gen, base, captured)
+	} else {
+		fileBytes, pairCount, err = l.writeFullGeneration(src, gen, base)
 	}
-	if err := writeCheckpoint(l.dir, l.shards, gen, base, cuts, pairs); err != nil {
+	if err != nil {
 		l.mu.Lock()
 		l.setErrLocked(err)
 		l.mu.Unlock()
@@ -457,22 +678,117 @@ func (l *Log) checkpoint(src Source, truncate bool) error {
 	}
 	removed := 0
 	if truncate {
-		removed = removeObsolete(l.dir, base, gen)
+		removed = removeObsolete(l.dir, base, l.chainFullGen, gen)
 	}
 
 	l.mu.Lock()
 	l.st.Checkpoints++
-	l.st.CheckpointPairs += uint64(len(pairs))
+	if wantDelta {
+		l.st.DeltaCheckpoints++
+		l.st.DirtyFracSum += float64(dirtyCount) / float64(l.chainFullPairs)
+	}
+	l.st.CheckpointPairs += uint64(pairCount)
+	l.st.CheckpointBytes += uint64(fileBytes)
 	l.st.CheckpointNanos += uint64(time.Since(start).Nanoseconds())
 	l.st.FilesRemoved += uint64(removed)
 	l.mu.Unlock()
 	return nil
 }
 
-// removeObsolete deletes segments below base and checkpoints below gen,
+// writeFullGeneration snapshots every shard in full and seals a full base
+// plus its one-entry manifest, resetting the chain. Caller holds ckptMu.
+func (l *Log) writeFullGeneration(src Source, gen, base uint64) (bytes, pairs int, err error) {
+	cuts := make([]uint64, l.shards)
+	var kvs []kvPair
+	for si := 0; si < l.shards; si++ {
+		cuts[si] = src.SnapshotShard(si, func(k, v uint64) {
+			kvs = append(kvs, kvPair{k: k, v: v})
+		})
+	}
+	n, err := writeCheckpoint(l.dir, l.shards, gen, base, cuts, kvs)
+	if err != nil {
+		return 0, 0, err
+	}
+	chain := []manifestEntry{{gen: gen}}
+	mb := encodeManifest(manifest{shards: l.shards, gen: gen, baseSeg: base, chain: chain})
+	if err := sealFile(l.dir, manifestName(l.dir, gen), mb); err != nil {
+		return 0, 0, err
+	}
+	l.chain = chain
+	l.chainFullGen = gen
+	l.chainFullPairs = len(kvs)
+	return n + len(mb), len(kvs), nil
+}
+
+// writeDeltaGeneration snapshots just the captured dirty keys per shard
+// and seals a delta generation plus the manifest extending the chain with
+// it. Caller holds ckptMu; captured is the dirty set swapped out at the
+// rotation. Sources implementing DeltaSource are read per key (cost
+// proportional to churn); plain Sources fall back to a filtered full scan
+// (delta-sized writes, store-sized reads). Dirty keys absent at the
+// snapshot become tombstones.
+func (l *Log) writeDeltaGeneration(src Source, gen, base uint64, captured []map[uint64]struct{}) (bytes, pairs int, err error) {
+	cuts := make([]uint64, l.shards)
+	var groups []deltaGroup
+	total := 0
+	ds, perKey := src.(DeltaSource)
+	for si := 0; si < l.shards; si++ {
+		if len(captured[si]) == 0 {
+			continue // untouched shard: no snapshot, no group, cut stays 0
+		}
+		keys := make([]uint64, 0, len(captured[si]))
+		for k := range captured[si] {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		entries := make([]deltaEntry, 0, len(keys))
+		if perKey {
+			cuts[si] = ds.SnapshotShardKeys(si, keys, func(k, v uint64, ok bool) {
+				if ok {
+					entries = append(entries, deltaEntry{k: k, v: v})
+				} else {
+					entries = append(entries, deltaEntry{k: k, del: true})
+				}
+			})
+		} else {
+			vals := make(map[uint64]uint64, len(keys))
+			cuts[si] = src.SnapshotShard(si, func(k, v uint64) {
+				if _, dirty := captured[si][k]; dirty {
+					vals[k] = v
+				}
+			})
+			for _, k := range keys {
+				if v, ok := vals[k]; ok {
+					entries = append(entries, deltaEntry{k: k, v: v})
+				} else {
+					entries = append(entries, deltaEntry{k: k, del: true})
+				}
+			}
+		}
+		groups = append(groups, deltaGroup{shard: si, entries: entries})
+		total += len(entries)
+	}
+	parent := l.chain[len(l.chain)-1].gen
+	db := encodeDelta(deltaFile{shards: l.shards, gen: gen, parentGen: parent, baseSeg: base, cuts: cuts, groups: groups})
+	if err := sealFile(l.dir, deltaName(l.dir, gen), db); err != nil {
+		return 0, 0, err
+	}
+	chain := make([]manifestEntry, 0, len(l.chain)+1)
+	chain = append(chain, l.chain...)
+	chain = append(chain, manifestEntry{gen: gen, delta: true})
+	mb := encodeManifest(manifest{shards: l.shards, gen: gen, baseSeg: base, chain: chain})
+	if err := sealFile(l.dir, manifestName(l.dir, gen), mb); err != nil {
+		return 0, 0, err
+	}
+	l.chain = chain
+	return len(db) + len(mb), total, nil
+}
+
+// removeObsolete deletes segments below base, checkpoint and delta files
+// below the current chain's full base keepGen, and manifests below gen,
 // returning how many files went away. Failures are ignored — recovery
 // tolerates stale files, and the next checkpoint retries.
-func removeObsolete(dir string, base, gen uint64) int {
+func removeObsolete(dir string, base, keepGen, gen uint64) int {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
 		return 0
@@ -480,15 +796,18 @@ func removeObsolete(dir string, base, gen uint64) int {
 	removed := 0
 	for _, e := range ents {
 		name := e.Name()
+		drop := false
 		if i, ok := parseIndexed(name, "wal-", ".log"); ok && i < base {
-			if os.Remove(filepath.Join(dir, name)) == nil {
-				removed++
-			}
+			drop = true
+		} else if g, ok := parseIndexed(name, "checkpoint-", ".ckpt"); ok && g < keepGen {
+			drop = true
+		} else if g, ok := parseIndexed(name, "delta-", ".ckpt"); ok && g < keepGen {
+			drop = true
+		} else if g, ok := parseIndexed(name, "manifest-", ".mf"); ok && g < gen {
+			drop = true
 		}
-		if g, ok := parseIndexed(name, "checkpoint-", ".ckpt"); ok && g < gen {
-			if os.Remove(filepath.Join(dir, name)) == nil {
-				removed++
-			}
+		if drop && os.Remove(filepath.Join(dir, name)) == nil {
+			removed++
 		}
 	}
 	return removed

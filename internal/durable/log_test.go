@@ -4,6 +4,7 @@ import (
 	"os"
 	"reflect"
 	"testing"
+	"time"
 )
 
 // mapSource is a fake Source: a flat model map plus per-shard cut positions
@@ -171,14 +172,17 @@ func TestLogSealedButNotTruncated(t *testing.T) {
 	l.Close()
 
 	ents, _ := os.ReadDir(dir)
-	ckpts := 0
+	gens := 0
 	for _, e := range ents {
 		if _, ok := parseIndexed(e.Name(), "checkpoint-", ".ckpt"); ok {
-			ckpts++
+			gens++
+		}
+		if _, ok := parseIndexed(e.Name(), "delta-", ".ckpt"); ok {
+			gens++
 		}
 	}
-	if ckpts < 2 {
-		t.Fatalf("%d checkpoints on disk, want the stale one kept (>= 2)", ckpts)
+	if gens < 2 {
+		t.Fatalf("%d generations on disk, want the stale one kept (>= 2)", gens)
 	}
 
 	rec, l2 := reopen(t, dir, 2)
@@ -245,13 +249,288 @@ func TestLogTornTailPrefix(t *testing.T) {
 		if err := os.WriteFile(cdir+"/"+"wal-0000000000000001.log", blob[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		rec, _, _, err := recoverDir(cdir, 2)
+		rec, _, _, err := recoverDir(cdir, 2, 2)
 		if err != nil {
 			t.Fatalf("cut %d: %v", cut, err)
 		}
 		if !reflect.DeepEqual(rec.State, want) {
 			t.Fatalf("cut %d: recovered %v, want %v", cut, rec.State, want)
 		}
+	}
+}
+
+// deltaMapSource upgrades mapSource to a DeltaSource, exercising the
+// per-key snapshot path instead of the filtered-full-scan fallback.
+type deltaMapSource struct{ *mapSource }
+
+func (s deltaMapSource) SnapshotShardKeys(si int, keys []uint64, fn func(k, v uint64, ok bool)) uint64 {
+	for _, k := range keys {
+		v, ok := s.state[k]
+		fn(k, v, ok)
+	}
+	return s.seqs[si]
+}
+
+// TestLogDeltaCheckpointChain: a full base plus delta generations recover
+// to the exact model state, through both the DeltaSource per-key path and
+// the plain-Source fallback.
+func TestLogDeltaCheckpointChain(t *testing.T) {
+	for _, perKey := range []bool{false, true} {
+		name := "fallback"
+		if perKey {
+			name = "deltasource"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, _, err := Open(dir, 4, Options{Sync: true, CheckpointEvery: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := newMapSource(4)
+			var cksrc Source = src
+			if perKey {
+				cksrc = deltaMapSource{src}
+			}
+			for i := uint64(0); i < 40; i++ {
+				src.apply(l, Op{Key: i, Val: i + 1})
+			}
+			if err := l.Checkpoint(cksrc); err != nil { // full base
+				t.Fatal(err)
+			}
+			src.apply(l, Op{Key: 3, Val: 333}, Op{Key: 5, Del: true}, Op{Key: 100, Val: 1})
+			if err := l.Checkpoint(cksrc); err != nil { // delta 1
+				t.Fatal(err)
+			}
+			src.apply(l, Op{Key: 100, Del: true}, Op{Key: 7, Val: 777})
+			if err := l.Checkpoint(cksrc); err != nil { // delta 2
+				t.Fatal(err)
+			}
+			src.apply(l, Op{Key: 200, Val: 2}) // live tail past the chain tip
+			st := l.Stats()
+			if st.DeltaCheckpoints != 2 {
+				t.Fatalf("DeltaCheckpoints = %d, want 2", st.DeltaCheckpoints)
+			}
+			l.Close()
+
+			rec, l2 := reopen(t, dir, 4)
+			defer l2.Close()
+			if !reflect.DeepEqual(rec.State, src.state) {
+				t.Fatalf("recovered state mismatch: got %v want %v", rec.State, src.state)
+			}
+			if rec.ChainDeltas != 2 {
+				t.Fatalf("ChainDeltas = %d, want 2", rec.ChainDeltas)
+			}
+			if rec.CheckpointGen != 3 {
+				t.Fatalf("CheckpointGen = %d, want the delta tip 3", rec.CheckpointGen)
+			}
+		})
+	}
+}
+
+// TestLogDeltaBytesProportional is the tentpole's cost claim with real byte
+// counts: after mutating 500 of 20000 keys, the delta generation writes no
+// more than 10% of the bytes the full base did.
+func TestLogDeltaBytesProportional(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 8, Options{Sync: true, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	src := newMapSource(8)
+	const total, churn = 20000, 500
+	for i := uint64(0); i < total; i++ {
+		src.apply(l, Op{Key: i, Val: i * 2})
+	}
+	if err := l.Checkpoint(src); err != nil {
+		t.Fatal(err)
+	}
+	fullBytes := l.Stats().CheckpointBytes
+	for i := uint64(0); i < churn; i++ {
+		src.apply(l, Op{Key: i * (total / churn), Val: i})
+	}
+	if err := l.Checkpoint(src); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.DeltaCheckpoints != 1 {
+		t.Fatalf("second checkpoint was not a delta (DeltaCheckpoints = %d)", st.DeltaCheckpoints)
+	}
+	deltaBytes := st.CheckpointBytes - fullBytes
+	if deltaBytes*10 > fullBytes {
+		t.Fatalf("delta wrote %d bytes, full base %d: delta exceeds 10%% of full", deltaBytes, fullBytes)
+	}
+	frac := st.DirtyFracSum / float64(st.DeltaCheckpoints)
+	if frac <= 0 || frac > float64(churn)/float64(total)+0.001 {
+		t.Fatalf("mean dirty fraction %f, want ~%f", frac, float64(churn)/float64(total))
+	}
+}
+
+// TestLogCompaction: CompactEvery bounds the chain — after the allowed
+// delta generations the next checkpoint folds the chain into a fresh full
+// base and truncation drops the superseded chain files.
+func TestLogCompaction(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 2, Options{Sync: true, CheckpointEvery: -1, CompactEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newMapSource(2)
+	for i := uint64(0); i < 30; i++ {
+		src.apply(l, Op{Key: i, Val: i})
+	}
+	mutateAndCheckpoint := func(k uint64) {
+		src.apply(l, Op{Key: k, Val: k * 9})
+		if err := l.Checkpoint(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Checkpoint(src); err != nil { // gen 1: full
+		t.Fatal(err)
+	}
+	mutateAndCheckpoint(1) // gen 2: delta
+	mutateAndCheckpoint(2) // gen 3: delta (chain now at CompactEvery)
+	mutateAndCheckpoint(3) // gen 4: compaction → full
+	st := l.Stats()
+	if st.Checkpoints != 4 || st.DeltaCheckpoints != 2 {
+		t.Fatalf("Checkpoints = %d DeltaCheckpoints = %d, want 4 and 2", st.Checkpoints, st.DeltaCheckpoints)
+	}
+	l.Close()
+
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if g, ok := parseIndexed(e.Name(), "checkpoint-", ".ckpt"); ok && g < 4 {
+			t.Fatalf("superseded full base %s survived compaction", e.Name())
+		}
+		if _, ok := parseIndexed(e.Name(), "delta-", ".ckpt"); ok {
+			t.Fatalf("superseded delta %s survived compaction", e.Name())
+		}
+	}
+	rec, l2 := reopen(t, dir, 2)
+	defer l2.Close()
+	if !reflect.DeepEqual(rec.State, src.state) {
+		t.Fatalf("recovered state mismatch after compaction")
+	}
+	if rec.ChainDeltas != 0 || rec.CheckpointGen != 4 {
+		t.Fatalf("recovered chain gen %d with %d deltas, want compacted full gen 4", rec.CheckpointGen, rec.ChainDeltas)
+	}
+}
+
+// TestLogIdleCheckpointNoop: with no appends since the last generation, a
+// checkpoint call writes nothing.
+func TestLogIdleCheckpointNoop(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 2, Options{Sync: true, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	src := newMapSource(2)
+	src.apply(l, Op{Key: 1, Val: 1})
+	if err := l.Checkpoint(src); err != nil {
+		t.Fatal(err)
+	}
+	bytesAfterFirst := l.Stats().CheckpointBytes
+	if err := l.Checkpoint(src); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.SkippedCheckpoints != 1 {
+		t.Fatalf("SkippedCheckpoints = %d, want 1", st.SkippedCheckpoints)
+	}
+	if st.Checkpoints != 1 || st.CheckpointBytes != bytesAfterFirst {
+		t.Fatalf("idle checkpoint wrote bytes (%d checkpoints, %d bytes)", st.Checkpoints, st.CheckpointBytes)
+	}
+}
+
+// TestLogDeltaLateAppendCovered is the regression test for the late-append
+// hazard the per-key skip rule exists for: a record can reach the log after
+// the delta generation covering its clock window was cut (its committer
+// published, then was preempted before the append). Its position is at or
+// below the delta's cut, but its key is in no delta — so replay must apply
+// it, falling to the full base's per-shard floor instead of the chain tip's
+// cut. A per-shard-only rule would drop the record silently.
+func TestLogDeltaLateAppendCovered(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 1, Options{Sync: true, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := newMapSource(1)
+	for i := uint64(1); i <= 10; i++ {
+		src.apply(l, Op{Key: i, Val: i})
+	}
+	if err := l.Checkpoint(src); err != nil { // full base, floor = 10
+		t.Fatal(err)
+	}
+	src.apply(l, Op{Key: 5, Val: 55})         // seq 11
+	if err := l.Checkpoint(src); err != nil { // delta covering only key 5, cut 11
+		t.Fatal(err)
+	}
+	// The late append: position 11 (≤ the delta's cut — positions can be
+	// shared by slow-path committers), key 77 untouched by the delta.
+	l.LogUpdate(0, 11, []Op{{Key: 77, Val: 7777}})
+	src.state[77] = 7777
+	l.Close()
+
+	rec, l2 := reopen(t, dir, 1)
+	defer l2.Close()
+	if rec.State[77] != 7777 {
+		t.Fatalf("late-appended record lost: key 77 = %d, want 7777", rec.State[77])
+	}
+	if !reflect.DeepEqual(rec.State, src.state) {
+		t.Fatalf("recovered state mismatch: got %v want %v", rec.State, src.state)
+	}
+}
+
+// TestLogBackpressure: unsynced bytes are bounded — appends beyond
+// MaxUnsynced fsync inline instead of growing the loss window.
+func TestLogBackpressure(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 1, Options{GroupCommit: time.Minute, MaxUnsynced: 64, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		l.LogUpdate(0, i+1, []Op{{Key: i, Val: i}})
+	}
+	st := l.Stats()
+	if st.Stalls == 0 {
+		t.Fatal("no stalls despite a 64-byte unsynced bound")
+	}
+	l.Close()
+	rec, l2 := reopen(t, dir, 1)
+	defer l2.Close()
+	if len(rec.State) != 20 {
+		t.Fatalf("recovered %d keys, want 20", len(rec.State))
+	}
+}
+
+// TestLogDroppedOversize: an oversize record is dropped and counted, the
+// error surfaces in Err, and the segment stays healthy for later records.
+func TestLogDroppedOversize(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 1, Options{Sync: true, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := make([]Op, maxPayload/17+2)
+	for i := range huge {
+		huge[i] = Op{Key: uint64(i), Val: 1}
+	}
+	l.LogUpdate(0, 1, huge)
+	if l.Err() == nil {
+		t.Fatal("oversize record left Err nil")
+	}
+	if l.Stats().Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", l.Stats().Dropped)
+	}
+	l.LogUpdate(0, 2, []Op{{Key: 9, Val: 9}})
+	l.Close()
+	rec, l2 := reopen(t, dir, 1)
+	defer l2.Close()
+	if rec.State[9] != 9 || len(rec.State) != 1 {
+		t.Fatalf("post-drop record lost: %v", rec.State)
 	}
 }
 

@@ -1,0 +1,363 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Incremental checkpoints: delta generations and the manifest chain.
+//
+// A delta checkpoint carries only the pairs mutated since the previous
+// generation (its parent): per-shard groups of puts and tombstones, read
+// under one consistent per-shard snapshot of exactly those keys. The file
+// layout is
+//
+//	magic "SFDELT01"
+//	u32 shards | u64 gen | u64 parentGen | u64 baseSeg
+//	shards × u64 cut      (snapshot position per shard; 0 for untouched shards)
+//	u32 ngroups | ngroups × ( u32 shard | u64 nentries |
+//	        nentries × (u8 kind | u64 key | u64 val) )
+//	u32 CRC-32C of everything before it
+//
+// where kind 0 is a put and kind 1 a tombstone (the key was dirty but absent
+// at the snapshot). A manifest names the whole chain its generation depends
+// on, base first:
+//
+//	magic "SFMANI01"
+//	u32 shards | u64 gen | u64 baseSeg
+//	u32 nchain | nchain × (u64 gen | u8 kind)      (kind 0 full, 1 delta)
+//	u32 CRC-32C
+//
+// Both files are sealed exactly like full checkpoints: written to a
+// temporary name, fsynced, renamed into place, directory synced. The
+// encodings are canonical — groups in strictly ascending shard order,
+// entries in strictly ascending key order, tombstone values zero, the chain
+// strictly ascending with exactly one full base first — so a successful
+// decode re-encodes byte-identically (FuzzDeltaDecode, FuzzManifestDecode).
+//
+// Versioning: the magic is the version. Full bases keep the PR 5 "SFCKPT01"
+// format untouched, so directories written before deltas existed recover on
+// the same path they always did (no manifest simply means a chain of one
+// bare full checkpoint).
+
+const (
+	deltaMagic    = "SFDELT01"
+	manifestMagic = "SFMANI01"
+)
+
+// deltaEntry is one pair in a delta group: a put of (k, v), or — when del is
+// set — a tombstone for k (v must be zero).
+type deltaEntry struct {
+	k, v uint64
+	del  bool
+}
+
+// deltaGroup is one shard's share of a delta checkpoint.
+type deltaGroup struct {
+	shard   int
+	entries []deltaEntry
+}
+
+// deltaFile is a decoded delta checkpoint.
+type deltaFile struct {
+	shards    int
+	gen       uint64
+	parentGen uint64
+	baseSeg   uint64
+	cuts      []uint64
+	groups    []deltaGroup
+}
+
+// manifestEntry is one chain element: a generation and whether it is a
+// delta (false means the full base).
+type manifestEntry struct {
+	gen   uint64
+	delta bool
+}
+
+// manifest is a decoded manifest file.
+type manifest struct {
+	shards  int
+	gen     uint64
+	baseSeg uint64
+	chain   []manifestEntry
+}
+
+// deltaName returns the sealed name of delta generation gen.
+func deltaName(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("delta-%016d.ckpt", gen))
+}
+
+// manifestName returns the sealed name of generation gen's manifest.
+func manifestName(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("manifest-%016d.mf", gen))
+}
+
+// encodeDelta encodes one delta checkpoint in canonical form, CRC included.
+func encodeDelta(d deltaFile) []byte {
+	n := len(deltaMagic) + 4 + 24 + 8*len(d.cuts) + 4
+	for _, g := range d.groups {
+		n += 12 + 17*len(g.entries)
+	}
+	b := make([]byte, 0, n+4)
+	b = append(b, deltaMagic...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(d.shards))
+	b = binary.LittleEndian.AppendUint64(b, d.gen)
+	b = binary.LittleEndian.AppendUint64(b, d.parentGen)
+	b = binary.LittleEndian.AppendUint64(b, d.baseSeg)
+	for _, c := range d.cuts {
+		b = binary.LittleEndian.AppendUint64(b, c)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(d.groups)))
+	for _, g := range d.groups {
+		b = binary.LittleEndian.AppendUint32(b, uint32(g.shard))
+		b = binary.LittleEndian.AppendUint64(b, uint64(len(g.entries)))
+		for _, e := range g.entries {
+			kind := byte(0)
+			if e.del {
+				kind = 1
+			}
+			b = append(b, kind)
+			b = binary.LittleEndian.AppendUint64(b, e.k)
+			b = binary.LittleEndian.AppendUint64(b, e.v)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+}
+
+// decodeDelta decodes and validates one whole delta checkpoint file,
+// including its CRC and the canonical-form rules. Any violation is an error
+// — recovery then treats the file as damaged and falls back.
+func decodeDelta(b []byte) (deltaFile, error) {
+	var df deltaFile
+	if len(b) < len(deltaMagic)+4+24+4 || string(b[:len(deltaMagic)]) != deltaMagic {
+		return df, fmt.Errorf("durable: not a delta checkpoint")
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return df, fmt.Errorf("durable: delta checksum mismatch")
+	}
+	d := &decoder{b: body, off: len(deltaMagic)}
+	ns, err := d.u32()
+	if err != nil {
+		return df, err
+	}
+	if ns == 0 || ns > maxShards {
+		return df, fmt.Errorf("durable: delta shard count %d out of range", ns)
+	}
+	df.shards = int(ns)
+	if df.gen, err = d.u64(); err != nil {
+		return df, err
+	}
+	if df.parentGen, err = d.u64(); err != nil {
+		return df, err
+	}
+	if df.baseSeg, err = d.u64(); err != nil {
+		return df, err
+	}
+	if uint64(len(body)-d.off) < 8*uint64(ns) {
+		return df, fmt.Errorf("durable: delta cut array exceeds file size")
+	}
+	df.cuts = make([]uint64, ns)
+	for i := range df.cuts {
+		if df.cuts[i], err = d.u64(); err != nil {
+			return df, err
+		}
+	}
+	ng, err := d.u32()
+	if err != nil {
+		return df, err
+	}
+	if int(ng) > df.shards {
+		return df, fmt.Errorf("durable: delta has %d groups for %d shards", ng, ns)
+	}
+	prevShard := -1
+	for gi := uint32(0); gi < ng; gi++ {
+		si, err := d.u32()
+		if err != nil {
+			return df, err
+		}
+		if int(si) >= df.shards || int(si) <= prevShard {
+			return df, fmt.Errorf("durable: delta group shard %d out of order", si)
+		}
+		prevShard = int(si)
+		ne, err := d.u64()
+		if err != nil {
+			return df, err
+		}
+		if ne == 0 || ne > uint64(len(body)-d.off)/17 {
+			return df, fmt.Errorf("durable: delta entry count %d implausible", ne)
+		}
+		entries := make([]deltaEntry, 0, ne)
+		prevKey, first := uint64(0), true
+		for i := uint64(0); i < ne; i++ {
+			kind, err := d.u8()
+			if err != nil {
+				return df, err
+			}
+			if kind > 1 {
+				return df, fmt.Errorf("durable: delta entry kind %d unknown", kind)
+			}
+			k, err := d.u64()
+			if err != nil {
+				return df, err
+			}
+			v, err := d.u64()
+			if err != nil {
+				return df, err
+			}
+			if !first && k <= prevKey {
+				return df, fmt.Errorf("durable: delta keys out of order")
+			}
+			prevKey, first = k, false
+			if kind == 1 && v != 0 {
+				return df, fmt.Errorf("durable: delta tombstone with nonzero value")
+			}
+			entries = append(entries, deltaEntry{k: k, v: v, del: kind == 1})
+		}
+		df.groups = append(df.groups, deltaGroup{shard: int(si), entries: entries})
+	}
+	if d.off != len(body) {
+		return df, fmt.Errorf("durable: delta has %d trailing bytes", len(body)-d.off)
+	}
+	return df, nil
+}
+
+// encodeManifest encodes one manifest in canonical form, CRC included.
+func encodeManifest(m manifest) []byte {
+	b := make([]byte, 0, len(manifestMagic)+4+16+4+9*len(m.chain)+4)
+	b = append(b, manifestMagic...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.shards))
+	b = binary.LittleEndian.AppendUint64(b, m.gen)
+	b = binary.LittleEndian.AppendUint64(b, m.baseSeg)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.chain)))
+	for _, e := range m.chain {
+		b = binary.LittleEndian.AppendUint64(b, e.gen)
+		kind := byte(0)
+		if e.delta {
+			kind = 1
+		}
+		b = append(b, kind)
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+}
+
+// decodeManifest decodes and validates one whole manifest file, including
+// its CRC and the canonical chain shape: at least one entry, a full base
+// first, deltas after, generations strictly ascending, the last generation
+// equal to the manifest's own.
+func decodeManifest(b []byte) (manifest, error) {
+	var m manifest
+	if len(b) < len(manifestMagic)+4+16+4+4 || string(b[:len(manifestMagic)]) != manifestMagic {
+		return m, fmt.Errorf("durable: not a manifest")
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return m, fmt.Errorf("durable: manifest checksum mismatch")
+	}
+	d := &decoder{b: body, off: len(manifestMagic)}
+	ns, err := d.u32()
+	if err != nil {
+		return m, err
+	}
+	if ns == 0 || ns > maxShards {
+		return m, fmt.Errorf("durable: manifest shard count %d out of range", ns)
+	}
+	m.shards = int(ns)
+	if m.gen, err = d.u64(); err != nil {
+		return m, err
+	}
+	if m.baseSeg, err = d.u64(); err != nil {
+		return m, err
+	}
+	nc, err := d.u32()
+	if err != nil {
+		return m, err
+	}
+	if nc == 0 || uint64(nc) > uint64(len(body)-d.off)/9 {
+		return m, fmt.Errorf("durable: manifest chain length %d implausible", nc)
+	}
+	m.chain = make([]manifestEntry, 0, nc)
+	for i := uint32(0); i < nc; i++ {
+		g, err := d.u64()
+		if err != nil {
+			return m, err
+		}
+		kind, err := d.u8()
+		if err != nil {
+			return m, err
+		}
+		if kind > 1 {
+			return m, fmt.Errorf("durable: manifest entry kind %d unknown", kind)
+		}
+		if i == 0 && kind != 0 {
+			return m, fmt.Errorf("durable: manifest chain does not start at a full base")
+		}
+		if i > 0 {
+			if kind != 1 {
+				return m, fmt.Errorf("durable: manifest chain has a full base past the first entry")
+			}
+			if g <= m.chain[i-1].gen {
+				return m, fmt.Errorf("durable: manifest chain generations out of order")
+			}
+		}
+		m.chain = append(m.chain, manifestEntry{gen: g, delta: kind == 1})
+	}
+	if m.chain[len(m.chain)-1].gen != m.gen {
+		return m, fmt.Errorf("durable: manifest generation %d does not end its chain", m.gen)
+	}
+	if d.off != len(body) {
+		return m, fmt.Errorf("durable: manifest has %d trailing bytes", len(body)-d.off)
+	}
+	return m, nil
+}
+
+// readDeltaFile loads and decodes one sealed delta checkpoint.
+func readDeltaFile(path string) (deltaFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return deltaFile{}, err
+	}
+	return decodeDelta(b)
+}
+
+// readManifestFile loads and decodes one sealed manifest.
+func readManifestFile(path string) (manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return manifest{}, err
+	}
+	return decodeManifest(b)
+}
+
+// sealFile writes b to path via a temporary name, fsyncing the file before
+// the rename and the directory after it — the rename is the seal.
+func sealFile(dir, path string, b []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}

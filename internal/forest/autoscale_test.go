@@ -1,0 +1,97 @@
+package forest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trees"
+)
+
+// TestSizePolicy pins the pure sizing step's decision table.
+func TestSizePolicy(t *testing.T) {
+	cases := []struct {
+		name                    string
+		active, lo, hi, backlog int
+		util                    float64
+		want                    int
+	}{
+		{"grow on busy backlog", 2, 1, 4, 2*maintBatch + 1, 0.9, 3},
+		{"hold at ceiling", 4, 1, 4, 1000 * maintBatch, 0.9, 4},
+		{"hold when idle despite backlog", 2, 1, 4, 2*maintBatch + 1, 0.1, 2},
+		{"hold on small backlog", 2, 1, 4, maintBatch, 0.9, 2},
+		{"shrink when drained and idle", 3, 1, 4, 0, 0.01, 2},
+		{"hold at floor", 1, 1, 4, 0, 0.0, 1},
+		{"hold when idle but backlogged", 2, 1, 4, 1, 0.01, 2},
+		{"hold when drained but busy", 3, 1, 4, 0, 0.4, 3},
+	}
+	for _, c := range cases {
+		if got := sizePolicy(c.active, c.lo, c.hi, c.backlog, c.util); got != c.want {
+			t.Errorf("%s: sizePolicy(%d, [%d,%d], backlog %d, util %.2f) = %d, want %d",
+				c.name, c.active, c.lo, c.hi, c.backlog, c.util, got, c.want)
+		}
+	}
+}
+
+// TestMaintWorkerRange: a ranged pool starts at the floor, stays within
+// bounds, and the forest remains fully functional through load, quiesce,
+// and close.
+func TestMaintWorkerRange(t *testing.T) {
+	f := New(trees.SFOpt, WithShards(4), WithMaintWorkerRange(1, 3))
+	defer f.Close()
+	if f.maintMin != 1 || f.maintWorkers != 3 {
+		t.Fatalf("range wired as [%d, %d], want [1, 3]", f.maintMin, f.maintWorkers)
+	}
+	st := f.PoolStats()
+	if st.ActiveWorkers < 1 || st.ActiveWorkers > 3 {
+		t.Fatalf("ActiveWorkers = %d, want within [1, 3]", st.ActiveWorkers)
+	}
+	h := f.NewHandle()
+	for i := uint64(0); i < 3000; i++ {
+		h.Insert(i, i)
+	}
+	for i := uint64(0); i < 1500; i++ {
+		h.Delete(i * 2)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		st = f.PoolStats()
+		if st.ActiveWorkers < 1 || st.ActiveWorkers > 3 {
+			t.Fatalf("ActiveWorkers = %d escaped [1, 3]", st.ActiveWorkers)
+		}
+		if st.Backlog == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	f.Quiesce(64)
+	for i := uint64(0); i < 1500; i++ {
+		if i%2 == 0 {
+			continue
+		}
+		if v, ok := h.Get(i); !ok || v != i {
+			t.Fatalf("key %d = (%d, %v) after autoscaled maintenance, want (%d, true)", i, v, ok, i)
+		}
+	}
+}
+
+// TestMaintWorkersPinned: the fixed-size option keeps the adaptive sizing
+// out of the picture entirely.
+func TestMaintWorkersPinned(t *testing.T) {
+	f := New(trees.SFOpt, WithShards(4), WithMaintWorkers(2))
+	defer f.Close()
+	if f.maintMin != 2 || f.maintWorkers != 2 {
+		t.Fatalf("pinned size wired as [%d, %d], want [2, 2]", f.maintMin, f.maintWorkers)
+	}
+	h := f.NewHandle()
+	for i := uint64(0); i < 500; i++ {
+		h.Insert(i, i)
+	}
+	time.Sleep(30 * time.Millisecond)
+	st := f.PoolStats()
+	if st.ActiveWorkers != 2 {
+		t.Fatalf("ActiveWorkers = %d, want pinned 2", st.ActiveWorkers)
+	}
+	if st.Grows != 0 || st.Shrinks != 0 {
+		t.Fatalf("pinned pool resized (%d grows, %d shrinks)", st.Grows, st.Shrinks)
+	}
+}

@@ -111,11 +111,13 @@ type Forest struct {
 	maintMu sync.Mutex
 	maint   bool // background maintenance currently enabled; guarded by maintMu
 	// pool is the shared maintenance worker pool (nil when maintenance is
-	// disabled, stopped, or the kind has none); maintWorkers is its size.
-	// Both guarded by maintMu; pc accumulates pool counters across
-	// pause/resume generations.
+	// disabled, stopped, or the kind has none); maintWorkers is its size
+	// ceiling, maintMin its floor (equal when the size is pinned — see
+	// WithMaintWorkerRange). All guarded by maintMu; pc accumulates pool
+	// counters across pause/resume generations.
 	pool         *maintPool
 	maintWorkers int
+	maintMin     int
 	pc           poolCounters
 	// drainPacing is the per-shard base hint-drain pacing gap of the
 	// maintenance pool; pacingFixed pins every shard to it exactly
@@ -159,13 +161,7 @@ func (f *Forest) AttachWAL(l *durable.Log) {
 // position the snapshot was cut at. Single-caller (the checkpoint driver).
 func (f *Forest) SnapshotShard(si int, fn func(k, v uint64)) uint64 {
 	sh := f.shards[si]
-	if f.ckptThs == nil {
-		f.ckptThs = make([]*stm.Thread, len(f.shards))
-	}
-	if f.ckptThs[si] == nil {
-		f.ckptThs[si] = sh.stm.NewThread()
-	}
-	th := f.ckptThs[si]
+	th := f.ckptThread(si)
 	var cut uint64
 	var snap []kv
 	// Full read tracking (CTL) regardless of the domain default, so the
@@ -185,6 +181,55 @@ func (f *Forest) SnapshotShard(si int, fn func(k, v uint64)) uint64 {
 	return cut
 }
 
+// SnapshotShardKeys implements durable.DeltaSource: one consistent read of
+// just the given keys in shard si — present keys report their value, absent
+// ones report ok=false — returning the shard-clock position the lookup
+// transaction was cut at. This is what makes a delta checkpoint's cost
+// proportional to churn: the checkpointer reads only the keys the write-
+// ahead log marked dirty, never scanning the shard. Single-caller (the
+// checkpoint driver), like SnapshotShard.
+func (f *Forest) SnapshotShardKeys(si int, keys []uint64, fn func(k, v uint64, ok bool)) uint64 {
+	sh := f.shards[si]
+	th := f.ckptThread(si)
+	var cut uint64
+	type kvOK struct {
+		k, v uint64
+		ok   bool
+	}
+	snap := make([]kvOK, 0, len(keys))
+	// Full read tracking (CTL) for the same reason as SnapshotShard: the
+	// per-key reads must form one consistent cut, and fn is fed only after
+	// the transaction commits (retries reset the buffer).
+	th.AtomicMode(stm.CTL, func(tx *stm.Tx) {
+		snap = snap[:0]
+		for _, k := range keys {
+			v, ok := sh.m.GetTx(tx, k)
+			snap = append(snap, kvOK{k, v, ok})
+		}
+		cut = tx.Snapshot()
+	})
+	for _, e := range snap {
+		fn(e.k, e.v, e.ok)
+	}
+	return cut
+}
+
+// ckptThread returns shard si's lazily created checkpointer STM thread
+// (touched only by the single checkpoint driver).
+func (f *Forest) ckptThread(si int) *stm.Thread {
+	if f.ckptThs == nil {
+		f.ckptThs = make([]*stm.Thread, len(f.shards))
+	}
+	if f.ckptThs[si] == nil {
+		f.ckptThs[si] = f.shards[si].stm.NewThread()
+	}
+	return f.ckptThs[si]
+}
+
+// The forest is the durable layer's checkpoint source, per-key delta reads
+// included.
+var _ durable.DeltaSource = (*Forest)(nil)
+
 // Option configures New.
 type Option func(*cfg)
 
@@ -193,7 +238,8 @@ type cfg struct {
 	mode         stm.Mode
 	cm           stm.ContentionManager
 	maintenance  bool
-	maintWorkers int
+	maintWorkers int // pool ceiling (0 = default)
+	maintMin     int // pool floor (0 = default)
 	maintPacing  time.Duration
 	pacingFixed  bool
 	yieldEvery   int
@@ -217,14 +263,31 @@ func WithContentionManager(cm stm.ContentionManager) Option {
 // drives maintenance manually via Quiesce.
 func WithoutMaintenance() Option { return func(c *cfg) { c.maintenance = false } }
 
-// WithMaintWorkers sets the size of the shared maintenance worker pool
-// (default min(shards, GOMAXPROCS/2), at least 1). The pool drains hint
-// queues across all shards and runs the fallback sweeps, so its size bounds
-// the forest's total maintenance CPU regardless of the shard count.
+// WithMaintWorkers pins the shared maintenance worker pool to exactly n
+// workers, disabling the adaptive sizing. The pool drains hint queues
+// across all shards and runs the fallback sweeps, so its size bounds the
+// forest's total maintenance CPU regardless of the shard count.
 func WithMaintWorkers(n int) Option {
 	return func(c *cfg) {
 		if n > 0 {
 			c.maintWorkers = n
+			c.maintMin = n
+		}
+	}
+}
+
+// WithMaintWorkerRange lets the maintenance pool size itself between lo and
+// hi workers (the default is [1, min(shards, GOMAXPROCS/2)]): between drain
+// quanta the pool grows a worker when the hint backlog outruns the active
+// workers' drain quantum while they are busy, and parks one when the
+// backlog is gone and the active workers sit idle (see maint.go's
+// sizePolicy). lo must be >= 1 and hi >= lo; lo == hi pins the size, which
+// is what WithMaintWorkers does.
+func WithMaintWorkerRange(lo, hi int) Option {
+	return func(c *cfg) {
+		if lo >= 1 && hi >= lo {
+			c.maintMin = lo
+			c.maintWorkers = hi
 		}
 	}
 }
@@ -298,6 +361,9 @@ func New(kind trees.Kind, opts ...Option) *Forest {
 	if c.maintWorkers == 0 {
 		c.maintWorkers = defaultMaintWorkers(c.shards)
 	}
+	if c.maintMin == 0 {
+		c.maintMin = 1 // default: adaptive between 1 and the ceiling
+	}
 	f := &Forest{kind: kind, shards: make([]*shard, c.shards), maint: c.maintenance, drainPacing: c.maintPacing,
 		pacingFixed: c.pacingFixed, batchN: c.batchN, batchWait: c.batchWait}
 	maintained := false
@@ -319,6 +385,7 @@ func New(kind trees.Kind, opts ...Option) *Forest {
 	}
 	if c.maintenance && maintained {
 		f.maintWorkers = min(c.maintWorkers, c.shards)
+		f.maintMin = min(c.maintMin, f.maintWorkers)
 		f.startPool()
 	} else {
 		f.maint = false

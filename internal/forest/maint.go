@@ -36,6 +36,9 @@ const (
 	// pacingBackoffCap bounds the adaptive hint-drain gap at this multiple
 	// of the forest's base gap (see adaptPacing).
 	pacingBackoffCap = 16
+	// resizeQuantum paces the pool's adaptive sizing: worker 0 reconsiders
+	// the active worker count at most this often (see maybeResize).
+	resizeQuantum = 10 * time.Millisecond
 )
 
 // poolCounters aggregates pool activity. It lives on the Forest, not the
@@ -46,14 +49,24 @@ type poolCounters struct {
 	wakeups     atomic.Uint64
 	sweeps      atomic.Uint64
 	hintBatches atomic.Uint64
+	grows       atomic.Uint64
+	shrinks     atomic.Uint64
 }
 
 // PoolStats is a snapshot of the maintenance worker pool's activity.
 type PoolStats struct {
-	// Workers is the configured pool size (0 when the forest runs no
+	// Workers is the configured pool ceiling (0 when the forest runs no
 	// maintenance). The pool never runs more than this many maintenance
 	// goroutines regardless of the shard count.
 	Workers int
+	// ActiveWorkers is the number of workers currently unparked (equal to
+	// Workers when the size is pinned; 0 when the pool is stopped). The
+	// pool resizes itself between the configured floor and Workers from the
+	// hint backlog and its own utilization (see sizePolicy).
+	ActiveWorkers int
+	// Grows and Shrinks count adaptive size steps taken since New.
+	Grows   uint64
+	Shrinks uint64
 	// BusyNanos is the cumulative time workers spent draining hints and
 	// sweeping; utilization over a window of length d with w workers is
 	// BusyNanos / (w·d).
@@ -91,14 +104,23 @@ func (f *Forest) PoolStats() PoolStats {
 	if maintained > 0 {
 		pacing /= int64(maintained)
 	}
+	f.maintMu.Lock()
+	active := 0
+	if f.pool != nil {
+		active = int(f.pool.active.Load())
+	}
+	f.maintMu.Unlock()
 	return PoolStats{
-		Workers:     f.maintWorkers,
-		BusyNanos:   f.pc.busyNanos.Load(),
-		Wakeups:     f.pc.wakeups.Load(),
-		Sweeps:      f.pc.sweeps.Load(),
-		HintBatches: f.pc.hintBatches.Load(),
-		Backlog:     backlog,
-		PacingNanos: uint64(pacing),
+		Workers:       f.maintWorkers,
+		ActiveWorkers: active,
+		Grows:         f.pc.grows.Load(),
+		Shrinks:       f.pc.shrinks.Load(),
+		BusyNanos:     f.pc.busyNanos.Load(),
+		Wakeups:       f.pc.wakeups.Load(),
+		Sweeps:        f.pc.sweeps.Load(),
+		HintBatches:   f.pc.hintBatches.Load(),
+		Backlog:       backlog,
+		PacingNanos:   uint64(pacing),
 	}
 }
 
@@ -106,21 +128,38 @@ func (f *Forest) PoolStats() PoolStats {
 func (f *Forest) MaintWorkers() int { return f.maintWorkers }
 
 // maintPool is one generation of the worker pool (recreated on resume).
+// All hi workers are spawned up front; workers beyond the active target
+// park on the grow channel, so a size step is a channel send, not a
+// goroutine spawn. Worker 0 never parks — it owns the resize step.
 type maintPool struct {
 	f    *Forest
 	wake chan struct{}
 	quit chan struct{}
 	wg   sync.WaitGroup
 	rr   atomic.Uint64 // rotating scan offset for fairness
+
+	lo, hi  int
+	active  atomic.Int32 // target unparked worker count, in [lo, hi]
+	running atomic.Int32 // current unparked worker count
+	growc   chan struct{}
+	// Resize window state, owned by worker 0 (plain fields).
+	lastResize int64
+	lastBusy   uint64
 }
 
 // startPool creates and starts a pool generation. Caller holds maintMu.
 func (f *Forest) startPool() {
 	p := &maintPool{
-		f:    f,
-		wake: make(chan struct{}, f.maintWorkers),
-		quit: make(chan struct{}),
+		f:     f,
+		wake:  make(chan struct{}, f.maintWorkers),
+		quit:  make(chan struct{}),
+		lo:    f.maintMin,
+		hi:    f.maintWorkers,
+		growc: make(chan struct{}, f.maintWorkers),
 	}
+	p.active.Store(int32(p.lo))
+	p.running.Store(int32(p.hi)) // workers beyond the target park themselves
+	p.lastResize = time.Now().UnixNano()
 	for _, sh := range f.shards {
 		if sh.mt != nil {
 			sh.mt.SetMaintNotify(p.notify)
@@ -128,7 +167,7 @@ func (f *Forest) startPool() {
 	}
 	p.wg.Add(f.maintWorkers)
 	for i := 0; i < f.maintWorkers; i++ {
-		go p.worker()
+		go p.worker(i)
 	}
 	f.pool = p
 }
@@ -159,15 +198,38 @@ func (p *maintPool) notify() {
 
 // worker scans shards for maintenance work until the pool stops, sleeping
 // — when a full scan finds nothing — until a hint notification or the
-// earliest fallback-sweep deadline.
-func (p *maintPool) worker() {
+// earliest fallback-sweep deadline. Workers beyond the adaptive target park
+// on the grow channel (worker 0 stays up and drives the resize step).
+func (p *maintPool) worker(id int) {
 	defer p.wg.Done()
 	for {
+		if id != 0 {
+			for {
+				r := p.running.Load()
+				if r <= p.active.Load() {
+					break
+				}
+				if !p.running.CompareAndSwap(r, r-1) {
+					continue
+				}
+				select {
+				case <-p.quit:
+					return
+				case <-p.growc:
+					p.running.Add(1)
+				}
+			}
+		} else {
+			p.maybeResize()
+		}
 		for p.scan() {
 			select {
 			case <-p.quit:
 				return
 			default:
+			}
+			if id == 0 {
+				p.maybeResize()
 			}
 		}
 		d := p.nextWait()
@@ -181,6 +243,68 @@ func (p *maintPool) worker() {
 			p.f.pc.wakeups.Add(1)
 		case <-timer.C:
 		}
+	}
+}
+
+// maybeResize is worker 0's adaptive sizing step, at most once per
+// resizeQuantum: it measures the pool's utilization over the window just
+// ended (busy nanoseconds per active worker) and the instantaneous hint
+// backlog, asks sizePolicy for the next size, and unparks or sheds workers
+// to match. Growing is a token send to the grow channel; shrinking just
+// lowers the target — surplus workers park themselves at the top of their
+// loop.
+func (p *maintPool) maybeResize() {
+	if p.lo == p.hi {
+		return // pinned size: nothing to adapt
+	}
+	now := time.Now().UnixNano()
+	window := now - p.lastResize
+	if window < int64(resizeQuantum) {
+		return
+	}
+	busy := p.f.pc.busyNanos.Load()
+	active := int(p.active.Load())
+	util := float64(busy-p.lastBusy) / (float64(window) * float64(active))
+	p.lastResize, p.lastBusy = now, busy
+	backlog := 0
+	for _, sh := range p.f.shards {
+		if sh.mt != nil {
+			backlog += sh.mt.HintBacklog()
+		}
+	}
+	next := sizePolicy(active, p.lo, p.hi, backlog, util)
+	switch {
+	case next > active:
+		p.active.Store(int32(next))
+		p.f.pc.grows.Add(uint64(next - active))
+		for i := active; i < next; i++ {
+			select {
+			case p.growc <- struct{}{}:
+			default:
+			}
+		}
+	case next < active:
+		p.active.Store(int32(next))
+		p.f.pc.shrinks.Add(uint64(active - next))
+	}
+}
+
+// sizePolicy is the pure sizing step: the next active worker count given
+// the current one, the configured [lo, hi] range, the queued-hint backlog
+// across shards, and the pool's utilization over the window just ended.
+// Grow one worker when the backlog exceeds what the active workers drain
+// per quantum AND they are actually busy (backlog with idle workers means
+// pacing, not capacity, is the bottleneck — more workers would not help);
+// park one when the backlog is gone and the workers are near-idle. One
+// step per quantum keeps the size from oscillating on bursty hint arrival.
+func sizePolicy(active, lo, hi, backlog int, util float64) int {
+	switch {
+	case backlog > active*maintBatch && util > 0.5 && active < hi:
+		return active + 1
+	case backlog == 0 && util < 0.1 && active > lo:
+		return active - 1
+	default:
+		return active
 	}
 }
 

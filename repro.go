@@ -57,6 +57,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -150,6 +151,8 @@ type treeCfg struct {
 	maintenance  bool
 	shards       int
 	maintWorkers int
+	maintLo      int // adaptive pool floor (WithMaintWorkerRange)
+	maintHi      int // adaptive pool ceiling
 	cm           stm.ContentionManager
 	dur          *durable.Options
 	batchN       int
@@ -172,14 +175,28 @@ func WithoutMaintenance() Option { return func(c *treeCfg) { c.maintenance = fal
 // coordinator.
 func WithShards(n int) Option { return func(c *treeCfg) { c.shards = n } }
 
-// WithMaintWorkers sets the size of the shared maintenance worker pool of a
-// sharded tree (default min(shards, GOMAXPROCS/2), at least 1). The pool
-// drains commit-time maintenance hints across all shards with targeted
-// repair transactions and runs the low-frequency fallback sweeps, so total
-// maintenance CPU is bounded by the pool size rather than the shard count.
-// Ignored on unsharded trees, whose single maintenance goroutine plays the
-// same role.
+// WithMaintWorkers pins the shared maintenance worker pool of a sharded
+// tree to exactly n workers, disabling the adaptive sizing (the default is
+// adaptive between 1 and min(shards, GOMAXPROCS/2) — see
+// WithMaintWorkerRange). The pool drains commit-time maintenance hints
+// across all shards with targeted repair transactions and runs the
+// low-frequency fallback sweeps, so total maintenance CPU is bounded by the
+// pool size rather than the shard count. Ignored on unsharded trees, whose
+// single maintenance goroutine plays the same role.
 func WithMaintWorkers(n int) Option { return func(c *treeCfg) { c.maintWorkers = n } }
+
+// WithMaintWorkerRange lets the maintenance pool of a sharded tree size
+// itself between lo and hi workers: it grows a worker when the queued-hint
+// backlog outruns the active workers while they are busy, and parks one
+// when the backlog is drained and they sit idle (the decision runs between
+// drain quanta off the pool's own backlog and utilization counters —
+// MaintPoolStats reports the current size and the steps taken). lo must be
+// >= 1 and hi >= lo; ignored on unsharded trees.
+func WithMaintWorkerRange(lo, hi int) Option {
+	return func(c *treeCfg) {
+		c.maintLo, c.maintHi = lo, hi
+	}
+}
 
 // WithBatching routes single-key operations (Insert, Delete, Get, Contains,
 // UpdateShard) through a per-shard op combiner: concurrent submissions
@@ -219,7 +236,12 @@ func WithContention(p ContentionPolicy) Option {
 
 // DurabilityOptions re-exports the durable layer's dials for WithDurability:
 // Sync (fsync per operation), GroupCommit (background flush+fsync interval),
-// CheckpointEvery (periodic checkpoint interval; negative disables).
+// CheckpointEvery (periodic checkpoint interval; negative disables),
+// CompactEvery (delta generations between full checkpoint bases; negative
+// disables incremental checkpoints), DeltaMaxFrac (churn fraction above
+// which a checkpoint writes a full base instead of a delta), MaxUnsynced
+// (backpressure bound on unsynced bytes under group commit), and
+// RecoveryAppliers (parallelism of recovery replay).
 type DurabilityOptions = durable.Options
 
 // WithDurability sets the durability dials used by Open (the zero value
@@ -281,6 +303,9 @@ func Open(dir string, kind Kind, opts ...Option) (*Tree, error) {
 	if cfg.maintWorkers > 0 {
 		fopts = append(fopts, forest.WithMaintWorkers(cfg.maintWorkers))
 	}
+	if cfg.maintHi > 0 {
+		fopts = append(fopts, forest.WithMaintWorkerRange(cfg.maintLo, cfg.maintHi))
+	}
 	if !cfg.maintenance {
 		fopts = append(fopts, forest.WithoutMaintenance())
 	}
@@ -288,10 +313,7 @@ func Open(dir string, kind Kind, opts ...Option) (*Tree, error) {
 		fopts = append(fopts, forest.WithBatching(cfg.batchN, cfg.batchWait))
 	}
 	f := forest.New(kind, fopts...)
-	h := f.NewHandle()
-	for k, v := range rec.State {
-		h.Insert(k, v)
-	}
+	reload(f, rec.State)
 	f.AttachWAL(l)
 	if err := l.Checkpoint(f); err != nil {
 		l.Close()
@@ -300,6 +322,49 @@ func Open(dir string, kind Kind, opts ...Option) (*Tree, error) {
 	}
 	l.StartCheckpoints(f)
 	return &Tree{f: f, stop: f.Close, maint: cfg.maintenance, dlog: l, recovery: *rec}, nil
+}
+
+// reload rebuilds the recovered state into the fresh forest — in parallel
+// when it is big enough to matter, one inserter goroutine per slice of the
+// state with its own handle (handles are per-goroutine; the shards'
+// per-key transactions make concurrent inserts safe). This is the second
+// half of segment-parallel recovery: the durable layer replays the WAL
+// across partitioned appliers, and the reload spreads the resulting map
+// across the forest's shard domains the same way.
+func reload(f *forest.Forest, state map[uint64]uint64) {
+	const parallelMin = 1 << 12
+	workers := min(f.Shards(), runtime.GOMAXPROCS(0))
+	if len(state) < parallelMin || workers < 2 {
+		h := f.NewHandle()
+		for k, v := range state {
+			h.Insert(k, v)
+		}
+		return
+	}
+	type kv struct{ k, v uint64 }
+	chunks := make([][]kv, workers)
+	per := len(state)/workers + 1
+	i := 0
+	for k, v := range state {
+		w := i / per
+		chunks[w] = append(chunks[w], kv{k, v})
+		i++
+	}
+	var wg sync.WaitGroup
+	for _, chunk := range chunks {
+		if len(chunk) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(chunk []kv) {
+			defer wg.Done()
+			h := f.NewHandle()
+			for _, e := range chunk {
+				h.Insert(e.k, e.v)
+			}
+		}(chunk)
+	}
+	wg.Wait()
 }
 
 // Durable returns the tree's write-ahead log for instrumentation (byte and
@@ -352,6 +417,9 @@ func NewTree(kind Kind, opts ...Option) *Tree {
 		}
 		if cfg.maintWorkers > 0 {
 			fopts = append(fopts, forest.WithMaintWorkers(cfg.maintWorkers))
+		}
+		if cfg.maintHi > 0 {
+			fopts = append(fopts, forest.WithMaintWorkerRange(cfg.maintLo, cfg.maintHi))
 		}
 		if !cfg.maintenance {
 			fopts = append(fopts, forest.WithoutMaintenance())

@@ -1,0 +1,345 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The delta-chain crash oracles. They extend the PR 5 truncation oracle to
+// incremental-checkpoint directories: a full base plus delta generations
+// chained by a manifest, then torn WAL tails, torn or missing manifests, a
+// missing middle delta, and a crash mid-compaction. Shards {1, 8} × recovery
+// appliers {1, 4} cover the serial and partitioned replay paths.
+
+func deltaOracleConfigs(t *testing.T, fn func(t *testing.T, shards, appliers int)) {
+	for _, shards := range []int{1, 8} {
+		for _, appliers := range []int{1, 4} {
+			t.Run("shards="+string(rune('0'+shards))+"/appliers="+string(rune('0'+appliers)), func(t *testing.T) {
+				fn(t, shards, appliers)
+			})
+		}
+	}
+}
+
+// buildDeltaChain drives a scripted history that leaves dir with a full
+// base (gen 1), one delta (gen 2), and a live WAL tail, returning the model
+// map after each phase: [0] the base, [1] the delta tip, [2] the final
+// state. Keys are chosen per phase from disjoint ranges so degraded
+// recoveries have computable expectations.
+func buildDeltaChain(t *testing.T, dir string, opts []Option) (models [3]map[uint64]uint64) {
+	t.Helper()
+	tr, err := Open(dir, SpeculationFriendlyOptimized, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := tr.NewHandle()
+	model := map[uint64]uint64{}
+	snap := func() map[uint64]uint64 {
+		cp := make(map[uint64]uint64, len(model))
+		for k, v := range model {
+			cp[k] = v
+		}
+		return cp
+	}
+	for i := uint64(0); i < 30; i++ {
+		h.Insert(i, i+1)
+		model[i] = i + 1
+	}
+	if err := tr.Checkpoint(); err != nil { // gen 1: full base
+		t.Fatal(err)
+	}
+	models[0] = snap()
+	h.Insert(100, 1000)
+	model[100] = 1000
+	h.Delete(3)
+	delete(model, 3)
+	h.UpdateShard(5, func(op *Op) { op.Delete(5); op.Insert(5, 555) })
+	model[5] = 555
+	if err := tr.Checkpoint(); err != nil { // gen 2: delta (3 dirty keys of 30)
+		t.Fatal(err)
+	}
+	models[1] = snap()
+	h.Insert(200, 2000)
+	model[200] = 2000
+	h.Move(1, 201)
+	model[201] = model[1]
+	delete(model, 1)
+	tr.Close()
+	models[2] = snap()
+	return models
+}
+
+func deltaOpts(shards, appliers int) []Option {
+	return []Option{WithShards(shards), WithoutMaintenance(),
+		WithDurability(DurabilityOptions{Sync: true, CheckpointEvery: -1,
+			RecoveryAppliers: appliers})}
+}
+
+// reopenExpect opens dir and asserts the recovered state equals want.
+func reopenExpect(t *testing.T, dir string, opts []Option, want map[uint64]uint64, ctx string) {
+	t.Helper()
+	tr, err := Open(dir, SpeculationFriendlyOptimized, opts...)
+	if err != nil {
+		t.Fatalf("%s: %v", ctx, err)
+	}
+	defer tr.Close()
+	assertStateEqual(t, tr.NewHandle(), want, ctx)
+}
+
+// TestDurableDeltaChainTruncationOracle: with a full base + delta chain on
+// disk, the live WAL tail is truncated at every byte offset; recovery must
+// yield exactly the chain state plus the longest intact record prefix.
+func TestDurableDeltaChainTruncationOracle(t *testing.T) {
+	deltaOracleConfigs(t, func(t *testing.T, shards, appliers int) {
+		dir := t.TempDir()
+		opts := deltaOpts(shards, appliers)
+		tr, err := Open(dir, SpeculationFriendlyOptimized, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := tr.NewHandle()
+		model := map[uint64]uint64{}
+		for i := uint64(0); i < 20; i++ {
+			h.Insert(i, i+1)
+			model[i] = i + 1
+		}
+		if err := tr.Checkpoint(); err != nil { // full base
+			t.Fatal(err)
+		}
+		h.Insert(50, 500)
+		model[50] = 500
+		h.Delete(2)
+		delete(model, 2)
+		if err := tr.Checkpoint(); err != nil { // delta
+			t.Fatal(err)
+		}
+
+		// Scripted tail in the post-delta live segment, one record per op.
+		seg := tr.Durable().LiveSegment()
+		segSize := func() int64 {
+			fi, err := os.Stat(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fi.Size()
+		}
+		type snap struct {
+			size  int64
+			state map[uint64]uint64
+		}
+		record := func() snap {
+			cp := make(map[uint64]uint64, len(model))
+			for k, v := range model {
+				cp[k] = v
+			}
+			return snap{size: segSize(), state: cp}
+		}
+		snaps := []snap{record()}
+		step := func(fn func()) { fn(); snaps = append(snaps, record()) }
+		step(func() { h.Insert(60, 600); model[60] = 600 })
+		step(func() { h.Delete(5); delete(model, 5) })
+		step(func() { h.Move(7, 70); model[70] = model[7]; delete(model, 7) })
+		// Tail record: an atomic transfer whose sum must survive any tear.
+		const accA, accB = 8, 9
+		step(func() {
+			h.Atomic(func(x *Txn) error {
+				a, _ := x.Get(accA)
+				b, _ := x.Get(accB)
+				x.Put(accA, a-4)
+				x.Put(accB, b+4)
+				return nil
+			})
+			model[accA] -= 4
+			model[accB] += 4
+		})
+		tr.Close()
+
+		blob, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snaps[len(snaps)-1].size != int64(len(blob)) {
+			t.Fatalf("final boundary %d != segment size %d", snaps[len(snaps)-1].size, len(blob))
+		}
+		cuts := map[int64]bool{}
+		for _, s := range snaps {
+			cuts[s.size] = true
+		}
+		for c := snaps[len(snaps)-2].size; c <= snaps[len(snaps)-1].size; c++ {
+			cuts[c] = true
+		}
+		for cut := range cuts {
+			var want map[uint64]uint64
+			for _, s := range snaps {
+				if s.size <= cut {
+					want = s.state
+				}
+			}
+			cdir := t.TempDir()
+			copyDir(t, dir, cdir)
+			if err := os.Truncate(filepath.Join(cdir, filepath.Base(seg)), cut); err != nil {
+				t.Fatal(err)
+			}
+			tr2, err := Open(cdir, SpeculationFriendlyOptimized, opts...)
+			if err != nil {
+				t.Fatalf("cut %d: %v", cut, err)
+			}
+			if rec := tr2.Recovery(); rec.ChainDeltas != 1 {
+				tr2.Close()
+				t.Fatalf("cut %d: recovered through %d deltas, want the 1-delta chain", cut, rec.ChainDeltas)
+			}
+			h2 := tr2.NewHandle()
+			got := treeState(h2)
+			tr2.Close()
+			if len(got) != len(want) {
+				t.Fatalf("cut %d: recovered %d keys, want %d", cut, len(got), len(want))
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("cut %d: key %d = %d, want %d", cut, k, got[k], v)
+				}
+			}
+			if got[accA]+got[accB] != want[accA]+want[accB] {
+				t.Fatalf("cut %d: transfer sum broken (atomic record split by the tear?)", cut)
+			}
+		}
+	})
+}
+
+// TestDurableManifestDamageOracle: a torn or missing manifest must be
+// lossless — the chain is reconstructed from the deltas' parent links, so
+// recovery still yields the exact final state.
+func TestDurableManifestDamageOracle(t *testing.T) {
+	deltaOracleConfigs(t, func(t *testing.T, shards, appliers int) {
+		opts := deltaOpts(shards, appliers)
+		for _, damage := range []string{"deleted", "torn"} {
+			t.Run(damage, func(t *testing.T) {
+				dir := t.TempDir()
+				models := buildDeltaChain(t, dir, opts)
+				// Damage the newest manifest (the delta tip's).
+				ents, _ := os.ReadDir(dir)
+				hit := false
+				for _, e := range ents {
+					if !strings.HasPrefix(e.Name(), "manifest-") {
+						continue
+					}
+					p := filepath.Join(dir, e.Name())
+					if damage == "deleted" {
+						if err := os.Remove(p); err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						fi, _ := os.Stat(p)
+						if err := os.Truncate(p, fi.Size()/2); err != nil {
+							t.Fatal(err)
+						}
+					}
+					hit = true
+				}
+				if !hit {
+					t.Fatal("no manifest on disk to damage")
+				}
+				reopenExpect(t, dir, opts, models[2], "recovery with "+damage+" manifest")
+			})
+		}
+	})
+}
+
+// TestDurableMissingDeltaFallback: deleting a chain's delta file (external
+// damage — sealed files should not vanish) must degrade, not fail: recovery
+// falls back to the newest provably-complete basis, the full base plus the
+// records of the surviving segments. The phases' disjoint key ranges make
+// the degraded expectation computable, and a second reopen proves the
+// damaged-path recovery is idempotent.
+func TestDurableMissingDeltaFallback(t *testing.T) {
+	deltaOracleConfigs(t, func(t *testing.T, shards, appliers int) {
+		opts := deltaOpts(shards, appliers)
+		dir := t.TempDir()
+		models := buildDeltaChain(t, dir, opts)
+		removed := false
+		ents, _ := os.ReadDir(dir)
+		for _, e := range ents {
+			if strings.HasPrefix(e.Name(), "delta-") {
+				if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+					t.Fatal(err)
+				}
+				removed = true
+			}
+		}
+		if !removed {
+			t.Fatal("no delta on disk to remove")
+		}
+		// Expected degraded state: the full base, plus the post-delta tail
+		// records (insert 200, move 1→201). The delta's own window (keys
+		// 100, 3, 5) is lost with the file — its segments were truncated.
+		want := make(map[uint64]uint64, len(models[0]))
+		for k, v := range models[0] {
+			want[k] = v
+		}
+		want[200] = 2000
+		want[201] = want[1]
+		delete(want, 1)
+		reopenExpect(t, dir, opts, want, "recovery with missing delta")
+		// Idempotent: the first reopen resealed a fresh full base, so a
+		// second recovery reproduces the same state exactly.
+		reopenExpect(t, dir, opts, want, "second recovery after missing delta")
+	})
+}
+
+// TestDurableCompactionCrashOracle: a crash between a compaction's full-
+// base seal and its manifest seal leaves an orphan full checkpoint newer
+// than every manifest. Recovery must use it (it is sealed and complete),
+// yielding the exact state.
+func TestDurableCompactionCrashOracle(t *testing.T) {
+	deltaOracleConfigs(t, func(t *testing.T, shards, appliers int) {
+		// CompactEvery 1: full(1) → delta(2) → compaction full(3).
+		opts := []Option{WithShards(shards), WithoutMaintenance(),
+			WithDurability(DurabilityOptions{Sync: true, CheckpointEvery: -1,
+				CompactEvery: 1, RecoveryAppliers: appliers})}
+		dir := t.TempDir()
+		tr, err := Open(dir, SpeculationFriendlyOptimized, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := tr.NewHandle()
+		model := map[uint64]uint64{}
+		for i := uint64(0); i < 25; i++ {
+			h.Insert(i, i*3+1)
+			model[i] = i*3 + 1
+		}
+		if err := tr.Checkpoint(); err != nil { // gen 1: full
+			t.Fatal(err)
+		}
+		h.Insert(300, 3)
+		model[300] = 3
+		if err := tr.Checkpoint(); err != nil { // gen 2: delta
+			t.Fatal(err)
+		}
+		h.Delete(4)
+		delete(model, 4)
+		if err := tr.Checkpoint(); err != nil { // gen 3: compaction full
+			t.Fatal(err)
+		}
+		h.Insert(301, 4) // live tail past the compacted base
+		model[301] = 4
+		tr.Close()
+
+		// The crash image: the compaction's manifest never reached disk.
+		ents, _ := os.ReadDir(dir)
+		orphaned := false
+		for _, e := range ents {
+			if strings.HasPrefix(e.Name(), "manifest-") {
+				if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+					t.Fatal(err)
+				}
+				orphaned = true
+			}
+		}
+		if !orphaned {
+			t.Fatal("no manifest on disk to orphan")
+		}
+		reopenExpect(t, dir, opts, model, "recovery from orphan compaction base")
+	})
+}

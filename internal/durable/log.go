@@ -462,6 +462,24 @@ func (l *Log) LogAtomic(parts []ShardOps) {
 	l.appendLocked(true)
 }
 
+// restoreDirtyLocked merges a captured dirty set back into l.dirtyKeys
+// after a failed checkpoint attempt, so the mutated keys stay covered by
+// the next generation instead of silently falling out of the chain (their
+// records live only in segments a later successful delta would let
+// removeObsolete delete). Union, not assignment: appends since the swap
+// may have dirtied the fresh set. Caller holds mu.
+func (l *Log) restoreDirtyLocked(captured []map[uint64]struct{}) {
+	if captured == nil || l.dirtyKeys == nil {
+		return
+	}
+	for si, m := range captured {
+		d := l.dirtyKeys[si]
+		for k := range m {
+			d[k] = struct{}{}
+		}
+	}
+}
+
 // freshDirty allocates one empty dirty-key set per shard.
 func freshDirty(shards int) []map[uint64]struct{} {
 	d := make([]map[uint64]struct{}, shards)
@@ -657,6 +675,7 @@ func (l *Log) checkpoint(src Source, truncate bool) error {
 	base := l.seg + 1
 	if err := l.openSegmentLocked(base); err != nil {
 		l.setErrLocked(err)
+		l.restoreDirtyLocked(captured)
 		l.mu.Unlock()
 		return err
 	}
@@ -673,6 +692,7 @@ func (l *Log) checkpoint(src Source, truncate bool) error {
 	if err != nil {
 		l.mu.Lock()
 		l.setErrLocked(err)
+		l.restoreDirtyLocked(captured)
 		l.mu.Unlock()
 		return err
 	}

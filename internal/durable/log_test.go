@@ -506,6 +506,83 @@ func TestLogBackpressure(t *testing.T) {
 	}
 }
 
+// TestLogCheckpointFailureKeepsDirtyKeys: a checkpoint attempt that fails
+// after swapping out the dirty set must merge the captured keys back, or
+// they vanish from the chain — the next successful delta would omit them
+// while its truncation deletes the segments holding their WAL records, and
+// recovery would silently revert them to the chain tip's stale values.
+// Both post-swap failure points are driven: the generation seal and the
+// segment rotation. The injection squats a directory on the path the
+// checkpoint needs to create, so OpenFile fails like a transient I/O error.
+func TestLogCheckpointFailureKeepsDirtyKeys(t *testing.T) {
+	cases := []struct {
+		name  string
+		block func(l *Log) string // path whose creation the next checkpoint needs
+	}{
+		{"sealfail", func(l *Log) string { return deltaName(l.dir, l.nextGen) + ".tmp" }},
+		{"rotatefail", func(l *Log) string { return segmentName(l.dir, l.seg+1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, _, err := Open(dir, 2, Options{Sync: true, CheckpointEvery: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := newMapSource(2)
+			for i := uint64(0); i < 40; i++ {
+				src.apply(l, Op{Key: i, Val: i + 1})
+			}
+			if err := l.Checkpoint(src); err != nil { // gen 1: full base
+				t.Fatal(err)
+			}
+			src.apply(l, Op{Key: 3, Val: 333}, Op{Key: 6, Val: 666})
+
+			blocked := tc.block(l)
+			if err := os.Mkdir(blocked, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Checkpoint(src); err == nil {
+				t.Fatal("checkpoint succeeded despite the blocked path")
+			}
+			if err := os.Remove(blocked); err != nil {
+				t.Fatal(err)
+			}
+
+			// The captured keys must be back in the dirty set.
+			l.mu.Lock()
+			for _, k := range []uint64{3, 6} {
+				if _, ok := l.dirtyKeys[int(k%2)][k]; !ok {
+					l.mu.Unlock()
+					t.Fatalf("key %d missing from dirty set after failed checkpoint", k)
+				}
+			}
+			l.mu.Unlock()
+
+			// The recovered keys must ride into the next delta together with
+			// later appends, and survive its truncation plus a recovery.
+			src.apply(l, Op{Key: 9, Val: 999})
+			if err := l.Checkpoint(src); err != nil {
+				t.Fatal(err)
+			}
+			if st := l.Stats(); st.DeltaCheckpoints != 1 {
+				t.Fatalf("DeltaCheckpoints = %d, want 1", st.DeltaCheckpoints)
+			}
+			l.Close() // returns the injected sticky error; on-disk state is sealed
+
+			rec, l2 := reopen(t, dir, 2)
+			defer l2.Close()
+			if rec.State[3] != 333 || rec.State[6] != 666 {
+				t.Fatalf("keys dirtied before the failed checkpoint reverted: 3=%d 6=%d, want 333 666",
+					rec.State[3], rec.State[6])
+			}
+			if !reflect.DeepEqual(rec.State, src.state) {
+				t.Fatalf("recovered state mismatch: got %v want %v", rec.State, src.state)
+			}
+		})
+	}
+}
+
 // TestLogDroppedOversize: an oversize record is dropped and counted, the
 // error surfaces in Err, and the segment stays healthy for later records.
 func TestLogDroppedOversize(t *testing.T) {

@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DURATION ?= 1s
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race vet fuzz ci bench-range bench-xact bench-durable bench-recovery bench-batch bench-json profile benchdiff
+.PHONY: all build test race vet fuzz ci obs-smoke bench-range bench-xact bench-durable bench-recovery bench-batch bench-json profile benchdiff
 
 all: build
 
@@ -16,10 +16,18 @@ test:
 # its prepared-transaction tests, the speculation-friendly tree, the tree
 # registry with the elastic-move regression, the sharded forest with the
 # cross-shard transaction oracle and Move tortures, the ftx coordinator,
-# and the public facade). The timeout guards against a stress test
-# livelocking under the detector's serialization.
+# the observability registry/flight recorder, and the public facade). The
+# timeout guards against a stress test livelocking under the detector's
+# serialization.
 race:
-	$(GO) test -race -timeout 10m ./internal/stm ./internal/sftree ./internal/trees ./internal/ring ./internal/forest ./internal/ftx ./internal/durable .
+	$(GO) test -race -timeout 10m ./internal/stm ./internal/sftree ./internal/trees ./internal/ring ./internal/forest ./internal/ftx ./internal/durable ./internal/obs .
+
+# Live-endpoint smoke: run a short durable sharded benchmark with the
+# observability server attached and scrape /metrics mid-run, asserting
+# that every layer's metric families (stm, sftree, forest pool, ftx,
+# durable, Go runtime) appear in one exposition.
+obs-smoke:
+	$(GO) test -run TestObsEndpointSmoke -count=1 -v .
 
 vet:
 	$(GO) vet ./...
@@ -138,4 +146,4 @@ profile:
 benchdiff:
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) $(BASE) $(NEW)
 
-ci: build vet test race fuzz
+ci: build vet test race fuzz obs-smoke

@@ -22,6 +22,14 @@
 // SVG trajectory chart: one line per configuration across every BENCH_*.json
 // in -dir, so a slow drift is visible even when each single diff passes.
 //
+// -runs N treats each artifact's duplicate-key rows as N repetitions of
+// one configuration and collapses each group to its median row by -metric
+// before comparing (a warning is printed when a group's size is not N).
+// Use it on artifacts recorded by repeating the whole microbench sweep
+// rather than through benchjson -runs; without the flag duplicate keys
+// keep their occurrence-order pairing, which is what the bench-json
+// recipe's intentional duplicates (same config, different pool size) need.
+//
 // Thresholds should respect the noise floor of the host: on small CI
 // machines run-to-run variance of the multi-thread rows easily exceeds 10%,
 // which is why the CI smoke gate runs with a lenient -threshold (see
@@ -211,6 +219,38 @@ func compare(base, next *artifact, metric string, threshold float64) report {
 	return rep
 }
 
+// collapseRuns groups rows by configuration key and replaces each group
+// with its median row by metric (lower median for even sizes), preserving
+// first-occurrence order. Groups whose size differs from the expected run
+// count draw a warning but still collapse — a truncated artifact should
+// gate on what it has rather than fail to parse.
+func collapseRuns(rows []map[string]any, metric string, runs int, name string) []map[string]any {
+	groups := make(map[string][]map[string]any)
+	var order []string
+	for _, r := range rows {
+		k := rowKey(r)
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	out := make([]map[string]any, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		if len(g) != runs {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %q has %d repetitions, expected %d\n",
+				name, shortKey(g[0]), len(g), runs)
+		}
+		sort.SliceStable(g, func(i, j int) bool {
+			vi, _ := metricOf(g[i], metric)
+			vj, _ := metricOf(g[j], metric)
+			return vi < vj
+		})
+		out = append(out, g[(len(g)-1)/2])
+	}
+	return out
+}
+
 // discover returns the BENCH_*.json files in dir, sorted by name (the
 // BENCH_<date>.json convention makes that chronological).
 func discover(dir string) ([]string, error) {
@@ -227,7 +267,12 @@ func main() {
 	threshold := flag.Float64("threshold", 0.10, "max allowed fractional regression before failing")
 	dir := flag.String("dir", ".", "directory searched for BENCH_*.json artifacts")
 	plot := flag.String("plot", "", "write an SVG trajectory chart of every artifact in -dir to this file")
+	runsN := flag.Int("runs", 1, "collapse each artifact's duplicate-key rows (N repetitions per configuration) to their median row before comparing")
 	flag.Parse()
+	if *runsN < 1 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -runs must be >= 1")
+		os.Exit(2)
+	}
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
@@ -284,6 +329,11 @@ func main() {
 	next, err := loadArtifact(newPath)
 	if err != nil {
 		fail("%v", err)
+	}
+
+	if *runsN > 1 {
+		base.Rows = collapseRuns(base.Rows, *metric, *runsN, filepath.Base(basePath))
+		next.Rows = collapseRuns(next.Rows, *metric, *runsN, filepath.Base(newPath))
 	}
 
 	rep := compare(base, next, *metric, *threshold)

@@ -14,6 +14,17 @@
 // recovered_keys) flow into the JSON unchanged.
 //
 //	microbench -header ... | benchjson -out BENCH_2026-07-29.json
+//
+// -runs N aggregates repeated benchmark sessions into one artifact: stdin
+// then holds N consecutive repetitions of the same row sequence (repeated
+// header lines between repetitions are tolerated and skipped), and for
+// each position in the sequence the emitted row is the median repetition
+// by throughput_ops_per_us (lower median for even N), annotated with the
+// run count and the min/max throughput observed. Medians wash out the
+// run-to-run scheduler noise that makes single-run artifacts jumpy on
+// small CI machines.
+//
+//	for i in 1 2 3; do microbench -header ...; done | benchjson -runs 3 -out BENCH_....json
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -29,20 +41,31 @@ import (
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	runs := flag.Int("runs", 1, "stdin holds this many repetitions of the row sequence; emit the median row per position")
 	flag.Parse()
+	if *runs < 1 {
+		fmt.Fprintln(os.Stderr, "benchjson: -runs must be >= 1")
+		os.Exit(2)
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var header []string
+	var headerLine string
 	var rows []map[string]any
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "shard,") {
 			continue
 		}
+		if header != nil && line == headerLine {
+			// Repetitions re-print the header (-runs mode); skip the copies.
+			continue
+		}
 		fields := strings.Split(line, ",")
 		if header == nil {
 			header = fields
+			headerLine = line
 			continue
 		}
 		if len(fields) != len(header) {
@@ -65,9 +88,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *runs > 1 {
+		var err error
+		rows, err = medianRows(rows, *runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	summary := map[string]any{
 		"generated_at": time.Now().UTC().Format(time.RFC3339),
 		"tool":         "microbench",
+		"runs":         *runs,
 		"rows":         rows,
 	}
 	enc, err := json.MarshalIndent(summary, "", "  ")
@@ -85,6 +118,40 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d rows to %s\n", len(rows), *out)
+}
+
+// medianRows collapses n consecutive repetitions of one row sequence into
+// the per-position median repetition by throughput_ops_per_us (lower
+// median for even n), annotating each emitted row with the run count and
+// the min/max throughput across its repetitions.
+func medianRows(rows []map[string]any, n int) ([]map[string]any, error) {
+	if len(rows)%n != 0 {
+		return nil, fmt.Errorf("-runs %d does not divide the %d data rows on stdin", n, len(rows))
+	}
+	k := len(rows) / n
+	tput := func(r map[string]any) float64 {
+		if f, ok := r["throughput_ops_per_us"].(float64); ok {
+			return f
+		}
+		if i, ok := r["throughput_ops_per_us"].(int64); ok {
+			return float64(i)
+		}
+		return 0
+	}
+	out := make([]map[string]any, 0, k)
+	for pos := 0; pos < k; pos++ {
+		group := make([]map[string]any, 0, n)
+		for rep := 0; rep < n; rep++ {
+			group = append(group, rows[rep*k+pos])
+		}
+		sort.SliceStable(group, func(i, j int) bool { return tput(group[i]) < tput(group[j]) })
+		med := group[(n-1)/2]
+		med["runs"] = int64(n)
+		med["throughput_min"] = tput(group[0])
+		med["throughput_max"] = tput(group[n-1])
+		out = append(out, med)
+	}
+	return out, nil
 }
 
 // parseValue renders numeric CSV fields as JSON numbers and booleans as

@@ -49,6 +49,18 @@
 // timed segment-parallel recovery. A durable run always uses the forest
 // path (shards=1 becomes a one-shard forest, as repro.Open arranges).
 //
+// -obs serves the live observability endpoint on the given address for the
+// duration of the run: Prometheus text on /metrics (every layer's counter,
+// gauge and histogram families — STM commit/abort-cause taxonomy per
+// shard, tree maintenance, combiner batches, coordinator, WAL and
+// checkpoints, Go runtime), a JSON snapshot on /snapshot, the
+// flight-recorder event ring on /flight, and net/http/pprof under
+// /debug/pprof/. The CSV additionally reports the abort-cause breakdown
+// (aborts_validation .. aborts_coordinated, structural_commits/aborts) and
+// the runtime columns gc_pause_p99_ns (p99 GC pause among cycles inside
+// the hammer window) and goroutines (live count at the window's end) on
+// every run, -obs or not.
+//
 // -maint-workers sizes the shared maintenance worker pool of a sharded run
 // (0 = the forest default, min(shards, GOMAXPROCS/2)); the CSV reports the
 // maintenance-efficiency columns — hints emitted/coalesced/dropped,
@@ -64,6 +76,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -74,6 +87,17 @@ import (
 	"repro/internal/stm"
 	"repro/internal/trees"
 )
+
+// obsReadyFunc announces the observability endpoint's bound address on
+// stderr, which is what makes "-obs :0" usable. Nil when -obs is off.
+func obsReadyFunc(addr string) func(string) {
+	if addr == "" {
+		return nil
+	}
+	return func(bound string) {
+		fmt.Fprintf(os.Stderr, "microbench: observability endpoint on %s\n", bound)
+	}
+}
 
 func main() {
 	tree := flag.String("tree", "sf", "tree kind: sf|sf-opt|rb|avl|nr")
@@ -104,6 +128,7 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-every", 0, "with -durable: periodic checkpoint interval (0 = 500ms, negative disables)")
 	ckptCompact := flag.Int("ckpt-compact", 0, "with -durable: fold the delta chain into a fresh full base after this many incremental checkpoints (0 = default, negative = every checkpoint full)")
 	yieldEvery := flag.Int("yield", 0, "STM interleaving simulation: yield every N accesses (0 off)")
+	obsAddr := flag.String("obs", "", "serve the live observability endpoint (/metrics, /snapshot, /flight, /debug/pprof) on this address during the run, e.g. :9100")
 	header := flag.Bool("header", false, "print the CSV header line first")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile of the run to this file")
@@ -196,6 +221,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "microbench: -batch-wait requires -batch > 1")
 		os.Exit(2)
 	}
+	if *obsAddr != "" {
+		// Catch address typos here with a bind probe: the bench layer treats
+		// a listen failure as a programming error and panics.
+		probe, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "microbench: -obs %s: %v\n", *obsAddr, err)
+			os.Exit(2)
+		}
+		probe.Close()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -242,6 +277,10 @@ func main() {
 		Fsync:             *fsync,
 		DurableCheckpoint: *ckptEvery,
 		DurableCompact:    *ckptCompact,
+		ObsAddr:           *obsAddr,
+		// ObsReady alone would switch the endpoint on, so only set it when
+		// -obs asked for one; it resolves ":0"-style addresses for the user.
+		ObsReady: obsReadyFunc(*obsAddr),
 	})
 
 	// The ckpt_compact key column reports the effective compaction period
@@ -253,9 +292,9 @@ func main() {
 	}
 
 	if *header {
-		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,range_frac,range_len,xact_frac,xact_keys,xact_cross,batch,duration_s,ops,throughput_ops_per_us,effective_ratio,allocs_per_op,bytes_per_op,range_scans,range_items,xact_ops,xact_moved,xact_commits,xact_fallbacks,xact_aborts,xact_intent_conflicts,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,spin_exhausted,rotations,maint_workers,hints_emitted,hints_coalesced,hints_dropped,targeted_repairs,sweep_passes,maint_busy_ms,worker_util,durable,fsync,ckpt_compact,wal_records,wal_atomic_records,wal_bytes,wal_syncs,wal_stalls,wal_dropped,checkpoints,delta_checkpoints,checkpoint_pairs,ckpt_bytes,ckpt_dirty_frac,recovery_ms,recovery_ns,recovery_appliers,recovery_deltas,recovered_keys,batched_ops,batches,avg_batch,p50_ns,p99_ns")
+		fmt.Println("tree,mode,threads,shards,cm,dist,update,move,biased,range,range_frac,range_len,xact_frac,xact_keys,xact_cross,batch,duration_s,ops,throughput_ops_per_us,effective_ratio,allocs_per_op,bytes_per_op,range_scans,range_items,xact_ops,xact_moved,xact_commits,xact_fallbacks,xact_aborts,xact_intent_conflicts,commits,aborts,abort_rate,retries,backoff_ms,max_op_reads,spin_exhausted,rotations,maint_workers,hints_emitted,hints_coalesced,hints_dropped,targeted_repairs,sweep_passes,maint_busy_ms,worker_util,durable,fsync,ckpt_compact,wal_records,wal_atomic_records,wal_bytes,wal_syncs,wal_stalls,wal_dropped,checkpoints,delta_checkpoints,checkpoint_pairs,ckpt_bytes,ckpt_dirty_frac,recovery_ms,recovery_ns,recovery_appliers,recovery_deltas,recovered_keys,batched_ops,batches,avg_batch,p50_ns,p99_ns,aborts_validation,aborts_lock_wait,aborts_spin,aborts_explicit,aborts_coordinated,structural_commits,structural_aborts,gc_pause_p99_ns,goroutines")
 	}
-	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%.4f,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%t,%t,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%.3f,%d,%d,%d,%d,%d,%d,%.2f,%d,%d\n",
+	fmt.Printf("%s,%s,%d,%d,%s,%s,%d,%d,%t,%d,%.3f,%d,%.3f,%d,%.3f,%d,%.3f,%d,%.3f,%.3f,%.4f,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.4f,%t,%t,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.4f,%.3f,%d,%d,%d,%d,%d,%d,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 		kind, m, res.Threads, res.Shards, res.CM, res.Dist, *update, *movePct, *biased, *keyRange,
 		*rangeFrac, *rangeLen, *xactFrac, *xactKeys, *xactCross, res.Batch,
 		res.Elapsed.Seconds(), res.Ops, res.Throughput, res.EffectiveRatio,
@@ -274,7 +313,12 @@ func main() {
 		res.Wal.CheckpointBytes, res.CheckpointDirtyFrac(),
 		float64(res.RecoveryNanos)/1e6, res.RecoveryNanos, res.RecoveryAppliers,
 		res.RecoveryDeltas, res.RecoveredPairs,
-		res.BatchedOps, res.Batches, res.AvgBatch, res.P50Nanos, res.P99Nanos)
+		res.BatchedOps, res.Batches, res.AvgBatch, res.P50Nanos, res.P99Nanos,
+		res.STM.AbortCauses[stm.AbortValidation], res.STM.AbortCauses[stm.AbortLockWait],
+		res.STM.AbortCauses[stm.AbortSpinExhausted], res.STM.AbortCauses[stm.AbortExplicit],
+		res.STM.AbortCauses[stm.AbortCoordinated],
+		res.STM.StructuralCommits, res.STM.StructuralAborts,
+		res.GCPauseP99Nanos, res.Goroutines)
 	for si, sr := range res.PerShard {
 		fmt.Printf("shard,%d,ops,%d,throughput_ops_per_us,%.3f,commits,%d,aborts,%d,abort_rate,%.4f\n",
 			si, sr.Ops, sr.Throughput, sr.STM.Commits, sr.STM.Aborts, sr.STM.AbortRate())

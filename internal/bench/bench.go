@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/metrics"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/forest"
 	"repro/internal/ftx"
+	"repro/internal/obs"
 	"repro/internal/sftree"
 	"repro/internal/stm"
 	"repro/internal/trees"
@@ -179,6 +181,18 @@ type Options struct {
 	// negative value disables delta checkpoints, restoring the pre-delta
 	// every-checkpoint-is-full regime.
 	DurableCompact int
+	// ObsAddr turns on the observability layer for the measured run and
+	// serves its /metrics + /snapshot + /flight + pprof endpoint on the
+	// given address (":0" for an ephemeral port). Every layer of the run
+	// registers into the registry, so a scrape during the hammer phase
+	// sees the live counters. Empty leaves observability off entirely —
+	// the hooks then cost nothing, keeping the historical rows unchanged.
+	ObsAddr string
+	// ObsReady, when non-nil, is called with the endpoint's bound address
+	// after the server is up but before the hammer phase starts (implies
+	// ObsAddr ":0" when that is empty). Test harnesses use it to scrape
+	// mid-run.
+	ObsReady func(addr string)
 }
 
 // defaultBenchCheckpoint is the durable run's checkpoint interval default.
@@ -241,6 +255,15 @@ type Result struct {
 	// was taken.
 	P50Nanos uint64
 	P99Nanos uint64
+
+	// Runtime scheduling and GC figures over the hammer phase:
+	// GCPauseP99Nanos is the p99 stop-the-world pause among the GC cycles
+	// that ran inside the window (0 when none did), from the
+	// /gc/pauses:seconds runtime/metrics histogram diffed across the
+	// window; Goroutines is the live goroutine count sampled at the end of
+	// the window, workers still running.
+	GCPauseP99Nanos uint64
+	Goroutines      int
 
 	// Heap-allocation accounting over the hammer phase (runtime.MemStats
 	// deltas divided by Ops). The window covers everything live during the
@@ -374,10 +397,22 @@ func Run(o Options) Result {
 	for i := range workers {
 		workers[i] = NewRunner(m, s.NewThread(), o.Workload, o.Seed+int64(i)*7919+1)
 	}
-	elapsed, mallocs, bytes := hammer(workers, o.Duration)
+	srv := startObs(o, func(r *obs.Registry, fr *obs.FlightRecorder) {
+		s.RegisterObs(r, "")
+		if sf, ok := m.(interface {
+			RegisterObs(*obs.Registry, string)
+		}); ok {
+			sf.RegisterObs(r, "")
+		}
+	})
+	hr := hammer(workers, o.Duration)
+	if srv != nil {
+		srv.Close()
+	}
 
-	res := newResult(o, cm, 1, elapsed)
-	res.hammerMallocs, res.hammerBytes = mallocs, bytes
+	res := newResult(o, cm, 1, hr.elapsed)
+	res.hammerMallocs, res.hammerBytes = hr.mallocs, hr.bytes
+	res.GCPauseP99Nanos, res.Goroutines = hr.gcPauseP99, hr.goroutines
 	for _, w := range workers {
 		res.addWorker(w)
 		res.STM.Add(w.th.Stats())
@@ -465,7 +500,19 @@ func runForest(o Options) Result {
 		handles[i] = f.NewHandle()
 		workers[i] = NewTargetRunner(handles[i], o.Workload, o.Seed+int64(i)*7919+1)
 	}
-	elapsed, mallocs, bytes := hammer(workers, o.Duration)
+	srv := startObs(o, func(r *obs.Registry, fr *obs.FlightRecorder) {
+		f.RegisterObs(r)
+		f.SetFlightRecorder(fr)
+		if dl != nil {
+			dl.RegisterObs(r)
+			dl.SetFlightRecorder(fr)
+		}
+	})
+	hr := hammer(workers, o.Duration)
+	elapsed := hr.elapsed
+	if srv != nil {
+		srv.Close()
+	}
 	if dl != nil {
 		dl.Close()
 	}
@@ -474,7 +521,8 @@ func runForest(o Options) Result {
 	f.Close()
 
 	res := newResult(o, cm, shards, elapsed)
-	res.hammerMallocs, res.hammerBytes = mallocs, bytes
+	res.hammerMallocs, res.hammerBytes = hr.mallocs, hr.bytes
+	res.GCPauseP99Nanos, res.Goroutines = hr.gcPauseP99, hr.goroutines
 	if dl != nil {
 		res.Durable = true
 		res.Wal = dl.Stats()
@@ -519,11 +567,24 @@ func runForest(o Options) Result {
 	return res
 }
 
+// hammerResult carries the hammer window's whole-system measurements:
+// wall time, heap-allocation deltas, the GC pause p99 among cycles inside
+// the window, and the live goroutine count sampled while the workers were
+// still running.
+type hammerResult struct {
+	elapsed    time.Duration
+	mallocs    uint64
+	bytes      uint64
+	gcPauseP99 uint64
+	goroutines int
+}
+
 // hammer runs every worker in its own goroutine for the given duration. It
 // also reports the heap-allocation deltas (mallocs, bytes) over the window,
 // measured with ReadMemStats just outside the timed region so the
-// stop-the-world cost of the reads never lands inside the throughput window.
-func hammer(workers []*Runner, d time.Duration) (time.Duration, uint64, uint64) {
+// stop-the-world cost of the reads never lands inside the throughput
+// window; the GC-pause histogram reads sit outside it for the same reason.
+func hammer(workers []*Runner, d time.Duration) hammerResult {
 	var stopFlag atomic.Bool
 	var start, ready sync.WaitGroup
 	start.Add(1)
@@ -538,16 +599,89 @@ func hammer(workers []*Runner, d time.Duration) (time.Duration, uint64, uint64) 
 			ready.Done()
 		}()
 	}
+	gcs := []metrics.Sample{{Name: "/gc/pauses:seconds"}}
+	metrics.Read(gcs)
+	base := cloneGCHist(gcs[0].Value)
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
 	t0 := time.Now()
 	start.Done()
 	time.Sleep(d)
+	goroutines := runtime.NumGoroutine() // workers (and maintenance) still live
 	stopFlag.Store(true)
 	ready.Wait()
 	elapsed := time.Since(t0)
 	runtime.ReadMemStats(&ms1)
-	return elapsed, ms1.Mallocs - ms0.Mallocs, ms1.TotalAlloc - ms0.TotalAlloc
+	metrics.Read(gcs)
+	return hammerResult{
+		elapsed:    elapsed,
+		mallocs:    ms1.Mallocs - ms0.Mallocs,
+		bytes:      ms1.TotalAlloc - ms0.TotalAlloc,
+		gcPauseP99: gcPauseP99(base, gcs[0].Value),
+		goroutines: goroutines,
+	}
+}
+
+// cloneGCHist copies a /gc/pauses:seconds sample's bucket counts (metrics.Read
+// reuses the histogram buffers across calls, so the window's start state must
+// be snapshotted). Nil when the runtime does not expose the histogram.
+func cloneGCHist(v metrics.Value) *metrics.Float64Histogram {
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	h := v.Float64Histogram()
+	return &metrics.Float64Histogram{
+		Counts:  append([]uint64(nil), h.Counts...),
+		Buckets: h.Buckets,
+	}
+}
+
+// gcPauseP99 diffs the process-lifetime GC pause histogram across the hammer
+// window and cuts the p99 of the pauses that happened inside it, nanoseconds.
+func gcPauseP99(base *metrics.Float64Histogram, end metrics.Value) uint64 {
+	if base == nil || end.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	eh := end.Float64Histogram()
+	if len(eh.Counts) != len(base.Counts) {
+		return 0
+	}
+	diff := metrics.Float64Histogram{
+		Counts:  make([]uint64, len(eh.Counts)),
+		Buckets: eh.Buckets,
+	}
+	for i, c := range eh.Counts {
+		diff.Counts[i] = c - base.Counts[i]
+	}
+	return obs.HistogramQuantileNanos(&diff, 0.99)
+}
+
+// startObs builds the run's observability layer when Options ask for one
+// (nil otherwise): registry + flight recorder + live HTTP endpoint.
+// register hooks the measured structures into the registry before the
+// endpoint goes live; ObsReady fires with the bound address before the
+// hammer phase starts.
+func startObs(o Options, register func(r *obs.Registry, fr *obs.FlightRecorder)) *obs.Server {
+	if o.ObsAddr == "" && o.ObsReady == nil {
+		return nil
+	}
+	r := obs.NewRegistry()
+	fr := obs.NewFlightRecorder(4096)
+	r.SetFlight(fr)
+	obs.RegisterRuntime(r)
+	register(r, fr)
+	addr := o.ObsAddr
+	if addr == "" {
+		addr = ":0"
+	}
+	srv, err := obs.Serve(addr, r)
+	if err != nil {
+		panic(err)
+	}
+	if o.ObsReady != nil {
+		o.ObsReady(srv.Addr())
+	}
+	return srv
 }
 
 func newResult(o Options, cm stm.ContentionManager, shards int, elapsed time.Duration) Result {

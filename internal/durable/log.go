@@ -86,6 +86,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Defaults for the zero Options value.
@@ -284,6 +286,14 @@ type Log struct {
 	payload  []byte
 	framed   []byte
 	st       Stats
+
+	// Observability hooks, all optional (nil when the obs layer is not
+	// wired): the flight recorder receives checkpoint/stall/drop/rotation
+	// events, the histograms fsync latency and checkpoint duration. Set
+	// under mu (SetFlightRecorder/RegisterObs), read by paths holding mu.
+	fr    *obs.FlightRecorder
+	syncH *obs.Histogram
+	ckptH *obs.Histogram
 
 	// dirtyKeys is the per-shard set of keys mutated since the last
 	// checkpoint capture, maintained at append time under mu — the same
@@ -497,6 +507,7 @@ func (l *Log) appendLocked(atomic bool) {
 		// cannot produce a recoverable prefix. Count the drop and wait for
 		// the next rotation to try a fresh segment.
 		l.st.Dropped++
+		l.fr.Record(obs.EvWALDrop, 0, int64(len(l.payload)), 0)
 		return
 	}
 	if len(l.payload) > maxPayload {
@@ -507,12 +518,14 @@ func (l *Log) appendLocked(atomic bool) {
 		// error instead of appending. Only this record is dropped — the
 		// segment stays healthy.
 		l.st.Dropped++
+		l.fr.Record(obs.EvWALDrop, 0, int64(len(l.payload)), 0)
 		l.setErrLocked(fmt.Errorf("durable: record payload %d bytes exceeds the %d-byte bound; transaction not logged", len(l.payload), maxPayload))
 		return
 	}
 	l.framed = frame(l.framed[:0], l.payload)
 	if _, err := l.w.Write(l.framed); err != nil {
 		l.st.Dropped++
+		l.fr.Record(obs.EvWALDrop, 0, int64(len(l.framed)), 0)
 		l.setErrLocked(err)
 		l.wedged = true
 		return
@@ -544,7 +557,15 @@ func (l *Log) appendLocked(atomic bool) {
 		// (and the committer's queue) bounded instead of letting it grow
 		// with the write rate.
 		l.st.Stalls++
+		pre := l.unsynced
+		var t0 time.Time
+		if l.fr != nil {
+			t0 = time.Now()
+		}
 		l.flushSyncLocked()
+		if l.fr != nil {
+			l.fr.Record(obs.EvWALStall, time.Since(t0), int64(pre), 0)
+		}
 	}
 }
 
@@ -569,10 +590,17 @@ func (l *Log) flushSyncLocked() {
 		l.st.Flushes++
 	}
 	if l.dirty {
+		var t0 time.Time
+		if l.syncH != nil {
+			t0 = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			l.setErrLocked(err)
 			l.wedged = true
 			return
+		}
+		if l.syncH != nil {
+			l.syncH.Record(uint64(time.Since(t0)))
 		}
 		l.st.Syncs++
 		l.dirty = false
@@ -657,8 +685,9 @@ func (l *Log) checkpoint(src Source, truncate bool) error {
 			return nil
 		}
 	}
-	wantDelta := deltas && len(l.chain) > 0 &&
-		len(l.chain)-1 < l.o.compactEvery() &&
+	chainLen := len(l.chain)
+	wantDelta := deltas && chainLen > 0 &&
+		chainLen-1 < l.o.compactEvery() &&
 		l.chainFullPairs > 0 &&
 		float64(dirtyCount) <= l.o.deltaMaxFrac()*float64(l.chainFullPairs)
 	var captured []map[uint64]struct{}
@@ -680,6 +709,7 @@ func (l *Log) checkpoint(src Source, truncate bool) error {
 		return err
 	}
 	l.st.Rotations++
+	l.fr.Record(obs.EvWALRotate, 0, int64(base), 0)
 	l.mu.Unlock()
 
 	var err error
@@ -709,8 +739,23 @@ func (l *Log) checkpoint(src Source, truncate bool) error {
 	}
 	l.st.CheckpointPairs += uint64(pairCount)
 	l.st.CheckpointBytes += uint64(fileBytes)
-	l.st.CheckpointNanos += uint64(time.Since(start).Nanoseconds())
+	dur := time.Since(start)
+	l.st.CheckpointNanos += uint64(dur.Nanoseconds())
 	l.st.FilesRemoved += uint64(removed)
+	if l.ckptH != nil {
+		l.ckptH.Record(uint64(dur.Nanoseconds()))
+	}
+	if l.fr != nil {
+		kind := obs.EvCheckpointFull
+		if wantDelta {
+			kind = obs.EvCheckpointDelta
+		} else if deltas && chainLen > 1 {
+			// A full base superseding a multi-entry delta chain is the
+			// compaction case: the chain's history collapses into one file.
+			kind = obs.EvCompaction
+		}
+		l.fr.Record(kind, dur, int64(fileBytes), int64(pairCount))
+	}
 	l.mu.Unlock()
 	return nil
 }

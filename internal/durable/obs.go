@@ -1,0 +1,60 @@
+package durable
+
+import (
+	"repro/internal/obs"
+)
+
+// SetFlightRecorder attaches a flight recorder: from now on the log records
+// checkpoint/compaction phases, WAL stalls, drops and rotations into it.
+// Attach before the first append (repro.Open and the bench harness do);
+// a nil recorder detaches.
+func (l *Log) SetFlightRecorder(fr *obs.FlightRecorder) {
+	l.mu.Lock()
+	l.fr = fr
+	l.mu.Unlock()
+}
+
+// RegisterObs registers the log's counters and latency histograms with an
+// observability registry. The counter families are collected from the same
+// mutex-guarded Stats struct every other reader uses — one consistent
+// snapshot per scrape, never field-by-field torn reads. The histograms
+// (fsync latency, checkpoint duration) are recorded by the log itself once
+// registered.
+func (l *Log) RegisterObs(r *obs.Registry) {
+	syncH := r.Histogram("durable_sync_nanos", "fsync latency of the live WAL segment, nanoseconds.")
+	ckptH := r.Histogram("durable_checkpoint_nanos", "Wall time per checkpoint, nanoseconds.")
+	l.mu.Lock()
+	l.syncH = syncH
+	l.ckptH = ckptH
+	l.mu.Unlock()
+	r.RegisterCollector(func(emit func(obs.Sample)) {
+		st := l.Stats()
+		counter := func(name, help string, v uint64) {
+			emit(obs.Sample{Name: name, Kind: obs.KindCounter, Help: help, Value: float64(v)})
+		}
+		counter("durable_wal_records_total", "Records appended (update + atomic).", st.Records)
+		counter("durable_wal_atomic_records_total", "The cross-shard subset of records.", st.AtomicRecords)
+		counter("durable_wal_bytes_total", "Framed bytes appended.", st.Bytes)
+		counter("durable_wal_flushes_total", "Buffered-writer flushes.", st.Flushes)
+		counter("durable_wal_syncs_total", "fsyncs of the live segment.", st.Syncs)
+		counter("durable_wal_stalls_total", "Appends that hit the unsynced-bytes bound and fsynced inline.", st.Stalls)
+		counter("durable_wal_dropped_total", "Records not logged (oversize, or appended while wedged).", st.Dropped)
+		counter("durable_wal_rotations_total", "Segment rotations.", st.Rotations)
+		counter("durable_checkpoints_total", "Checkpoints sealed (full bases + deltas).", st.Checkpoints)
+		counter("durable_delta_checkpoints_total", "The incremental subset of checkpoints.", st.DeltaCheckpoints)
+		counter("durable_skipped_checkpoints_total", "Checkpoints skipped because nothing was dirty.", st.SkippedCheckpoints)
+		counter("durable_checkpoint_pairs_total", "Pairs written across all checkpoints.", st.CheckpointPairs)
+		counter("durable_checkpoint_bytes_total", "Bytes written across checkpoint, delta and manifest files.", st.CheckpointBytes)
+		counter("durable_files_removed_total", "Obsolete segments, checkpoints and manifests deleted.", st.FilesRemoved)
+	})
+}
+
+// RecordRecovery records a completed recovery pass into the flight
+// recorder: the durable directory was replayed into memory (Open did it,
+// or a harness re-opened a finished run's directory to time restart cost).
+func RecordRecovery(fr *obs.FlightRecorder, rec *Recovery) {
+	if fr == nil || rec == nil {
+		return
+	}
+	fr.Record(obs.EvRecovery, rec.Elapsed, int64(rec.OpsApplied), int64(rec.Records))
+}

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/ring"
 	"repro/internal/stm"
 	"repro/internal/trees"
@@ -286,6 +287,12 @@ func (h *Handle) applyBatch(sh *shard, si int, batch []*batchOp) {
 	})
 	executed = true
 	th.NoteBatch(len(batch))
+	if bh := h.f.batchH.Load(); bh != nil {
+		bh.Record(uint64(len(batch)))
+	}
+	if fr := h.f.fr.Load(); fr != nil {
+		fr.Record(obs.EvBatch, 0, int64(len(batch)), int64(si))
+	}
 	for _, op := range batch {
 		complete(op)
 	}

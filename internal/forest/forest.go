@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/durable"
 	"repro/internal/ftx"
+	"repro/internal/obs"
 	"repro/internal/sftree"
 	"repro/internal/stm"
 	"repro/internal/trees"
@@ -133,6 +134,18 @@ type Forest struct {
 	batchN    int
 	batchWait time.Duration
 	drainH    *Handle
+
+	// fr and batchH are the optional observability hooks (obs.go): the
+	// flight recorder receives combiner-batch and maintenance events, the
+	// histogram the combiner's batch sizes. Atomic pointers because they
+	// attach while application goroutines are already running batches.
+	fr     atomic.Pointer[obs.FlightRecorder]
+	batchH atomic.Pointer[obs.Histogram]
+	// coordMu/coords track every cross-shard coordinator handed out by
+	// Handle.Atomic, so the registry's ftx collector can aggregate their
+	// per-coordinator snapshots into forest-wide series.
+	coordMu sync.Mutex
+	coords  []*ftx.Coordinator
 
 	// wal is the attached write-ahead log (nil for a volatile forest):
 	// every committed mutating transaction appends one record through it,

@@ -292,6 +292,7 @@ func (h *Handle) Atomic(fn func(t *ftx.Tx) error) error {
 		if h.f.wal != nil {
 			h.coord.SetWAL(h.f.wal)
 		}
+		h.f.registerCoord(h.coord)
 	}
 	return h.coord.Run(fn)
 }

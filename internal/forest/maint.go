@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sftree"
 )
 
@@ -337,11 +338,20 @@ func (p *maintPool) scan() bool {
 			sh.nextDrain.Store(time.Now().UnixNano() + p.adaptPacing(sh))
 			if hints > 0 {
 				p.f.pc.hintBatches.Add(1)
+				if fr := p.f.fr.Load(); fr != nil {
+					fr.Record(obs.EvMaintDrain, time.Since(t0), int64(hints), int64(work))
+				}
 			}
 		}
 		if sweepDue {
+			s0 := time.Now()
 			w := sh.mt.RunMaintenancePass()
 			p.f.pc.sweeps.Add(1)
+			if w > 0 {
+				if fr := p.f.fr.Load(); fr != nil {
+					fr.Record(obs.EvMaintSweep, time.Since(s0), int64(w), 0)
+				}
+			}
 			// Adapt the fallback frequency: a productive sweep resets the
 			// gap, an idle one doubles it up to the cap.
 			gap := sh.sweepGap.Load()

@@ -1,0 +1,84 @@
+package forest
+
+import (
+	"strconv"
+
+	"repro/internal/ftx"
+	"repro/internal/obs"
+)
+
+// SetFlightRecorder attaches a flight recorder to the forest: combiner
+// batch executions and maintenance-pool drain/sweep sessions record into
+// it from now on. Safe to attach while the forest is in use; a nil
+// recorder detaches. The attached WAL (if any) keeps its own recorder —
+// see durable.Log.SetFlightRecorder.
+func (f *Forest) SetFlightRecorder(fr *obs.FlightRecorder) {
+	f.fr.Store(fr)
+}
+
+// RegisterObs registers every layer of the forest with an observability
+// registry: per-shard STM commit/abort/cause series (shard="i" labels),
+// per-shard tree maintenance counters for kinds that expose them, the
+// maintenance worker pool's gauges and counters, the combiner's batch-size
+// histogram, and the aggregated cross-shard coordinator series. All
+// collection paths read atomics or seqlock mirrors — a scrape never pauses
+// application or maintenance threads.
+func (f *Forest) RegisterObs(r *obs.Registry) {
+	for i, sh := range f.shards {
+		label := `shard="` + strconv.Itoa(i) + `"`
+		sh.stm.RegisterObs(r, label)
+		if sf, ok := sh.m.(interface {
+			RegisterObs(*obs.Registry, string)
+		}); ok {
+			sf.RegisterObs(r, label)
+		}
+	}
+	f.batchH.Store(r.Histogram("forest_batch_size",
+		"Operations executed per combiner batch (one shard transaction each)."))
+	r.RegisterCollector(func(emit func(obs.Sample)) {
+		ps := f.PoolStats()
+		gauge := func(name, help string, v float64) {
+			emit(obs.Sample{Name: name, Kind: obs.KindGauge, Help: help, Value: v})
+		}
+		counter := func(name, help string, v uint64) {
+			emit(obs.Sample{Name: name, Kind: obs.KindCounter, Help: help, Value: float64(v)})
+		}
+		gauge("forest_pool_workers", "Configured maintenance pool ceiling.", float64(ps.Workers))
+		gauge("forest_pool_active_workers", "Maintenance workers currently unparked.", float64(ps.ActiveWorkers))
+		counter("forest_pool_grows_total", "Adaptive pool size increases.", ps.Grows)
+		counter("forest_pool_shrinks_total", "Adaptive pool size decreases.", ps.Shrinks)
+		counter("forest_pool_busy_nanos_total", "Cumulative time workers spent draining hints and sweeping.", ps.BusyNanos)
+		counter("forest_pool_wakeups_total", "Idle workers woken by hint arrival.", ps.Wakeups)
+		counter("forest_pool_sweeps_total", "Full fallback maintenance sweeps.", ps.Sweeps)
+		counter("forest_pool_hint_batches_total", "Shard claims that consumed at least one hint.", ps.HintBatches)
+		gauge("forest_hint_backlog", "Queued maintenance hints across shards right now.", float64(ps.Backlog))
+		gauge("forest_pool_pacing_nanos", "Mean current hint-drain pacing gap, nanoseconds.", float64(ps.PacingNanos))
+	})
+	r.RegisterCollector(func(emit func(obs.Sample)) {
+		f.coordMu.Lock()
+		coords := make([]*ftx.Coordinator, len(f.coords))
+		copy(coords, f.coords)
+		f.coordMu.Unlock()
+		var st ftx.Stats
+		for _, c := range coords {
+			st.Add(c.Stats())
+		}
+		counter := func(name, help string, v uint64) {
+			emit(obs.Sample{Name: name, Kind: obs.KindCounter, Help: help, Value: float64(v)})
+		}
+		counter("ftx_commits_total", "Committed cross-shard transactions (all protocol paths).", st.Commits)
+		counter("ftx_single_shard_commits_total", "The subset of commits that fell back to one ordinary single-shard transaction.", st.Fallbacks)
+		counter("ftx_readonly_commits_total", "The subset of commits that took the read-only double-clock-read path.", st.ReadOnly)
+		counter("ftx_aborts_total", "Failed cross-shard commit attempts that were retried.", st.Aborts)
+		counter("ftx_intent_conflicts_total", "The subset of aborts caused by another coordinator's intent.", st.IntentConflicts)
+		counter("ftx_user_aborts_total", "Transactions abandoned because fn returned an error.", st.UserAborts)
+	})
+}
+
+// registerCoord adds a freshly created cross-shard coordinator to the
+// forest's aggregation list (Handle.Atomic calls it once per handle).
+func (f *Forest) registerCoord(c *ftx.Coordinator) {
+	f.coordMu.Lock()
+	f.coords = append(f.coords, c)
+	f.coordMu.Unlock()
+}

@@ -81,6 +81,7 @@ import (
 	"sort"
 
 	"repro/internal/durable"
+	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/trees"
 )
@@ -148,11 +149,29 @@ func (s *Stats) Add(o Stats) {
 	s.UserAborts += o.UserAborts
 }
 
+// Indices of the Stats fields inside the seqlock-published live mirror
+// (see Coordinator.publish).
+const (
+	liveCommits = iota
+	liveFallbacks
+	liveReadOnly
+	liveAborts
+	liveIntentConflicts
+	liveUserAborts
+	liveFields
+)
+
 // Coordinator runs cross-shard transactions against one Domain. Like the
 // handle it is built from, a Coordinator belongs to one goroutine.
 type Coordinator struct {
 	d     Domain
 	stats Stats
+	// live is the seqlock-published mirror of stats: the owning goroutine
+	// republishes the whole struct once per Run iteration, and Stats()
+	// reads it under the seqlock, so a concurrent reader gets one
+	// consistent multi-field snapshot rather than the torn field-by-field
+	// view plain loads would give.
+	live *obs.Group
 
 	// wal, when set, receives one durable record per committed transaction:
 	// an atomic multi-shard record emitted at finalize (so the commit's
@@ -166,14 +185,44 @@ type Coordinator struct {
 }
 
 // NewCoordinator returns a coordinator for d.
-func NewCoordinator(d Domain) *Coordinator { return &Coordinator{d: d} }
+func NewCoordinator(d Domain) *Coordinator {
+	return &Coordinator{d: d, live: obs.NewGroup(liveFields)}
+}
 
 // SetWAL attaches a write-ahead log: every transaction the coordinator
 // commits from now on is logged. Set before the coordinator is used.
 func (c *Coordinator) SetWAL(l *durable.Log) { c.wal = l }
 
-// Stats returns a snapshot of the coordinator's counters.
-func (c *Coordinator) Stats() Stats { return c.stats }
+// publish republishes the owner-side counters into the live mirror; called
+// by the owning goroutine once per Run iteration (a handful of atomic
+// stores per whole cross-shard transaction — noise next to the protocol).
+func (c *Coordinator) publish() {
+	c.live.Begin()
+	c.live.Set(liveCommits, c.stats.Commits)
+	c.live.Set(liveFallbacks, c.stats.Fallbacks)
+	c.live.Set(liveReadOnly, c.stats.ReadOnly)
+	c.live.Set(liveAborts, c.stats.Aborts)
+	c.live.Set(liveIntentConflicts, c.stats.IntentConflicts)
+	c.live.Set(liveUserAborts, c.stats.UserAborts)
+	c.live.End()
+}
+
+// Stats returns a consistent snapshot of the coordinator's counters. Safe
+// to call from any goroutine at any time: it reads the seqlock-published
+// mirror, never the owner's plain fields, so the returned struct is one
+// coherent publish — no torn multi-field reads.
+func (c *Coordinator) Stats() Stats {
+	var v [liveFields]uint64
+	c.live.Read(v[:])
+	return Stats{
+		Commits:         v[liveCommits],
+		Fallbacks:       v[liveFallbacks],
+		ReadOnly:        v[liveReadOnly],
+		Aborts:          v[liveAborts],
+		IntentConflicts: v[liveIntentConflicts],
+		UserAborts:      v[liveUserAborts],
+	}
+}
 
 // Run executes fn as one atomic cross-shard transaction (see the package
 // comment for the protocol), retrying on conflict until it commits. It
@@ -186,9 +235,11 @@ func (c *Coordinator) Run(fn func(*Tx) error) error {
 		parts, err, committed := c.attempt(t, fn)
 		if err != nil {
 			c.stats.UserAborts++
+			c.publish()
 			return err
 		}
 		if committed {
+			c.publish()
 			if len(parts) > 0 {
 				cm := parts[0].sh.Thread.STM().ContentionManager()
 				cm.OnCommit(parts[0].sh.Thread, retries)
@@ -196,6 +247,7 @@ func (c *Coordinator) Run(fn func(*Tx) error) error {
 			return nil
 		}
 		c.stats.Aborts++
+		c.publish()
 		retries++
 		if len(parts) > 0 {
 			// Stall through the lowest participating shard's contention

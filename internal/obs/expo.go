@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4): one # HELP / # TYPE header per family (samples
+// sharing a Name), then the series. Histograms expose cumulative
+// _bucket{le="..."} series at the log2 bucket bounds, _sum, and _count.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
+	for _, sm := range s.Samples {
+		if sm.Name != lastFamily {
+			lastFamily = sm.Name
+			help := sm.Help
+			if help == "" {
+				help = sm.Name
+			}
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", sm.Name, help, sm.Name, sm.Kind); err != nil {
+				return err
+			}
+		}
+		if sm.Kind == KindHistogram && sm.Hist != nil {
+			if err := writePromHist(w, sm); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", sm.Name, promLabels(sm.Label), formatFloat(sm.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHist(w io.Writer, sm Sample) error {
+	h := sm.Hist
+	// Emit buckets up to the highest non-empty one (plus +Inf), so an
+	// all-zero histogram is one +Inf line, not 65.
+	top := -1
+	for i, c := range h.Buckets {
+		if c != 0 {
+			top = i
+		}
+	}
+	cum := uint64(0)
+	for i := 0; i <= top && i < 64; i++ {
+		cum += h.Buckets[i]
+		le := strconv.FormatUint(BucketUpper(i), 10)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", sm.Name, promLabels(joinLabels(sm.Label, `le="`+le+`"`)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", sm.Name, promLabels(joinLabels(sm.Label, `le="+Inf"`)), h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n",
+		sm.Name, promLabels(sm.Label), h.Sum, sm.Name, promLabels(sm.Label), h.Count); err != nil {
+		return err
+	}
+	return nil
+}
+
+func promLabels(l string) string {
+	if l == "" {
+		return ""
+	}
+	return "{" + l + "}"
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonSample is the JSON shape: kind is spelled out, histogram quantile
+// summaries are precomputed so consumers don't need the bucket scheme.
+type jsonSample struct {
+	Name  string  `json:"name"`
+	Label string  `json:"label,omitempty"`
+	Kind  string  `json:"kind"`
+	Value float64 `json:"value"`
+	Count uint64  `json:"count,omitempty"`
+	P50   uint64  `json:"p50,omitempty"`
+	P99   uint64  `json:"p99,omitempty"`
+}
+
+// WriteJSON writes the snapshot as a JSON document.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	out := struct {
+		TakenAt string       `json:"taken_at"`
+		Samples []jsonSample `json:"samples"`
+	}{TakenAt: s.TakenAt.UTC().Format("2006-01-02T15:04:05.000Z07:00")}
+	for _, sm := range s.Samples {
+		js := jsonSample{Name: sm.Name, Label: sm.Label, Kind: sm.Kind.String(), Value: sm.Value}
+		if sm.Hist != nil {
+			js.Count = sm.Hist.Count
+			js.P50 = sm.Hist.Quantile(0.50)
+			js.P99 = sm.Hist.Quantile(0.99)
+		}
+		out.Samples = append(out.Samples, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,52 @@
+package obs
+
+import "sync/atomic"
+
+// Group is a seqlock-published set of related values with a single-writer
+// publish side and any number of concurrent readers. The writer brackets a
+// batch of Set calls with Begin/End; Read retries until it observes a
+// quiet, unchanged version, so the values it returns all belong to one
+// publish — no torn multi-field snapshots. All storage is atomic, so the
+// pattern is race-detector-clean.
+//
+// The intended use is a layer that keeps authoritative plain counters on
+// their owner's stack/struct (free to update) and publishes a consistent
+// mirror once per coarse unit of work (e.g. per transaction attempt loop),
+// which readers snapshot without stopping the owner.
+type Group struct {
+	seq  atomic.Uint64
+	vals []atomic.Uint64
+}
+
+// NewGroup returns a group of n values, all zero.
+func NewGroup(n int) *Group {
+	return &Group{vals: make([]atomic.Uint64, n)}
+}
+
+// Len returns the number of values.
+func (g *Group) Len() int { return len(g.vals) }
+
+// Begin opens a publish window. Writer-side only; one writer at a time.
+func (g *Group) Begin() { g.seq.Add(1) }
+
+// Set stores value i inside a Begin/End window.
+func (g *Group) Set(i int, v uint64) { g.vals[i].Store(v) }
+
+// End closes the publish window.
+func (g *Group) End() { g.seq.Add(1) }
+
+// Read fills out (len(out) <= Len()) with a consistent view of the values.
+func (g *Group) Read(out []uint64) {
+	for {
+		v1 := g.seq.Load()
+		if v1&1 == 1 {
+			continue
+		}
+		for i := range out {
+			out[i] = g.vals[i].Load()
+		}
+		if g.seq.Load() == v1 {
+			return
+		}
+	}
+}

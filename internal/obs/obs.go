@@ -1,0 +1,69 @@
+// Package obs is the unified observability layer: a registry of
+// cache-line-padded lock-free metric primitives that every layer of the
+// store registers into, a bounded flight recorder for recent notable
+// events, and an opt-in HTTP endpoint serving Prometheus-text /metrics, a
+// JSON snapshot, the flight-recorder dump, and net/http/pprof.
+//
+// The design rule is that the hot path pays for nothing it does not use: a
+// Counter increment or Histogram record is a single padded atomic add with
+// no allocation, no lock, and no interface dispatch, and the layers that
+// publish per-thread statistics (the STM) do so with owner-local plain
+// counters mirrored by atomic stores, so a /metrics scrape never pauses
+// application or maintenance threads. All aggregation cost lives on the
+// scrape path.
+package obs
+
+import "sync/atomic"
+
+// Kind classifies a metric sample for exposition.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing counter padded to a cache line so
+// independently owned counters never false-share. Inc/Add compile down to
+// a single LOCK XADD on the counter's own line.
+type Counter struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed value, padded like Counter.
+type Gauge struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }

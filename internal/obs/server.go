@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/metrics"
+	"time"
+)
+
+// Handler returns the observability mux for a registry: Prometheus-text
+// /metrics, a JSON snapshot at /snapshot, the flight-recorder dump at
+// /flight (text) and /flight.json, and the standard net/http/pprof tree
+// under /debug/pprof/.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
+		f := r.Flight()
+		if f == nil {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		f.WriteTo(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "repro observability endpoint\n\n/metrics\n/snapshot\n/flight\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":9100" or
+// "127.0.0.1:0") and returns once it is listening. It never blocks the
+// caller's hot path: all collection work happens per request.
+func Serve(addr string, r *Registry) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{l: l, srv: &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(l)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// RegisterRuntime registers a collector exposing a small set of Go runtime
+// health series: goroutine count, heap bytes, and the GC pause p99 over
+// the process lifetime (from runtime/metrics).
+func RegisterRuntime(r *Registry) {
+	samples := []metrics.Sample{
+		{Name: "/gc/pauses:seconds"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+	}
+	r.RegisterCollector(func(emit func(Sample)) {
+		emit(Sample{Name: "go_goroutines", Kind: KindGauge, Help: "Number of live goroutines.", Value: float64(runtime.NumGoroutine())})
+		metrics.Read(samples)
+		if h := samples[0].Value; h.Kind() == metrics.KindFloat64Histogram {
+			emit(Sample{Name: "go_gc_pause_p99_ns", Kind: KindGauge,
+				Help: "p99 GC pause over the process lifetime, nanoseconds.",
+				Value: float64(histQuantileNanos(h.Float64Histogram(), 0.99))})
+		}
+		if v := samples[1].Value; v.Kind() == metrics.KindUint64 {
+			emit(Sample{Name: "go_heap_objects_bytes", Kind: KindGauge, Help: "Heap memory occupied by live objects.", Value: float64(v.Uint64())})
+		}
+	})
+}
+
+// histQuantileNanos returns the q-th quantile of a runtime/metrics
+// seconds histogram, in nanoseconds. Exported logic shared with the bench
+// harness via HistogramQuantileNanos.
+func histQuantileNanos(h *metrics.Float64Histogram, q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	total := uint64(0)
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			// Bucket i spans (Buckets[i], Buckets[i+1]]; report the upper
+			// edge. The first/last edges can be +-Inf.
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 0) || math.IsNaN(hi) {
+				hi = h.Buckets[i]
+			}
+			if hi < 0 || math.IsInf(hi, 0) || math.IsNaN(hi) {
+				hi = 0
+			}
+			return uint64(hi * 1e9)
+		}
+	}
+	return 0
+}
+
+// HistogramQuantileNanos exposes the runtime/metrics histogram quantile
+// helper for harnesses that sample /gc/pauses:seconds themselves.
+func HistogramQuantileNanos(h *metrics.Float64Histogram, q float64) uint64 {
+	return histQuantileNanos(h, q)
+}

@@ -218,6 +218,10 @@ func New(s *stm.STM, opts ...Option) *Tree {
 	}
 	t.collector = arena.NewCollector(ar)
 	t.maintTh = s.NewThread()
+	// Every transaction this thread runs is structural (rotation, removal,
+	// targeted repair): mark it so the STM's abort taxonomy splits its
+	// commits/aborts from the semantic operations'.
+	t.maintTh.MarkStructural()
 	return t
 }
 

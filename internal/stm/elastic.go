@@ -17,7 +17,7 @@ package stm
 func (tx *Tx) elasticRecord(w *Word, meta uint64) {
 	for i := 0; i < tx.windowN; i++ {
 		if !tx.validEntry(&tx.window[i]) {
-			tx.abort()
+			tx.abort(AbortValidation)
 		}
 	}
 	if tx.windowN == elasticWindow {
@@ -36,7 +36,7 @@ func (tx *Tx) elasticRecord(w *Word, meta uint64) {
 func (tx *Tx) elasticUpgrade() {
 	for i := 0; i < tx.windowN; i++ {
 		if !tx.validEntry(&tx.window[i]) {
-			tx.abort()
+			tx.abort(AbortValidation)
 		}
 		tx.reads = append(tx.reads, tx.window[i])
 	}

@@ -30,7 +30,7 @@ func (lc *lifecycle) run() {
 			return
 		}
 		lc.retries++
-		th.stats.Retries++
+		th.noteRetry()
 		cm.OnAbort(th, lc.retries)
 	}
 }

@@ -125,7 +125,7 @@ func (p *Prepared) Drop() {
 	tx := &p.th.tx
 	tx.releaseLocks()
 	tx.nHooks = 0
-	p.th.stats.Aborts++
+	p.th.noteAbort(AbortCoordinated)
 	p.th.finishPreparedOp()
 }
 
@@ -137,7 +137,7 @@ func (p *Prepared) Drop() {
 // pluggable policy — and surface in the same Stats counters — as
 // single-domain retries.
 func (th *Thread) CoordinatedAbort(retries int) {
-	th.stats.Retries++
+	th.noteRetry()
 	th.stm.cm.OnAbort(th, retries)
 }
 
@@ -172,7 +172,7 @@ func (tx *Tx) prepare() bool {
 		e := &tx.writes[i]
 		m := e.w.meta.Load()
 		if isLocked(m) || !e.w.meta.CompareAndSwap(m, lock) {
-			tx.rollback()
+			tx.rollback(AbortLockWait)
 			return false
 		}
 		e.prevMeta = m
@@ -182,7 +182,7 @@ func (tx *Tx) prepare() bool {
 		tx.preparedWV = tx.th.stm.clock.Add(1)
 	}
 	if !tx.validateReads() {
-		tx.rollback()
+		tx.rollback(AbortValidation)
 		return false
 	}
 	tx.th.stats.Prepares++
@@ -195,7 +195,7 @@ func (tx *Tx) prepare() bool {
 func (tx *Tx) finalizePrepared() {
 	if len(tx.writes) == 0 {
 		tx.commitPos = tx.rv
-		tx.th.stats.Commits++
+		tx.th.noteCommit()
 		return
 	}
 	tx.commitPos = tx.preparedWV
@@ -209,5 +209,5 @@ func (tx *Tx) finalizePrepared() {
 		e.w.meta.Store(newMeta)
 		e.locked = false
 	}
-	tx.th.stats.Commits++
+	tx.th.noteCommit()
 }

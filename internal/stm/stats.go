@@ -1,5 +1,53 @@
 package stm
 
+// AbortCause classifies why a transaction attempt aborted — the taxonomy
+// that replaces staring at the single Aborts blob when attributing where
+// retries come from. Every abort site in the package charges exactly one
+// cause, so the per-cause counters always sum to Stats.Aborts.
+type AbortCause uint8
+
+const (
+	// AbortValidation: a read-set (or elastic-window) validation failure —
+	// some word this attempt read was overwritten after the snapshot and a
+	// timestamp extension could not save it. The classic optimistic-read
+	// conflict.
+	AbortValidation AbortCause = iota
+	// AbortLockWait: the attempt ran into a write lock held by a concurrent
+	// transaction — a commit-time (or prepare-time) lock CAS lost the race,
+	// or an ETL write found the word foreign-locked.
+	AbortLockWait
+	// AbortSpinExhausted: a read burned through its full spin budget twice
+	// on a locked word and gave up rather than risk livelock.
+	AbortSpinExhausted
+	// AbortExplicit: user code called Tx.Restart — the contention-manager
+	// kill path and "impossible observation" restarts of zombie attempts.
+	AbortExplicit
+	// AbortCoordinated: a prepared sub-transaction was dropped by its
+	// cross-shard coordinator (Prepared.Drop) because some other shard of
+	// the compound transaction failed.
+	AbortCoordinated
+	// NumAbortCauses sizes per-cause counter arrays.
+	NumAbortCauses = iota
+)
+
+// String returns the snake_case cause name used in metric labels and CSV
+// columns.
+func (c AbortCause) String() string {
+	switch c {
+	case AbortValidation:
+		return "validation"
+	case AbortLockWait:
+		return "lock_wait"
+	case AbortSpinExhausted:
+		return "spin_exhausted"
+	case AbortExplicit:
+		return "explicit"
+	case AbortCoordinated:
+		return "coordinated"
+	}
+	return "unknown"
+}
+
 // Stats aggregates the counters a thread accumulates while executing
 // transactions. The paper's Table 1 reports the maximum number of
 // transactional reads per operation *including* the reads performed by
@@ -11,6 +59,15 @@ type Stats struct {
 	// Aborts counts aborted transaction attempts (each retry that fails
 	// validation, loses a lock race, or is explicitly restarted).
 	Aborts uint64
+	// AbortCauses breaks Aborts down by cause; the entries always sum to
+	// Aborts (see AbortCause).
+	AbortCauses [NumAbortCauses]uint64
+	// StructuralCommits/StructuralAborts are the subset of Commits/Aborts
+	// charged by threads marked structural (Thread.MarkStructural): the
+	// maintenance transactions the paper decouples from semantic
+	// operations. Commits-StructuralCommits is the semantic commit count.
+	StructuralCommits uint64
+	StructuralAborts  uint64
 	// Reads counts transactional reads, including those executed by
 	// attempts that later aborted.
 	Reads uint64
@@ -61,6 +118,11 @@ type Stats struct {
 func (s *Stats) Add(o Stats) {
 	s.Commits += o.Commits
 	s.Aborts += o.Aborts
+	for i := range s.AbortCauses {
+		s.AbortCauses[i] += o.AbortCauses[i]
+	}
+	s.StructuralCommits += o.StructuralCommits
+	s.StructuralAborts += o.StructuralAborts
 	s.Reads += o.Reads
 	s.UReads += o.UReads
 	s.Writes += o.Writes
@@ -75,6 +137,16 @@ func (s *Stats) Add(o Stats) {
 	if o.MaxOpReads > s.MaxOpReads {
 		s.MaxOpReads = o.MaxOpReads
 	}
+}
+
+// AbortCauseSum returns the sum of the per-cause abort counters; it equals
+// Aborts by construction (the oracle suites assert this invariant).
+func (s *Stats) AbortCauseSum() uint64 {
+	var sum uint64
+	for _, c := range s.AbortCauses {
+		sum += c
+	}
+	return sum
 }
 
 // AbortRate returns aborts / (commits+aborts), or 0 when no transaction ran.

@@ -196,3 +196,41 @@ func (s *STM) TotalStats() Stats {
 	}
 	return t
 }
+
+// LiveStats is the subset of Stats that can be read race-free while the
+// domain's threads are running: each thread publishes these counters with
+// atomic stores right after its plain owner-local bump (see
+// Thread.noteCommit). The counters are individually current; as with any
+// live scrape they are not mutually transactional.
+type LiveStats struct {
+	Commits           uint64
+	Aborts            uint64
+	Retries           uint64
+	AbortCauses       [NumAbortCauses]uint64
+	StructuralCommits uint64
+	StructuralAborts  uint64
+}
+
+// Add accumulates o into s.
+func (s *LiveStats) Add(o LiveStats) {
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.Retries += o.Retries
+	for i := range s.AbortCauses {
+		s.AbortCauses[i] += o.AbortCauses[i]
+	}
+	s.StructuralCommits += o.StructuralCommits
+	s.StructuralAborts += o.StructuralAborts
+}
+
+// LiveStats sums the live-published counters of every registered thread.
+// Unlike TotalStats it is safe to call at any time, from any goroutine,
+// without quiescing the domain — it is the scrape path of the
+// observability layer.
+func (s *STM) LiveStats() LiveStats {
+	var t LiveStats
+	for _, th := range s.Threads() {
+		t.Add(th.liveStats())
+	}
+	return t
+}

@@ -30,6 +30,12 @@ type Thread struct {
 	accesses uint64 // transactional accesses, for the yield-injection knob
 	opsDone  uint64 // owner-local mirror of opCount (see completeOp)
 
+	// structural marks the thread as a maintenance driver: its commits and
+	// aborts are additionally charged to the Structural* counters, giving
+	// the structural-vs-semantic split of the abort taxonomy. Set once at
+	// setup (MarkStructural), before the thread runs transactions.
+	structural bool
+
 	// snapTx is the descriptor of the thread's read-only Snapshot session
 	// (snapshot.go), distinct from tx so a session can stay open across
 	// ordinary Atomic/Prepare calls; snapLive guards the per-thread
@@ -54,6 +60,16 @@ type Thread struct {
 	opCount atomic.Uint64
 	_       cacheLinePad
 
+	// live mirrors the subset of stats that is scrapeable while the thread
+	// runs (STM.LiveStats): the owner publishes each counter with a plain
+	// atomic store right after bumping its plain twin — the completeOp
+	// owner-local-mirror pattern, a MOV rather than a LOCK XADD on x86 — so
+	// a /metrics scrape sums them race-free without pausing anything. Like
+	// pending/opCount these are the only fields foreign goroutines read
+	// while the owner is hot, hence their own padded region.
+	live liveMirror
+	_    cacheLinePad
+
 	// tx is the reusable transaction descriptor. It is by far the largest
 	// field (it embeds the inline read/write sets), so it sits last, after
 	// the fields above have settled into the leading lines.
@@ -69,6 +85,71 @@ func (th *Thread) completeOp() {
 	th.opCount.Store(th.opsDone)
 }
 
+// liveMirror is the atomically published mirror of the live-scrapeable
+// counters (see the field comment on Thread.live).
+type liveMirror struct {
+	commits     atomic.Uint64
+	aborts      atomic.Uint64
+	retries     atomic.Uint64
+	causes      [NumAbortCauses]atomic.Uint64
+	structCommits atomic.Uint64
+	structAborts  atomic.Uint64
+}
+
+// noteCommit charges one committed transaction: the plain counter for
+// quiescent readers, the atomic mirror for live ones.
+func (th *Thread) noteCommit() {
+	th.stats.Commits++
+	th.live.commits.Store(th.stats.Commits)
+	if th.structural {
+		th.stats.StructuralCommits++
+		th.live.structCommits.Store(th.stats.StructuralCommits)
+	}
+}
+
+// noteAbort charges one aborted attempt to the taxonomy.
+func (th *Thread) noteAbort(cause AbortCause) {
+	th.stats.Aborts++
+	th.live.aborts.Store(th.stats.Aborts)
+	th.stats.AbortCauses[cause]++
+	th.live.causes[cause].Store(th.stats.AbortCauses[cause])
+	if th.structural {
+		th.stats.StructuralAborts++
+		th.live.structAborts.Store(th.stats.StructuralAborts)
+	}
+}
+
+// noteRetry charges one abort→retry transition.
+func (th *Thread) noteRetry() {
+	th.stats.Retries++
+	th.live.retries.Store(th.stats.Retries)
+}
+
+// MarkStructural marks this thread as a maintenance (structural) driver:
+// from now on its commits and aborts are additionally counted in
+// Stats.StructuralCommits/StructuralAborts. Call it once right after
+// NewThread, before the thread runs transactions; it is not synchronized.
+func (th *Thread) MarkStructural() { th.structural = true }
+
+// Structural reports whether MarkStructural was called.
+func (th *Thread) Structural() bool { return th.structural }
+
+// liveStats reads the thread's atomically published mirror. Safe from any
+// goroutine at any time; the fields are individually current but, as with
+// any live scrape, not mutually transactional.
+func (th *Thread) liveStats() LiveStats {
+	var ls LiveStats
+	ls.Commits = th.live.commits.Load()
+	ls.Aborts = th.live.aborts.Load()
+	ls.Retries = th.live.retries.Load()
+	for i := range ls.AbortCauses {
+		ls.AbortCauses[i] = th.live.causes[i].Load()
+	}
+	ls.StructuralCommits = th.live.structCommits.Load()
+	ls.StructuralAborts = th.live.structAborts.Load()
+	return ls
+}
+
 // Slot returns the thread's lock-owner slot id (1-based).
 func (th *Thread) Slot() uint64 { return th.slot }
 
@@ -80,8 +161,19 @@ func (th *Thread) STM() *STM { return th.stm }
 // atomic Pending/OpCount accessors instead.
 func (th *Thread) Stats() Stats { return th.stats }
 
-// ResetStats zeroes the thread's counters (between benchmark phases).
-func (th *Thread) ResetStats() { th.stats = Stats{} }
+// ResetStats zeroes the thread's counters (between benchmark phases),
+// including the live mirrors.
+func (th *Thread) ResetStats() {
+	th.stats = Stats{}
+	th.live.commits.Store(0)
+	th.live.aborts.Store(0)
+	th.live.retries.Store(0)
+	for i := range th.live.causes {
+		th.live.causes[i].Store(0)
+	}
+	th.live.structCommits.Store(0)
+	th.live.structAborts.Store(0)
+}
 
 // NoteBatch records one combiner batch of n coalesced operations committed
 // through this thread in a single transaction (Stats.Batches/BatchedOps).

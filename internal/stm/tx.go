@@ -215,13 +215,15 @@ func (tx *Tx) runCommitHooks() {
 func (tx *Tx) Mode() Mode { return tx.mode }
 
 // Restart aborts the current attempt; Atomic will re-run the transaction
-// from the beginning after backoff.
-func (tx *Tx) Restart() { tx.abort() }
+// from the beginning after backoff. Charged as an explicit abort in the
+// cause taxonomy.
+func (tx *Tx) Restart() { tx.abort(AbortExplicit) }
 
-// abort rolls back eagerly acquired locks, counts the abort and unwinds.
-func (tx *Tx) abort() {
+// abort rolls back eagerly acquired locks, counts the abort under its
+// cause and unwinds.
+func (tx *Tx) abort(cause AbortCause) {
 	tx.releaseLocks()
-	tx.th.stats.Aborts++
+	tx.th.noteAbort(cause)
 	panic(abortSignal)
 }
 
@@ -269,7 +271,7 @@ func (tx *Tx) Read(w *Word) uint64 {
 		// snapshot instead of aborting.
 		now := tx.th.stm.clock.Load()
 		if !tx.validateReads() {
-			tx.abort()
+			tx.abort(AbortValidation)
 		}
 		tx.th.stats.Extensions++
 		tx.rv = now
@@ -287,7 +289,7 @@ func (tx *Tx) sampleContended(w *Word) (uint64, uint64) {
 		v, meta, ok = w.sampleUnlocked(tx.th.maxSpin)
 		if !ok {
 			tx.th.stats.SpinExhausted++
-			tx.abort()
+			tx.abort(AbortSpinExhausted)
 		}
 	}
 	return v, meta
@@ -371,7 +373,7 @@ func (tx *Tx) writeETL(w *Word, v uint64) {
 		if isLocked(m) {
 			// Owned by a concurrent transaction (self-ownership is
 			// impossible: findWrite would have found the entry).
-			tx.abort()
+			tx.abort(AbortLockWait)
 		}
 		if w.meta.CompareAndSwap(m, lock) {
 			tx.writes = append(tx.writes, writeEntry{w: w, val: v, prevMeta: m, locked: true})
@@ -475,7 +477,7 @@ func (tx *Tx) commit() bool {
 		// values form a snapshot. Elastic read-only transactions validated
 		// their window hand-over-hand.
 		tx.commitPos = tx.rv
-		tx.th.stats.Commits++
+		tx.th.noteCommit()
 		return true
 	}
 	if tx.mode != ETL {
@@ -485,7 +487,7 @@ func (tx *Tx) commit() bool {
 			e := &tx.writes[i]
 			m := e.w.meta.Load()
 			if isLocked(m) || !e.w.meta.CompareAndSwap(m, lock) {
-				tx.rollback()
+				tx.rollback(AbortLockWait)
 				return false
 			}
 			e.prevMeta = m
@@ -511,7 +513,7 @@ func (tx *Tx) commit() bool {
 			clock.CompareAndSwap(c, wv)
 		}
 		if !tx.validateReads() {
-			tx.rollback()
+			tx.rollback(AbortValidation)
 			return false
 		}
 	}
@@ -526,12 +528,13 @@ func (tx *Tx) commit() bool {
 		e.w.meta.Store(newMeta)
 		e.locked = false
 	}
-	tx.th.stats.Commits++
+	tx.th.noteCommit()
 	return true
 }
 
-// rollback releases locks and counts the failed attempt (commit-time abort).
-func (tx *Tx) rollback() {
+// rollback releases locks and counts the failed attempt (commit-time abort)
+// under its cause.
+func (tx *Tx) rollback(cause AbortCause) {
 	tx.releaseLocks()
-	tx.th.stats.Aborts++
+	tx.th.noteAbort(cause)
 }

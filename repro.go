@@ -64,6 +64,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/forest"
 	"repro/internal/ftx"
+	"repro/internal/obs"
 	"repro/internal/sftree"
 	"repro/internal/stm"
 	"repro/internal/trees"
@@ -131,6 +132,13 @@ type Tree struct {
 	// nil for volatile trees. recovery is what Open reconstructed.
 	dlog     *durable.Log
 	recovery durable.Recovery
+	// Observability layer (WithObservability): the registry every layer
+	// registers its metric families into, the bounded flight recorder of
+	// coarse-grained events, and the optional HTTP endpoint. All nil
+	// without the option.
+	obsReg *obs.Registry
+	obsFR  *obs.FlightRecorder
+	obsSrv *obs.Server
 	// maintWorkers is the configured maintenance-scheduler size of the
 	// single-domain path (1 when a maintenance goroutine was started, 0
 	// otherwise); immutable after NewTree, reported by MaintPoolStats.
@@ -157,6 +165,8 @@ type treeCfg struct {
 	dur          *durable.Options
 	batchN       int
 	batchWait    time.Duration
+	obs          bool
+	obsAddr      string
 }
 
 // WithTMMode selects the TM algorithm (default CommitTimeLocking).
@@ -220,6 +230,29 @@ func WithBatching(n int, wait time.Duration) Option {
 		if wait > 0 {
 			c.batchWait = wait
 		}
+	}
+}
+
+// WithObservability turns on the tree's observability layer: a metrics
+// registry that every layer (STM commit/abort taxonomy per shard, tree
+// maintenance, combiner batches, cross-shard coordinator, maintenance
+// pool, WAL/checkpoints, Go runtime) registers its counter, gauge and
+// histogram families into, plus a bounded flight recorder of
+// coarse-grained events (checkpoints, recovery, WAL stalls, maintenance
+// bursts, batch executions). With a non-empty addr the layer also serves
+// HTTP on it: Prometheus text on /metrics, a JSON snapshot on /snapshot,
+// the flight-recorder ring on /flight, and net/http/pprof under
+// /debug/pprof/ — pass ":0" for an ephemeral port and read it back with
+// Tree.ObsAddr. An empty addr keeps everything in-process (scrape via
+// Tree.Obs). The hot-path hooks are single padded atomic adds; the scrape
+// path never pauses application or maintenance threads.
+//
+// NewTree panics when addr cannot be listened on (a configuration error,
+// like WithContention's unknown policy); Open returns the error.
+func WithObservability(addr string) Option {
+	return func(c *treeCfg) {
+		c.obs = true
+		c.obsAddr = addr
 	}
 }
 
@@ -321,7 +354,69 @@ func Open(dir string, kind Kind, opts ...Option) (*Tree, error) {
 		return nil, err
 	}
 	l.StartCheckpoints(f)
-	return &Tree{f: f, stop: f.Close, maint: cfg.maintenance, dlog: l, recovery: *rec}, nil
+	t := &Tree{f: f, stop: f.Close, maint: cfg.maintenance, dlog: l, recovery: *rec}
+	if cfg.obs {
+		if err := t.setupObs(cfg.obsAddr); err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// setupObs builds the observability layer for a fully constructed tree:
+// registry, flight recorder, layer registrations, and (addr != "") the
+// HTTP endpoint.
+func (t *Tree) setupObs(addr string) error {
+	r := obs.NewRegistry()
+	fr := obs.NewFlightRecorder(4096)
+	r.SetFlight(fr)
+	obs.RegisterRuntime(r)
+	if t.f != nil {
+		t.f.RegisterObs(r)
+		t.f.SetFlightRecorder(fr)
+	} else {
+		t.s.RegisterObs(r, "")
+		if sf, ok := t.m.(interface {
+			RegisterObs(*obs.Registry, string)
+		}); ok {
+			sf.RegisterObs(r, "")
+		}
+	}
+	if t.dlog != nil {
+		t.dlog.RegisterObs(r)
+		t.dlog.SetFlightRecorder(fr)
+		// The recovery pass ran inside Open, before a recorder existed;
+		// backfill it as the ring's first event.
+		durable.RecordRecovery(fr, &t.recovery)
+	}
+	if addr != "" {
+		srv, err := obs.Serve(addr, r)
+		if err != nil {
+			return err
+		}
+		t.obsSrv = srv
+	}
+	t.obsReg = r
+	t.obsFR = fr
+	return nil
+}
+
+// Obs returns the tree's observability registry for in-process scraping
+// (snapshots, diffs, exposition) — nil without WithObservability.
+func (t *Tree) Obs() *obs.Registry { return t.obsReg }
+
+// FlightRecorder returns the tree's flight recorder — nil without
+// WithObservability. Dump it with its WriteTo, or read Events.
+func (t *Tree) FlightRecorder() *obs.FlightRecorder { return t.obsFR }
+
+// ObsAddr returns the bound address of the observability HTTP endpoint
+// ("" when WithObservability was given an empty addr, or not at all).
+func (t *Tree) ObsAddr() string {
+	if t.obsSrv == nil {
+		return ""
+	}
+	return t.obsSrv.Addr()
 }
 
 // reload rebuilds the recovered state into the fresh forest — in parallel
@@ -428,7 +523,13 @@ func NewTree(kind Kind, opts ...Option) *Tree {
 			fopts = append(fopts, forest.WithBatching(cfg.batchN, cfg.batchWait))
 		}
 		f := forest.New(kind, fopts...)
-		return &Tree{f: f, stop: f.Close, maint: cfg.maintenance}
+		t := &Tree{f: f, stop: f.Close, maint: cfg.maintenance}
+		if cfg.obs {
+			if err := t.setupObs(cfg.obsAddr); err != nil {
+				panic(err)
+			}
+		}
+		return t
 	}
 	s := stm.New(stm.WithMode(cfg.mode), stm.WithContentionManager(cfg.cm))
 	m := trees.New(kind, s)
@@ -438,6 +539,11 @@ func NewTree(kind Kind, opts ...Option) *Tree {
 		t.maint = true
 		if _, ok := trees.HintMaintainedOf(m); ok {
 			t.maintWorkers = 1
+		}
+	}
+	if cfg.obs {
+		if err := t.setupObs(cfg.obsAddr); err != nil {
+			panic(err)
 		}
 	}
 	return t
@@ -452,6 +558,10 @@ func (t *Tree) Close() {
 	// Stop the durability machinery first: the checkpoint loop snapshots
 	// the forest, so it must be quiet before maintenance winds down, and
 	// the final flush+fsync makes everything committed so far durable.
+	if t.obsSrv != nil {
+		t.obsSrv.Close()
+		t.obsSrv = nil
+	}
 	if t.dlog != nil {
 		t.dlog.Close()
 	}

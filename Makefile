@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DURATION ?= 1s
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
-.PHONY: all build test race vet fuzz ci obs-smoke bench-range bench-xact bench-durable bench-recovery bench-batch bench-json profile benchdiff
+.PHONY: all build test race vet fuzz ci obs-smoke trace-smoke bench-range bench-xact bench-durable bench-recovery bench-batch bench-json profile benchdiff
 
 all: build
 
@@ -28,6 +28,14 @@ race:
 # durable, Go runtime) appear in one exposition.
 obs-smoke:
 	$(GO) test -run TestObsEndpointSmoke -count=1 -v .
+
+# Span-tracer smoke: run a short durable batched contended benchmark with
+# full sampling and scrape /trace mid-hammer, asserting the accumulated
+# spans cover every instrumented layer — an STM retry, a combiner batch
+# wait, an ftx prepare phase, and a WAL append stretching to its
+# group-commit fsync.
+trace-smoke:
+	$(GO) test -run TestTraceEndpointSmoke -count=1 -v .
 
 vet:
 	$(GO) vet ./...
@@ -146,4 +154,4 @@ profile:
 benchdiff:
 	$(GO) run ./cmd/benchdiff $(BENCHDIFF_FLAGS) $(BASE) $(NEW)
 
-ci: build vet test race fuzz obs-smoke
+ci: build vet test race fuzz obs-smoke trace-smoke

@@ -128,7 +128,8 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-every", 0, "with -durable: periodic checkpoint interval (0 = 500ms, negative disables)")
 	ckptCompact := flag.Int("ckpt-compact", 0, "with -durable: fold the delta chain into a fresh full base after this many incremental checkpoints (0 = default, negative = every checkpoint full)")
 	yieldEvery := flag.Int("yield", 0, "STM interleaving simulation: yield every N accesses (0 off)")
-	obsAddr := flag.String("obs", "", "serve the live observability endpoint (/metrics, /snapshot, /flight, /debug/pprof) on this address during the run, e.g. :9100")
+	obsAddr := flag.String("obs", "", "serve the live observability endpoint (/metrics, /snapshot, /flight, /trace, /debug/pprof) on this address during the run, e.g. :9100")
+	trace := flag.Int("trace", 0, "sample one in N operations into the span tracer (0 disables; > 0 forces the forest path)")
 	header := flag.Bool("header", false, "print the CSV header line first")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof allocation profile of the run to this file")
@@ -221,6 +222,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "microbench: -batch-wait requires -batch > 1")
 		os.Exit(2)
 	}
+	if *trace < 0 {
+		fmt.Fprintln(os.Stderr, "microbench: -trace must be >= 0")
+		os.Exit(2)
+	}
 	if *obsAddr != "" {
 		// Catch address typos here with a bind probe: the bench layer treats
 		// a listen failure as a programming error and panics.
@@ -277,6 +282,7 @@ func main() {
 		Fsync:             *fsync,
 		DurableCheckpoint: *ckptEvery,
 		DurableCompact:    *ckptCompact,
+		TraceEvery:        *trace,
 		ObsAddr:           *obsAddr,
 		// ObsReady alone would switch the endpoint on, so only set it when
 		// -obs asked for one; it resolves ":0"-style addresses for the user.

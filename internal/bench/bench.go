@@ -30,7 +30,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/metrics"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -193,6 +192,13 @@ type Options struct {
 	// ObsAddr ":0" when that is empty). Test harnesses use it to scrape
 	// mid-run.
 	ObsReady func(addr string)
+	// TraceEvery turns on the sampled span tracer for the measured run
+	// (repro.WithTracing's dial): one in TraceEvery facade operations
+	// records spans for every phase it crosses, served on /trace when the
+	// observability endpoint is up. 0 disables tracing entirely (the off
+	// path costs one atomic load per op). A traced run always takes the
+	// forest path, whatever the shard count.
+	TraceEvery int
 }
 
 // defaultBenchCheckpoint is the durable run's checkpoint interval default.
@@ -248,10 +254,11 @@ type Result struct {
 	BatchedOps uint64
 	AvgBatch   float64
 
-	// Per-operation latency percentiles in nanoseconds, measured on a
-	// bounded reservoir fed by every latSampleEvery-th operation of each
-	// worker (sampling keeps the clock reads off the common path, so the
-	// single-thread throughput rows stay comparable). Zero when no sample
+	// Per-operation latency percentiles in nanoseconds, cut from the merged
+	// per-worker op_latency_nanos histograms fed by every latSampleEvery-th
+	// operation (sampling keeps the clock reads off the common path, so the
+	// single-thread throughput rows stay comparable). The log2 buckets give
+	// the ~2x relative error every obs histogram has. Zero when no sample
 	// was taken.
 	P50Nanos uint64
 	P99Nanos uint64
@@ -304,9 +311,9 @@ type Result struct {
 	// Raw MemStats deltas captured by hammer; finish divides them by Ops.
 	hammerMallocs uint64
 	hammerBytes   uint64
-	// latSamples gathers the workers' latency reservoirs; finish sorts it
-	// and cuts the percentiles.
-	latSamples []int64
+	// latHist merges the workers' latency histograms; finish cuts the
+	// percentiles from it.
+	latHist obs.HistSnapshot
 }
 
 // WorkerUtilization returns the fraction of the run's wall-clock ×
@@ -376,7 +383,7 @@ func Run(o Options) Result {
 		panic("bench: RangeFrac + XactFrac must be < 1")
 	}
 	o.Workload.prepareZipf() // one shared CDF table for all workers
-	if o.Shards > 1 || o.Durable || o.Batch > 1 {
+	if o.Shards > 1 || o.Durable || o.Batch > 1 || o.TraceEvery > 0 {
 		return runForest(o)
 	}
 	cm := o.contentionManager()
@@ -404,6 +411,7 @@ func Run(o Options) Result {
 		}); ok {
 			sf.RegisterObs(r, "")
 		}
+		registerLatency(r, workers)
 	})
 	hr := hammer(workers, o.Duration)
 	if srv != nil {
@@ -494,6 +502,17 @@ func runForest(o Options) Result {
 		dl.StartCheckpoints(f)
 	}
 
+	// The tracer attaches before the workers start: from here on one in
+	// TraceEvery facade ops records spans through every layer of the run.
+	var tracer *obs.Tracer
+	if o.TraceEvery > 0 {
+		tracer = obs.NewTracer(o.TraceEvery, 4096)
+		f.SetTracer(tracer)
+		if dl != nil {
+			dl.SetTracer(tracer)
+		}
+	}
+
 	workers := make([]*Runner, o.Threads)
 	handles := make([]*forest.Handle, o.Threads)
 	for i := range workers {
@@ -507,6 +526,11 @@ func runForest(o Options) Result {
 			dl.RegisterObs(r)
 			dl.SetFlightRecorder(fr)
 		}
+		if tracer != nil {
+			r.SetTracer(tracer)
+			tracer.RegisterObs(r)
+		}
+		registerLatency(r, workers)
 	})
 	hr := hammer(workers, o.Duration)
 	elapsed := hr.elapsed
@@ -684,6 +708,21 @@ func startObs(o Options, register func(r *obs.Registry, fr *obs.FlightRecorder))
 	return srv
 }
 
+// registerLatency exposes the run's merged per-worker latency histograms as
+// the registry's op_latency_nanos family (label op="all" — the per-kind
+// series come from an attached tracer). The merge runs at scrape time, off
+// the workers' hot path.
+func registerLatency(r *obs.Registry, workers []*Runner) {
+	r.RegisterCollector(func(emit func(obs.Sample)) {
+		var s obs.HistSnapshot
+		for _, w := range workers {
+			s = s.Add(w.latH.Snapshot())
+		}
+		emit(obs.Sample{Name: "op_latency_nanos", Label: `op="all"`, Kind: obs.KindHistogram,
+			Help: "Sampled per-operation latency across all op kinds, nanoseconds.", Hist: &s})
+	})
+}
+
 func newResult(o Options, cm stm.ContentionManager, shards int, elapsed time.Duration) Result {
 	dist := o.Workload.Dist
 	if dist == "" {
@@ -707,7 +746,7 @@ func (r *Result) addWorker(w *Runner) {
 	r.RangeItems += w.RangeItems
 	r.XactOps += w.XactOps
 	r.XactMoves += w.XactMoves
-	r.latSamples = append(r.latSamples, w.lat...)
+	r.latHist = r.latHist.Add(w.latH.Snapshot())
 	if xs, ok := w.t.(XactStatser); ok {
 		r.Xact.Add(xs.XactStats())
 	}
@@ -725,18 +764,10 @@ func (r *Result) finish() {
 	if r.Batches > 0 {
 		r.AvgBatch = float64(r.BatchedOps) / float64(r.Batches)
 	}
-	if len(r.latSamples) > 0 {
-		sort.Slice(r.latSamples, func(i, j int) bool { return r.latSamples[i] < r.latSamples[j] })
-		r.P50Nanos = percentile(r.latSamples, 0.50)
-		r.P99Nanos = percentile(r.latSamples, 0.99)
+	if r.latHist.Count > 0 {
+		r.P50Nanos = r.latHist.Quantile(0.50)
+		r.P99Nanos = r.latHist.Quantile(0.99)
 	}
-}
-
-// percentile cuts the p-quantile (0..1) of an ascending-sorted sample set
-// by nearest-rank interpolation on the index.
-func percentile(sorted []int64, p float64) uint64 {
-	i := int(p*float64(len(sorted)-1) + 0.5)
-	return uint64(sorted[i])
 }
 
 // fill initializes the set: every key in [0, keyRange) is inserted with
@@ -844,23 +875,19 @@ type Runner struct {
 	// xkeys is the reusable per-transfer key buffer.
 	xkeys []uint64
 
-	// Latency reservoir: every latSampleEvery-th operation is timed and fed
-	// into a bounded algorithm-R reservoir. latRng is a dedicated xorshift
-	// state so sampling decisions never perturb w.rng — the workload's key
-	// stream must stay deterministic whether or not latencies are collected.
-	lat     []int64
+	// Latency histogram: every latSampleEvery-th operation is timed into
+	// latH, the worker's op_latency_nanos log2 histogram (the same family
+	// the obs registry serves — fixed size, lock-free, no reservoir
+	// bookkeeping). Run merges the workers' histograms for the percentile
+	// columns and registers them with the run's registry when one is up.
+	latH    *obs.Histogram
 	latSeen uint64
-	latRng  uint64
 }
 
-// Latency sampling parameters: timing every op would put a time.Now() pair
-// on the critical path of sub-µs operations, so only every latSampleEvery-th
-// op is measured (~2ns/op amortized), and at most latReservoir measurements
-// per worker are kept via uniform reservoir replacement.
-const (
-	latSampleEvery = 32
-	latReservoir   = 2048
-)
+// latSampleEvery is the latency sampling cadence: timing every op would put
+// a time.Now() pair on the critical path of sub-µs operations, so only
+// every latSampleEvery-th op is measured (~2ns/op amortized).
+const latSampleEvery = 32
 
 // NewRunner creates a Runner hammering a bare tree through one STM thread,
 // with its own deterministic random stream.
@@ -875,7 +902,7 @@ func NewRunner(m trees.Map, th *stm.Thread, wl Workload, seed int64) *Runner {
 func NewTargetRunner(t Target, wl Workload, seed int64) *Runner {
 	wl.prepareZipf()
 	r := &Runner{t: t, rng: rand.New(rand.NewSource(seed)), wl: wl,
-		latRng: uint64(seed)*0x9e3779b97f4a7c15 + 1}
+		latH: &obs.Histogram{}}
 	if wl.Dist == DistZipf {
 		r.gen = newZipfGenFromCDF(r.rng, wl.zipfCDF)
 	}
@@ -900,23 +927,13 @@ func (w *Runner) Step() {
 	w.Ops++
 }
 
-// recordLatency feeds one measured op duration into the bounded reservoir
-// (algorithm R: once full, the i-th sample replaces a uniformly random slot
-// with probability cap/i).
+// recordLatency feeds one measured op duration into the worker's latency
+// histogram (three uncontended atomic adds, no allocation, no eviction).
 func (w *Runner) recordLatency(d int64) {
-	if len(w.lat) < latReservoir {
-		w.lat = append(w.lat, d)
-		return
+	if d < 0 {
+		d = 0
 	}
-	// xorshift64 on the dedicated state.
-	x := w.latRng
-	x ^= x << 13
-	x ^= x >> 7
-	x ^= x << 17
-	w.latRng = x
-	if j := x % (w.latSeen / latSampleEvery); j < latReservoir {
-		w.lat[j] = d
-	}
+	w.latH.Record(uint64(d))
 }
 
 // step executes one operation drawn from the workload mix.

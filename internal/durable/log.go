@@ -263,6 +263,17 @@ type Stats struct {
 // errClosed is returned by operations on a closed Log.
 var errClosed = errors.New("durable: log is closed")
 
+// pendSpan is one traced append awaiting its fsync (see Log.pend): the
+// sampled operation's trace id, the append instant, and the record's framed
+// size and shard (A/B of the eventual SpanWALAppend; shard is -1 for a
+// cross-shard atomic record).
+type pendSpan struct {
+	id    uint64
+	at    int64
+	shard int64
+	bytes int64
+}
+
 // Log is an open write-ahead log: one live segment receiving appends, plus
 // the checkpoint machinery. Appends are safe for concurrent use by any
 // number of committing threads; Checkpoint/StartCheckpoints drive one
@@ -294,6 +305,15 @@ type Log struct {
 	fr    *obs.FlightRecorder
 	syncH *obs.Histogram
 	ckptH *obs.Histogram
+
+	// tracer receives one SpanWALAppend per traced record, stretching from
+	// the append to the fsync that made it durable. pend is the bounded
+	// buffer of traced appends awaiting that fsync, drained by
+	// flushSyncLocked; overflow or a wedged segment drops the span, never
+	// the record. Set under mu (SetTracer), read by paths holding mu.
+	tracer *obs.Tracer
+	pend   [64]pendSpan
+	pendN  int
 
 	// dirtyKeys is the per-shard set of keys mutated since the last
 	// checkpoint capture, maintained at append time under mu — the same
@@ -417,6 +437,14 @@ func (l *Log) openSegmentLocked(i uint64) error {
 // slice is encoded before LogUpdate returns and may be reused by the
 // caller. Empty transactions append nothing.
 func (l *Log) LogUpdate(shard int, seq uint64, ops []Op) {
+	l.LogUpdateT(shard, seq, ops, 0)
+}
+
+// LogUpdateT is LogUpdate carrying a sampled operation's trace id: when
+// non-zero (and a tracer is attached), the record's eventual fsync closes a
+// SpanWALAppend under that id, covering append→durability. Zero means
+// untraced and is exactly LogUpdate.
+func (l *Log) LogUpdateT(shard int, seq uint64, ops []Op, traceID uint64) {
 	if len(ops) == 0 {
 		return
 	}
@@ -432,7 +460,7 @@ func (l *Log) LogUpdate(shard int, seq uint64, ops []Op) {
 		}
 	}
 	l.payload = encodeUpdate(l.payload[:0], shard, seq, ops)
-	l.appendLocked(false)
+	l.appendLocked(false, traceID, int64(shard))
 }
 
 // LogAtomic appends one committed cross-shard transaction as a single
@@ -440,6 +468,12 @@ func (l *Log) LogUpdate(shard int, seq uint64, ops []Op) {
 // clock position, atomically present or absent on disk. Parts with no ops
 // are skipped; an all-empty record appends nothing.
 func (l *Log) LogAtomic(parts []ShardOps) {
+	l.LogAtomicT(parts, 0)
+}
+
+// LogAtomicT is LogAtomic carrying a sampled transaction's trace id (see
+// LogUpdateT). The span's shard field is -1: the record spans shards.
+func (l *Log) LogAtomicT(parts []ShardOps, traceID uint64) {
 	n := 0
 	for i := range parts {
 		if len(parts[i].Ops) > 0 {
@@ -469,7 +503,7 @@ func (l *Log) LogAtomic(parts []ShardOps) {
 		}
 	}
 	l.payload = encodeAtomic(l.payload[:0], live)
-	l.appendLocked(true)
+	l.appendLocked(true, traceID, -1)
 }
 
 // restoreDirtyLocked merges a captured dirty set back into l.dirtyKeys
@@ -500,8 +534,10 @@ func freshDirty(shards int) []map[uint64]struct{} {
 }
 
 // appendLocked frames l.payload into the live segment and applies the
-// configured flush/sync discipline. Caller holds mu.
-func (l *Log) appendLocked(atomic bool) {
+// configured flush/sync discipline. A non-zero traceID enqueues a pending
+// SpanWALAppend closed by the record's fsync (shard is the span's A field).
+// Caller holds mu.
+func (l *Log) appendLocked(atomic bool, traceID uint64, shard int64) {
 	if l.wedged {
 		// An earlier I/O error poisoned this segment; writing more into it
 		// cannot produce a recoverable prefix. Count the drop and wait for
@@ -537,6 +573,11 @@ func (l *Log) appendLocked(atomic bool) {
 	l.st.Bytes += uint64(len(l.framed))
 	l.dirty = true
 	l.unsynced += len(l.framed)
+	if traceID != 0 && l.tracer != nil && l.pendN < len(l.pend) {
+		l.pend[l.pendN] = pendSpan{id: traceID, at: time.Now().UnixNano(),
+			shard: shard, bytes: int64(len(l.framed))}
+		l.pendN++
+	}
 	if l.o.Sync {
 		l.flushSyncLocked()
 		return
@@ -585,6 +626,7 @@ func (l *Log) flushSyncLocked() {
 		if err := l.w.Flush(); err != nil {
 			l.setErrLocked(err)
 			l.wedged = true
+			l.pendN = 0 // durability unknown: drop the pending spans
 			return
 		}
 		l.st.Flushes++
@@ -597,6 +639,7 @@ func (l *Log) flushSyncLocked() {
 		if err := l.f.Sync(); err != nil {
 			l.setErrLocked(err)
 			l.wedged = true
+			l.pendN = 0
 			return
 		}
 		if l.syncH != nil {
@@ -606,6 +649,17 @@ func (l *Log) flushSyncLocked() {
 		l.dirty = false
 	}
 	l.unsynced = 0
+	if l.pendN > 0 {
+		// Every pending record is now durable: close its append→fsync span.
+		// Under Sync this fires inline per append; under group commit a whole
+		// window's traced records share this fsync's end instant.
+		now := time.Now().UnixNano()
+		for i := 0; i < l.pendN; i++ {
+			p := &l.pend[i]
+			l.tracer.Record(p.id, obs.SpanWALAppend, obs.OpNone, p.at, now, p.shard, p.bytes)
+		}
+		l.pendN = 0
+	}
 }
 
 // Sync flushes and fsyncs the live segment (the group committer's tick,

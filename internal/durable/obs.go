@@ -14,6 +14,17 @@ func (l *Log) SetFlightRecorder(fr *obs.FlightRecorder) {
 	l.mu.Unlock()
 }
 
+// SetTracer attaches a span tracer: records appended under a sampled
+// operation's trace id (LogUpdateT/LogAtomicT) record one SpanWALAppend
+// each, stretching from the append to the fsync that made the record
+// durable. A nil tracer detaches; spans already pending are dropped by the
+// nil-safe recorder.
+func (l *Log) SetTracer(t *obs.Tracer) {
+	l.mu.Lock()
+	l.tracer = t
+	l.mu.Unlock()
+}
+
 // RegisterObs registers the log's counters and latency histograms with an
 // observability registry. The counter families are collected from the same
 // mutex-guarded Stats struct every other reader uses — one consistent

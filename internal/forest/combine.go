@@ -86,6 +86,14 @@ type batchOp struct {
 	// actually trips the bug panics on its own goroutine, attributably.
 	requeue bool
 
+	// traceID/enq carry a sampled submission's trace context to whichever
+	// goroutine runs the batch: non-zero traceID makes the runner record a
+	// SpanCombinerWait from the enqueue instant enq to the batch's commit.
+	// Written by the submitter before Push, read by the runner — ordered by
+	// the ring's publication, like the request fields above.
+	traceID uint64
+	enq     int64
+
 	// done is the result-publication barrier (its Store/Load pair orders
 	// the plain fields above); wake is the parking token, capacity 1. A
 	// stale token — a completion the submitter noticed via done without
@@ -141,6 +149,10 @@ func (h *Handle) submit(sh *shard, si int, kind int, k, v uint64, fn func(*Op)) 
 		}
 		op.kind, op.key, op.val, op.fn = kind, k, v, fn
 		op.requeue = false
+		op.traceID, op.enq = h.trID, 0
+		if op.traceID != 0 {
+			op.enq = time.Now().UnixNano()
+		}
 		op.done.Store(false)
 		if !c.ring.Push(op) {
 			// Ring full: yield and retry the whole submission, taking the
@@ -293,8 +305,36 @@ func (h *Handle) applyBatch(sh *shard, si int, batch []*batchOp) {
 	if fr := h.f.fr.Load(); fr != nil {
 		fr.Record(obs.EvBatch, 0, int64(len(batch)), int64(si))
 	}
+	if tr := h.f.tracer.Load(); tr != nil {
+		// Close every sampled submission's enqueue→batch-commit wait span
+		// before publishing results: A is the batch size the op rode in, B
+		// the shard. Untraced ops (traceID 0) skip with one comparison.
+		now := time.Now().UnixNano()
+		for _, op := range batch {
+			if op.traceID != 0 {
+				tr.Record(op.traceID, obs.SpanCombinerWait, batchOpKind(op.kind),
+					op.enq, now, int64(len(batch)), int64(si))
+			}
+		}
+	}
 	for _, op := range batch {
 		complete(op)
+	}
+}
+
+// batchOpKind maps a combiner submission kind to its trace op kind.
+func batchOpKind(kind int) obs.OpKind {
+	switch kind {
+	case opGet:
+		return obs.OpGet
+	case opContains:
+		return obs.OpContains
+	case opInsert:
+		return obs.OpInsert
+	case opDelete:
+		return obs.OpDelete
+	default:
+		return obs.OpUpdate
 	}
 }
 

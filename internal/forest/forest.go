@@ -135,12 +135,15 @@ type Forest struct {
 	batchWait time.Duration
 	drainH    *Handle
 
-	// fr and batchH are the optional observability hooks (obs.go): the
-	// flight recorder receives combiner-batch and maintenance events, the
-	// histogram the combiner's batch sizes. Atomic pointers because they
-	// attach while application goroutines are already running batches.
+	// fr, batchH and tracer are the optional observability hooks (obs.go):
+	// the flight recorder receives combiner-batch and maintenance events,
+	// the histogram the combiner's batch sizes, and the tracer the sampled
+	// per-operation span timelines (handle.go's traceStart/traceEnd).
+	// Atomic pointers because they attach while application goroutines are
+	// already running batches.
 	fr     atomic.Pointer[obs.FlightRecorder]
 	batchH atomic.Pointer[obs.Histogram]
+	tracer atomic.Pointer[obs.Tracer]
 	// coordMu/coords track every cross-shard coordinator handed out by
 	// Handle.Atomic, so the registry's ftx collector can aggregate their
 	// per-coordinator snapshots into forest-wide series.

@@ -2,9 +2,12 @@ package forest
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/durable"
 	"repro/internal/ftx"
+	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/trees"
 )
@@ -31,15 +34,80 @@ type Handle struct {
 	// (see combine.go).
 	op    *batchOp
 	batch []*batchOp
+
+	// Trace state (owner-goroutine only): trID is the trace id of the
+	// sampled operation currently in flight on this handle — zero when the
+	// op was not sampled or no tracer is attached — read by logCommit and
+	// the combiner submission path so downstream spans stitch to the op.
+	// trRng is the xorshift state behind the per-op sampling draw, seeded
+	// non-zero at construction.
+	trID  uint64
+	trRng uint64
 }
+
+// handleSeq distinguishes handles' sampling streams (see Handle.trRng).
+var handleSeq atomic.Uint64
 
 // NewHandle returns a handle with no shard threads allocated yet.
 func (f *Forest) NewHandle() *Handle {
 	return &Handle{
-		f:   f,
-		ths: make([]*stm.Thread, len(f.shards)),
-		ops: make([]uint64, len(f.shards)),
+		f:     f,
+		ths:   make([]*stm.Thread, len(f.shards)),
+		ops:   make([]uint64, len(f.shards)),
+		trRng: handleSeq.Add(1)*0x9e3779b97f4a7c15 | 1,
 	}
+}
+
+// nextRand advances the handle's xorshift64 sampling stream.
+func (h *Handle) nextRand() uint64 {
+	x := h.trRng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	h.trRng = x
+	return x
+}
+
+// traceStart makes the one sampling decision for a facade operation: on a
+// sampling hit, allocate a trace id, stamp it on the handle (logCommit and
+// the combiner read it there) and attach the shard thread's trace context
+// so the STM lifecycle records per-attempt spans. An attached-but-unsampled
+// op pays one xorshift draw and a compare. Callers guard the call with an
+// inline h.f.tracer.Load() nil check — the call is too big for the inliner,
+// and the guard keeps the tracing-off path at one atomic load and a branch
+// with no call overhead. Returns a nil tracer when the op records nothing.
+// th may be nil for ops that span threads (Range, cross-shard Atomic) —
+// they attach per-thread contexts themselves.
+func (h *Handle) traceStart(tr *obs.Tracer, th *stm.Thread, op obs.OpKind) (*obs.Tracer, uint64, int64) {
+	if !tr.Sample(h.nextRand()) {
+		return nil, 0, 0
+	}
+	id := tr.NextID()
+	h.trID = id
+	if th != nil {
+		th.SetTraceContext(tr, id, op)
+	}
+	return tr, id, time.Now().UnixNano()
+}
+
+// traceEnd closes a sampled operation: clear the thread and handle trace
+// contexts, then record the facade-op span (EndOp also feeds the op-kind
+// latency histogram and the slow-op table). a is the op's result code —
+// 1/0 for boolean results, 0/1 for Atomic's nil/error.
+func (h *Handle) traceEnd(tr *obs.Tracer, th *stm.Thread, id uint64, op obs.OpKind, start, a int64) {
+	if th != nil {
+		th.SetTraceContext(nil, 0, 0)
+	}
+	h.trID = 0
+	tr.EndOp(id, op, start, time.Now().UnixNano(), a)
+}
+
+// boolA encodes a boolean op result into a span's A field.
+func boolA(ok bool) int64 {
+	if ok {
+		return 1
+	}
+	return 0
 }
 
 // Forest returns the forest this handle accesses.
@@ -105,8 +173,11 @@ func (h *Handle) logCommit(tx *stm.Tx, si int) {
 	if len(h.oplog) == 0 {
 		return
 	}
-	wal := h.f.wal
-	tx.OnCommitted(func(pos uint64) { wal.LogUpdate(si, pos, h.oplog) })
+	// tid stitches the WAL record to the in-flight sampled op (zero when
+	// untraced): captured at registration, since a batch runner's trID can
+	// move on before a group-commit fsync closes the span.
+	wal, tid := h.f.wal, h.trID
+	tx.OnCommitted(func(pos uint64) { wal.LogUpdateT(si, pos, h.oplog, tid) })
 }
 
 // Insert maps k to v; false when k was already present. On a durable
@@ -116,11 +187,24 @@ func (h *Handle) logCommit(tx *stm.Tx, si int) {
 // coalesced through the shard's combiner (combine.go).
 func (h *Handle) Insert(k, v uint64) bool {
 	sh, th, si := h.route(k)
-	if sh.comb != nil {
-		_, ok := h.submit(sh, si, opInsert, k, v, nil)
-		return ok
+	var (
+		tr *obs.Tracer
+		id uint64
+		t0 int64
+	)
+	if t := h.f.tracer.Load(); t != nil {
+		tr, id, t0 = h.traceStart(t, th, obs.OpInsert)
 	}
-	return h.insertDirect(sh, th, si, k, v)
+	var ok bool
+	if sh.comb != nil {
+		_, ok = h.submit(sh, si, opInsert, k, v, nil)
+	} else {
+		ok = h.insertDirect(sh, th, si, k, v)
+	}
+	if tr != nil {
+		h.traceEnd(tr, th, id, obs.OpInsert, t0, boolA(ok))
+	}
+	return ok
 }
 
 // insertDirect is the unbatched (and combiner fast-path) insert: one
@@ -144,11 +228,24 @@ func (h *Handle) insertDirect(sh *shard, th *stm.Thread, si int, k, v uint64) bo
 // Delete removes k; false when absent.
 func (h *Handle) Delete(k uint64) bool {
 	sh, th, si := h.route(k)
-	if sh.comb != nil {
-		_, ok := h.submit(sh, si, opDelete, k, 0, nil)
-		return ok
+	var (
+		tr *obs.Tracer
+		id uint64
+		t0 int64
+	)
+	if t := h.f.tracer.Load(); t != nil {
+		tr, id, t0 = h.traceStart(t, th, obs.OpDelete)
 	}
-	return h.deleteDirect(sh, th, si, k)
+	var ok bool
+	if sh.comb != nil {
+		_, ok = h.submit(sh, si, opDelete, k, 0, nil)
+	} else {
+		ok = h.deleteDirect(sh, th, si, k)
+	}
+	if tr != nil {
+		h.traceEnd(tr, th, id, obs.OpDelete, t0, boolA(ok))
+	}
+	return ok
 }
 
 // deleteDirect is the unbatched (and combiner fast-path) delete.
@@ -171,20 +268,50 @@ func (h *Handle) deleteDirect(sh *shard, th *stm.Thread, si int, k uint64) bool 
 // Get returns the value at k.
 func (h *Handle) Get(k uint64) (uint64, bool) {
 	sh, th, si := h.route(k)
-	if sh.comb != nil {
-		return h.submit(sh, si, opGet, k, 0, nil)
+	var (
+		tr *obs.Tracer
+		id uint64
+		t0 int64
+	)
+	if t := h.f.tracer.Load(); t != nil {
+		tr, id, t0 = h.traceStart(t, th, obs.OpGet)
 	}
-	return sh.m.Get(th, k)
+	var (
+		v  uint64
+		ok bool
+	)
+	if sh.comb != nil {
+		v, ok = h.submit(sh, si, opGet, k, 0, nil)
+	} else {
+		v, ok = sh.m.Get(th, k)
+	}
+	if tr != nil {
+		h.traceEnd(tr, th, id, obs.OpGet, t0, boolA(ok))
+	}
+	return v, ok
 }
 
 // Contains reports whether k is present.
 func (h *Handle) Contains(k uint64) bool {
 	sh, th, si := h.route(k)
-	if sh.comb != nil {
-		_, ok := h.submit(sh, si, opContains, k, 0, nil)
-		return ok
+	var (
+		tr *obs.Tracer
+		id uint64
+		t0 int64
+	)
+	if t := h.f.tracer.Load(); t != nil {
+		tr, id, t0 = h.traceStart(t, th, obs.OpContains)
 	}
-	return sh.m.Contains(th, k)
+	var ok bool
+	if sh.comb != nil {
+		_, ok = h.submit(sh, si, opContains, k, 0, nil)
+	} else {
+		ok = sh.m.Contains(th, k)
+	}
+	if tr != nil {
+		h.traceEnd(tr, th, id, obs.OpContains, t0, boolA(ok))
+	}
+	return ok
 }
 
 // Move relocates the value at src to dst; it succeeds only when src is
@@ -198,13 +325,37 @@ func (h *Handle) Move(src, dst uint64) bool {
 	ssh, sth, ssi := h.route(src)
 	dsi := h.f.ShardOf(dst)
 	if ssi == dsi {
-		return h.moveSameShard(ssh, sth, ssi, src, dst)
+		var (
+			tr *obs.Tracer
+			id uint64
+			t0 int64
+		)
+		if t := h.f.tracer.Load(); t != nil {
+			tr, id, t0 = h.traceStart(t, sth, obs.OpMove)
+		}
+		ok := h.moveSameShard(ssh, sth, ssi, src, dst)
+		if tr != nil {
+			h.traceEnd(tr, sth, id, obs.OpMove, t0, boolA(ok))
+		}
+		return ok
 	}
 	h.ops[dsi]++
+	c := h.coordinator()
+	var (
+		tr *obs.Tracer
+		id uint64
+		t0 int64
+	)
+	if t := h.f.tracer.Load(); t != nil {
+		tr, id, t0 = h.traceStart(t, nil, obs.OpMove)
+	}
+	if tr != nil {
+		c.SetTraceContext(tr, id)
+	}
 	var ok bool
 	// The error return is unused: the closure always returns nil, and a
-	// nil-returning Atomic cannot fail (it retries until commit).
-	_ = h.Atomic(func(t *ftx.Tx) error {
+	// nil-returning Run cannot fail (it retries until commit).
+	_ = c.Run(func(t *ftx.Tx) error {
 		ok = false
 		v, present := t.Get(src)
 		if !present || t.Contains(dst) {
@@ -215,6 +366,10 @@ func (h *Handle) Move(src, dst uint64) bool {
 		ok = true
 		return nil
 	})
+	if tr != nil {
+		c.SetTraceContext(nil, 0)
+		h.traceEnd(tr, nil, id, obs.OpMove, t0, boolA(ok))
+	}
 	return ok
 }
 
@@ -287,6 +442,33 @@ func (d ftxDomain) Shard(si int) ftx.Shard {
 // Update remains cheaper still because it skips the coordinator's read
 // buffering too.
 func (h *Handle) Atomic(fn func(t *ftx.Tx) error) error {
+	c := h.coordinator()
+	var (
+		tr *obs.Tracer
+		id uint64
+		t0 int64
+	)
+	if t := h.f.tracer.Load(); t != nil {
+		tr, id, t0 = h.traceStart(t, nil, obs.OpAtomic)
+	}
+	if tr != nil {
+		c.SetTraceContext(tr, id)
+	}
+	err := c.Run(fn)
+	if tr != nil {
+		c.SetTraceContext(nil, 0)
+		a := int64(0)
+		if err != nil {
+			a = 1
+		}
+		h.traceEnd(tr, nil, id, obs.OpAtomic, t0, a)
+	}
+	return err
+}
+
+// coordinator lazily creates and registers the handle's cross-shard
+// transaction coordinator.
+func (h *Handle) coordinator() *ftx.Coordinator {
 	if h.coord == nil {
 		h.coord = ftx.NewCoordinator(ftxDomain{h: h})
 		if h.f.wal != nil {
@@ -294,7 +476,7 @@ func (h *Handle) Atomic(fn func(t *ftx.Tx) error) error {
 		}
 		h.f.registerCoord(h.coord)
 	}
-	return h.coord.Run(fn)
+	return h.coord
 }
 
 // XactStats reports this handle's cross-shard coordinator activity
@@ -365,11 +547,22 @@ func (h *Handle) Range(lo, hi uint64, fn func(k, v uint64) bool) bool {
 	if lo > hi {
 		return true
 	}
+	var (
+		tr *obs.Tracer
+		id uint64
+		t0 int64
+	)
+	if t := h.f.tracer.Load(); t != nil {
+		tr, id, t0 = h.traceStart(t, nil, obs.OpRange)
+	}
 	snaps := make([][]kv, 0, len(h.f.shards))
 	for si, sh := range h.f.shards {
 		th := h.scanThread(si)
 		if th == nil {
 			continue
+		}
+		if tr != nil {
+			th.SetTraceContext(tr, id, obs.OpRange)
 		}
 		var snap []kv
 		// Full read tracking (CTL) regardless of the domain default, so
@@ -382,11 +575,18 @@ func (h *Handle) Range(lo, hi uint64, fn func(k, v uint64) bool) bool {
 				return true
 			})
 		})
+		if tr != nil {
+			th.SetTraceContext(nil, 0, 0)
+		}
 		if len(snap) > 0 {
 			snaps = append(snaps, snap)
 		}
 	}
-	return mergeSnaps(snaps, fn)
+	done := mergeSnaps(snaps, fn)
+	if tr != nil {
+		h.traceEnd(tr, nil, id, obs.OpRange, t0, boolA(done))
+	}
+	return done
 }
 
 // mergeSnaps merges the sorted per-shard snapshots, feeding fn in globally
@@ -431,11 +631,22 @@ func mergeSnaps(snaps [][]kv, fn func(k, v uint64) bool) bool {
 // op's completion.
 func (h *Handle) Update(k uint64, fn func(op *Op)) {
 	sh, th, si := h.route(k)
+	var (
+		tr *obs.Tracer
+		id uint64
+		t0 int64
+	)
+	if t := h.f.tracer.Load(); t != nil {
+		tr, id, t0 = h.traceStart(t, th, obs.OpUpdate)
+	}
 	if sh.comb != nil {
 		h.submit(sh, si, opUpdate, k, 0, fn)
-		return
+	} else {
+		h.updateDirect(sh, th, si, fn)
 	}
-	h.updateDirect(sh, th, si, fn)
+	if tr != nil {
+		h.traceEnd(tr, th, id, obs.OpUpdate, t0, 0)
+	}
 }
 
 // updateDirect is the unbatched (and combiner fast-path) Update body.

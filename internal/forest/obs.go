@@ -14,6 +14,20 @@ import (
 // see durable.Log.SetFlightRecorder.
 func (f *Forest) SetFlightRecorder(fr *obs.FlightRecorder) {
 	f.fr.Store(fr)
+	f.coordMu.Lock()
+	for _, c := range f.coords {
+		c.SetFlightRecorder(fr)
+	}
+	f.coordMu.Unlock()
+}
+
+// SetTracer attaches a span tracer to the forest: from now on every handle
+// samples its operations through it (handle.go), recording facade-op, STM-
+// attempt, combiner-wait, ftx-phase and WAL-append spans. Safe to attach
+// while the forest is in use; a nil tracer detaches. The attached WAL keeps
+// its own tracer reference — see durable.Log.SetTracer.
+func (f *Forest) SetTracer(t *obs.Tracer) {
+	f.tracer.Store(t)
 }
 
 // RegisterObs registers every layer of the forest with an observability
@@ -76,8 +90,10 @@ func (f *Forest) RegisterObs(r *obs.Registry) {
 }
 
 // registerCoord adds a freshly created cross-shard coordinator to the
-// forest's aggregation list (Handle.Atomic calls it once per handle).
+// forest's aggregation list (Handle.Atomic calls it once per handle) and
+// hands it the forest's flight recorder for prepare/abort-storm events.
 func (f *Forest) registerCoord(c *ftx.Coordinator) {
+	c.SetFlightRecorder(f.fr.Load())
 	f.coordMu.Lock()
 	f.coords = append(f.coords, c)
 	f.coordMu.Unlock()

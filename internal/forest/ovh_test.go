@@ -1,0 +1,42 @@
+package forest
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/trees"
+)
+
+func benchU20(b *testing.B, tr *obs.Tracer) {
+	f := New(trees.SFOpt, WithShards(1))
+	defer f.Close()
+	if tr != nil {
+		f.SetTracer(tr)
+	}
+	h := f.NewHandle()
+	for i := uint64(0); i < 8192; i++ {
+		h.Insert(i, i)
+	}
+	f.Quiesce(64)
+	b.ResetTimer()
+	k := uint64(0)
+	for i := 0; i < b.N; i++ {
+		// The u20 single-thread mix: 80% reads, 20% updates.
+		if i%5 == 4 {
+			h.Insert(k, k)
+		} else {
+			h.Get(k)
+		}
+		k = (k*2862933555777941757 + 3037000493) & 8191
+	}
+}
+
+// BenchmarkHandleGetU20 is the tracing-off anchor of the overhead A/B in
+// README's Tracing section.
+func BenchmarkHandleGetU20(b *testing.B) { benchU20(b, nil) }
+
+// BenchmarkHandleGetU20Traced64 is the same mix with 1-in-64 sampling.
+func BenchmarkHandleGetU20Traced64(b *testing.B) { benchU20(b, obs.NewTracer(64, 4096)) }
+
+// BenchmarkHandleGetU20Traced1 samples every op — the worst case.
+func BenchmarkHandleGetU20Traced1(b *testing.B) { benchU20(b, obs.NewTracer(1, 4096)) }

@@ -1,0 +1,186 @@
+package forest
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trees"
+)
+
+// TestHandleTracingAllocFree gates the facade hot path: a read with tracing
+// off must stay allocation-free (the only added cost is one atomic load and
+// a branch), and so must a fully sampled read (traceStart, the attempt
+// span, and EndOp all write into preallocated structures).
+func TestHandleTracingAllocFree(t *testing.T) {
+	f := New(trees.SFOpt, WithShards(1), WithoutMaintenance())
+	defer f.Close()
+	h := f.NewHandle()
+	for i := uint64(0); i < 128; i++ {
+		h.Insert(i, i)
+	}
+
+	k := uint64(0)
+	get := func() {
+		h.Get(k)
+		k = (k + 1) & 127
+	}
+	if avg := testing.AllocsPerRun(2000, get); avg != 0 {
+		t.Errorf("Get with tracing off: %v allocs/op, want 0", avg)
+	}
+
+	f.SetTracer(obs.NewTracer(1, 256)) // sample every op
+	if avg := testing.AllocsPerRun(2000, get); avg != 0 {
+		t.Errorf("Get with 1-in-1 sampling: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestSpanStitchingOracle is the trace-correctness oracle on the direct
+// (uncombined) path: with 1-in-1 sampling, every facade operation must
+// yield a well-formed span set — exactly one op span, at least one STM
+// attempt inside its window, exactly one committing attempt, contiguous
+// attempt indices — and the retries visible in spans must not exceed the
+// aborts the STM layer counted.
+func TestSpanStitchingOracle(t *testing.T) {
+	f := New(trees.SFOpt, WithShards(2), WithoutMaintenance())
+	defer f.Close()
+	tr := obs.NewTracer(1, 4096)
+	f.SetTracer(tr)
+	h := f.NewHandle()
+
+	const ops = 400
+	for i := uint64(0); i < ops; i++ {
+		switch i % 4 {
+		case 0:
+			h.Insert(i, i)
+		case 1:
+			h.Get(i - 1)
+		case 2:
+			h.Contains(i)
+		case 3:
+			h.Delete(i - 3)
+		}
+	}
+
+	type trace struct {
+		op       *obs.Span
+		attempts []obs.Span
+	}
+	byID := map[uint64]*trace{}
+	for _, sp := range tr.Spans() {
+		sp := sp
+		tc := byID[sp.TraceID]
+		if tc == nil {
+			tc = &trace{}
+			byID[sp.TraceID] = tc
+		}
+		switch sp.Kind {
+		case obs.SpanOp:
+			if tc.op != nil {
+				t.Fatalf("trace %d has two op spans", sp.TraceID)
+			}
+			tc.op = &sp
+		case obs.SpanAttempt:
+			tc.attempts = append(tc.attempts, sp)
+		}
+	}
+	if len(byID) != ops {
+		t.Fatalf("ring holds %d traces, want %d (every op sampled, ring not lapped)", len(byID), ops)
+	}
+
+	retriesInSpans := uint64(0)
+	for id, tc := range byID {
+		if tc.op == nil {
+			t.Fatalf("trace %d has attempts but no op span", id)
+		}
+		if len(tc.attempts) == 0 {
+			t.Fatalf("trace %d (%s) has no attempt span", id, tc.op.Op)
+		}
+		committed := 0
+		seen := make([]bool, len(tc.attempts))
+		for _, at := range tc.attempts {
+			if at.A == -1 {
+				committed++
+			} else if at.A < 0 {
+				t.Fatalf("trace %d attempt has invalid abort cause %d", id, at.A)
+			}
+			if at.B < 0 || at.B >= int64(len(tc.attempts)) || seen[at.B] {
+				t.Fatalf("trace %d attempt indices not contiguous: %+v", id, tc.attempts)
+			}
+			seen[at.B] = true
+			if at.Start < tc.op.Start || at.End > tc.op.End {
+				t.Fatalf("trace %d attempt [%d,%d] outside op window [%d,%d]",
+					id, at.Start, at.End, tc.op.Start, tc.op.End)
+			}
+		}
+		if committed != 1 {
+			t.Fatalf("trace %d has %d committing attempts, want 1", id, committed)
+		}
+		retriesInSpans += uint64(len(tc.attempts) - 1)
+	}
+	// Exact reconciliation against the thread layer: maintenance is off and
+	// this handle is the only actor, so its threads' commits are the ops and
+	// their aborts are exactly the retries the attempt spans show.
+	st := h.Stats()
+	if st.Commits != ops {
+		t.Fatalf("handle threads committed %d, want %d (one commit per op)", st.Commits, ops)
+	}
+	if retriesInSpans != st.Aborts {
+		t.Fatalf("attempt spans show %d retries, thread stats count %d aborts",
+			retriesInSpans, st.Aborts)
+	}
+	if got := tr.OpHistogram(obs.OpInsert).Snapshot().Count; got != ops/4 {
+		t.Fatalf("insert latency histogram has %d samples, want %d", got, ops/4)
+	}
+}
+
+// TestSpanStitchingBatched checks that an op routed through the combiner
+// carries its trace ID across the runner handoff: the sampled op yields a
+// combiner-wait span whose window sits inside the op span, with the batch
+// size and shard recorded.
+func TestSpanStitchingBatched(t *testing.T) {
+	// Linger policy (wait > 0): every op enqueues, so even a lone submitter
+	// goes through the ring and gets a combiner-wait span.
+	f := New(trees.SFOpt, WithShards(1), WithBatching(8, 50*time.Microsecond), WithoutMaintenance())
+	defer f.Close()
+	tr := obs.NewTracer(1, 4096)
+	f.SetTracer(tr)
+	h := f.NewHandle()
+
+	const ops = 200
+	for i := uint64(0); i < ops; i++ {
+		h.Insert(i, i)
+	}
+	f.drainCombiners()
+
+	waits := 0
+	opByID := map[uint64]obs.Span{}
+	for _, sp := range tr.Spans() {
+		if sp.Kind == obs.SpanOp {
+			opByID[sp.TraceID] = sp
+		}
+	}
+	for _, sp := range tr.Spans() {
+		if sp.Kind != obs.SpanCombinerWait {
+			continue
+		}
+		waits++
+		if sp.A < 1 || sp.A > 8 {
+			t.Fatalf("combiner-wait span batch size %d out of range [1,8]", sp.A)
+		}
+		if sp.B != 0 {
+			t.Fatalf("combiner-wait span shard %d, want 0", sp.B)
+		}
+		op, ok := opByID[sp.TraceID]
+		if !ok {
+			continue // op span may still be unwritten when the ring was read
+		}
+		if sp.Start < op.Start || sp.Start > op.End {
+			t.Fatalf("combiner wait started at %d outside op window [%d,%d]",
+				sp.Start, op.Start, op.End)
+		}
+	}
+	if waits == 0 {
+		t.Fatal("no combiner-wait spans despite batching enabled and every op sampled")
+	}
+}

@@ -79,11 +79,28 @@ package ftx
 
 import (
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/stm"
 	"repro/internal/trees"
+)
+
+// Flight-recorder thresholds: a prepare phase slower than this, or an
+// attempt aborting after this many retries, is notable enough for the ring
+// (recording every one would flood it on a contended transfer workload).
+const (
+	ftxPrepareSlowNanos = int64(100_000) // 100µs
+	ftxAbortStormRetry  = 3
+)
+
+// Abort-cause codes carried by EvFtxAbort's B payload.
+const (
+	ftxAbortIntent  = 0 // another coordinator's intent on a shared key
+	ftxAbortPrepare = 1 // read revalidation or lock race inside prepare
+	ftxAbortReplay  = 2 // revalidation mismatch on the single-shard/read-only path
 )
 
 // Shard is the caller-local access surface of one participating shard: the
@@ -182,6 +199,20 @@ type Coordinator struct {
 	// clock-sample buffer of the read-only fast path.
 	opbuf  []durable.Op
 	clkbuf []uint64
+
+	// fr is the optional flight recorder (slow prepares, abort storms). An
+	// atomic pointer because the forest attaches it while the owning
+	// goroutine may be mid-transaction.
+	fr atomic.Pointer[obs.FlightRecorder]
+
+	// Trace context: the facade attaches a sampled operation's (tracer, id)
+	// before Run and clears it after (SetTraceContext); while set, commit
+	// phases record SpanFtxIntent/Prepare/Finalize spans. Owner-goroutine
+	// plain fields, like stats. lastAbortCause remembers why the most
+	// recent commitCross attempt failed, for the abort-storm flight event.
+	tr             *obs.Tracer
+	traceID        uint64
+	lastAbortCause int64
 }
 
 // NewCoordinator returns a coordinator for d.
@@ -192,6 +223,19 @@ func NewCoordinator(d Domain) *Coordinator {
 // SetWAL attaches a write-ahead log: every transaction the coordinator
 // commits from now on is logged. Set before the coordinator is used.
 func (c *Coordinator) SetWAL(l *durable.Log) { c.wal = l }
+
+// SetFlightRecorder attaches a flight recorder: slow prepare phases and
+// abort storms record into it. Safe to call from any goroutine; nil
+// detaches.
+func (c *Coordinator) SetFlightRecorder(fr *obs.FlightRecorder) { c.fr.Store(fr) }
+
+// SetTraceContext attaches a sampled operation's trace context: while id is
+// non-zero the commit protocol records its phase spans under it. Pass
+// (nil, 0) to clear. Owner-goroutine only, like Run.
+func (c *Coordinator) SetTraceContext(tr *obs.Tracer, id uint64) {
+	c.tr = tr
+	c.traceID = id
+}
 
 // publish republishes the owner-side counters into the live mirror; called
 // by the owning goroutine once per Run iteration (a handful of atomic
@@ -249,6 +293,12 @@ func (c *Coordinator) Run(fn func(*Tx) error) error {
 		c.stats.Aborts++
 		c.publish()
 		retries++
+		if retries >= ftxAbortStormRetry {
+			// An abort storm: the same transaction keeps losing. Record one
+			// flight event per retry past the threshold (not per abort, so a
+			// contended-but-progressing workload doesn't flood the ring).
+			c.fr.Load().Record(obs.EvFtxAbort, 0, int64(len(parts)), c.lastAbortCause)
+		}
 		if len(parts) > 0 {
 			// Stall through the lowest participating shard's contention
 			// manager, charging the retry to that shard's thread.
@@ -344,15 +394,23 @@ func (c *Coordinator) commitReadOnly(parts []*participant) bool {
 		ok := false
 		// Full read tracking (CTL), exactly as commitSingle: every replayed
 		// read must be validated at the replay's own commit point.
+		if c.traceID != 0 {
+			p.sh.Thread.SetTraceContext(c.tr, c.traceID, obs.OpAtomic)
+		}
 		p.sh.Thread.AtomicMode(stm.CTL, func(tx *stm.Tx) {
 			ok = replayReads(p.sh.Map, tx, p.reads)
 		})
+		if c.traceID != 0 {
+			p.sh.Thread.SetTraceContext(nil, 0, 0)
+		}
 		if !ok {
+			c.lastAbortCause = ftxAbortReplay
 			return false
 		}
 	}
 	for i, p := range parts {
 		if p.sh.Thread.STM().Now() != clocks[i] {
+			c.lastAbortCause = ftxAbortReplay
 			return false
 		}
 	}
@@ -371,6 +429,9 @@ func (c *Coordinator) commitSingle(p *participant) bool {
 	// Full read tracking (CTL) regardless of the domain default: every
 	// replayed read must be validated at commit, and an elastic cut would
 	// drop exactly the validation the protocol depends on.
+	if c.traceID != 0 {
+		sh.Thread.SetTraceContext(c.tr, c.traceID, obs.OpAtomic)
+	}
 	sh.Thread.AtomicMode(stm.CTL, func(tx *stm.Tx) {
 		ok = replayReads(sh.Map, tx, p.reads)
 		if !ok {
@@ -379,12 +440,17 @@ func (c *Coordinator) commitSingle(p *participant) bool {
 		applyWrites(sh.Map, tx, p.writes)
 		if c.wal != nil && len(p.writes) > 0 {
 			c.opbuf = appendWriteOps(c.opbuf[:0], p.writes)
-			tx.OnCommitted(func(pos uint64) { c.wal.LogUpdate(p.si, pos, c.opbuf) })
+			tx.OnCommitted(func(pos uint64) { c.wal.LogUpdateT(p.si, pos, c.opbuf, c.traceID) })
 		}
 	})
+	if c.traceID != 0 {
+		sh.Thread.SetTraceContext(nil, 0, 0)
+	}
 	if ok {
 		c.stats.Commits++
 		c.stats.Fallbacks++
+	} else {
+		c.lastAbortCause = ftxAbortReplay
 	}
 	return ok
 }
@@ -398,13 +464,43 @@ func appendWriteOps(dst []durable.Op, writes []writeRec) []durable.Op {
 	return dst
 }
 
+// notePrepare closes the prepare phase's accounting: the SpanFtxPrepare
+// span when the transaction is traced, and the EvFtxPrepare flight event
+// when the phase exceeded the slow threshold. failed is 1 when the phase
+// unwound.
+func (c *Coordinator) notePrepare(start int64, shards, failed int64) {
+	end := time.Now().UnixNano()
+	if c.traceID != 0 {
+		c.tr.Record(c.traceID, obs.SpanFtxPrepare, obs.OpAtomic, start, end, shards, failed)
+	}
+	if end-start >= ftxPrepareSlowNanos {
+		c.fr.Load().Record(obs.EvFtxPrepare, time.Duration(end-start), shards, failed)
+	}
+}
+
 // commitCross is the shard-ordered two-phase commit.
 func (c *Coordinator) commitCross(parts []*participant) bool {
+	traced := c.traceID != 0
+	var t0 int64
+	if traced {
+		t0 = time.Now().UnixNano()
+	}
 	if !acquireIntents(c, parts) {
 		c.stats.IntentConflicts++
+		c.lastAbortCause = ftxAbortIntent
+		if traced {
+			c.tr.Record(c.traceID, obs.SpanFtxIntent, obs.OpAtomic, t0, time.Now().UnixNano(), int64(len(parts)), 1)
+		}
 		return false
 	}
 	defer releaseIntents(c, parts)
+	if traced {
+		c.tr.Record(c.traceID, obs.SpanFtxIntent, obs.OpAtomic, t0, time.Now().UnixNano(), int64(len(parts)), 0)
+	}
+	// The prepare phase is timed on every cross-shard commit — traced or
+	// not — because the slow-prepare flight event needs the duration; two
+	// clock reads are noise next to the per-shard sub-transactions.
+	prepStart := time.Now().UnixNano()
 
 	prepared := make([]*stm.Prepared, 0, len(parts))
 	// A foreign panic out of a later shard's prepare (a bug in user code,
@@ -434,9 +530,16 @@ func (c *Coordinator) commitCross(parts []*participant) bool {
 			for i := len(prepared) - 1; i >= 0; i-- {
 				prepared[i].Drop()
 			}
+			c.lastAbortCause = ftxAbortPrepare
+			c.notePrepare(prepStart, int64(len(parts)), 1)
 			return false
 		}
 		prepared = append(prepared, pr)
+	}
+	c.notePrepare(prepStart, int64(len(parts)), 0)
+	var finStart int64
+	if traced {
+		finStart = time.Now().UnixNano()
 	}
 	// The durable record is assembled before finalize (write versions are
 	// drawn at the lock points) and appended after every shard published:
@@ -461,7 +564,10 @@ func (c *Coordinator) commitCross(parts []*participant) bool {
 		prepared[i] = nil // finalized: no longer droppable by the unwind path
 	}
 	if len(logged) > 0 {
-		c.wal.LogAtomic(logged)
+		c.wal.LogAtomicT(logged, c.traceID)
+	}
+	if traced {
+		c.tr.Record(c.traceID, obs.SpanFtxFinalize, obs.OpAtomic, finStart, time.Now().UnixNano(), int64(len(parts)), 0)
 	}
 	c.stats.Commits++
 	return true

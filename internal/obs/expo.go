@@ -101,10 +101,27 @@ type jsonSample struct {
 
 // WriteJSON writes the snapshot as a JSON document.
 func (s Snapshot) WriteJSON(w io.Writer) error {
+	return s.writeJSON(w, 0, 0, false)
+}
+
+// WriteJSONWindow writes the snapshot like WriteJSON plus the server-side
+// sequence fields driving /snapshot?since=<seq> windowed diffing: seq is
+// the sequence number a scraper can hand back as ?since on its next
+// request, and when windowed the samples are the diff against snapshot
+// `since`.
+func (s Snapshot) WriteJSONWindow(w io.Writer, seq, since uint64, windowed bool) error {
+	return s.writeJSON(w, seq, since, windowed)
+}
+
+func (s Snapshot) writeJSON(w io.Writer, seq, since uint64, windowed bool) error {
 	out := struct {
-		TakenAt string       `json:"taken_at"`
-		Samples []jsonSample `json:"samples"`
-	}{TakenAt: s.TakenAt.UTC().Format("2006-01-02T15:04:05.000Z07:00")}
+		TakenAt  string       `json:"taken_at"`
+		Seq      uint64       `json:"seq,omitempty"`
+		Since    uint64       `json:"since,omitempty"`
+		Windowed bool         `json:"windowed,omitempty"`
+		Samples  []jsonSample `json:"samples"`
+	}{TakenAt: s.TakenAt.UTC().Format("2006-01-02T15:04:05.000Z07:00"),
+		Seq: seq, Since: since, Windowed: windowed}
 	for _, sm := range s.Samples {
 		js := jsonSample{Name: sm.Name, Label: sm.Label, Kind: sm.Kind.String(), Value: sm.Value}
 		if sm.Hist != nil {

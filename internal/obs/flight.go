@@ -36,13 +36,21 @@ const (
 	EvMaintDrain
 	// EvMaintSweep: a fallback maintenance sweep. A=repairs performed.
 	EvMaintSweep
+	// EvFtxPrepare: a slow cross-shard prepare phase (recorded only above a
+	// duration threshold so the ring isn't flooded). A=participating shards,
+	// B=1 if the phase failed and unwound; Dur is the phase duration.
+	EvFtxPrepare
+	// EvFtxAbort: a cross-shard transaction aborting after repeated retries
+	// (recorded only above a retry threshold). A=participating shards,
+	// B=abort cause (0 intent conflict, 1 prepare failure); Dur is unused.
+	EvFtxAbort
 	numEventKinds
 )
 
 var eventKindNames = [numEventKinds]string{
 	"checkpoint.full", "checkpoint.delta", "compaction", "recovery",
 	"wal.stall", "wal.drop", "wal.rotate", "batch", "maint.drain",
-	"maint.sweep",
+	"maint.sweep", "ftx.prepare", "ftx.abort",
 }
 
 func (k EventKind) String() string {

@@ -35,8 +35,8 @@ func (h *Histogram) Record(v uint64) {
 // recording makes the copy only bucket-wise consistent, which is the
 // standard contract for lock-free histograms.
 type HistSnapshot struct {
-	Count   uint64             `json:"count"`
-	Sum     uint64             `json:"sum"`
+	Count   uint64              `json:"count"`
+	Sum     uint64              `json:"sum"`
 	Buckets [histBuckets]uint64 `json:"buckets"`
 }
 
@@ -85,6 +85,16 @@ func (s HistSnapshot) Quantile(q float64) uint64 {
 		}
 	}
 	return BucketUpper(histBuckets - 1)
+}
+
+// Add returns the bucket-wise sum s + other (merging per-worker histograms
+// into one distribution).
+func (s HistSnapshot) Add(other HistSnapshot) HistSnapshot {
+	m := HistSnapshot{Count: s.Count + other.Count, Sum: s.Sum + other.Sum}
+	for i := range s.Buckets {
+		m.Buckets[i] = s.Buckets[i] + other.Buckets[i]
+	}
+	return m
 }
 
 // Sub returns the histogram delta s - prev (bucket-wise saturating).

@@ -48,6 +48,7 @@ type Registry struct {
 	byKey      map[string]*ownedMetric
 	collectors []Collector
 	flight     *FlightRecorder
+	tracer     *Tracer
 }
 
 // NewRegistry returns an empty registry.
@@ -127,6 +128,23 @@ func (r *Registry) Flight() *FlightRecorder {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.flight
+}
+
+// SetTracer attaches the span tracer served by the HTTP endpoint's /trace.
+func (r *Registry) SetTracer(t *Tracer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracer = t
+}
+
+// Tracer returns the attached tracer, or nil.
+func (r *Registry) Tracer() *Tracer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracer
 }
 
 // Snapshot reads every owned metric and invokes every collector, returning

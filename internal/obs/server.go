@@ -8,22 +8,87 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"runtime/metrics"
+	"strconv"
+	"sync"
 	"time"
 )
 
+// snapCacheSize bounds the server-side window cache for /snapshot?since:
+// the last N snapshots served are kept so a scraper can hand its previous
+// response's seq back and receive a Registry.Diff against it.
+const snapCacheSize = 8
+
+type snapCacheEntry struct {
+	seq  uint64
+	snap Snapshot
+}
+
+type snapCache struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	ring    [snapCacheSize]snapCacheEntry
+}
+
+// store caches snap and returns its sequence number (starting at 1).
+func (c *snapCache) store(snap Snapshot) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextSeq++
+	c.ring[c.nextSeq%snapCacheSize] = snapCacheEntry{seq: c.nextSeq, snap: snap}
+	return c.nextSeq
+}
+
+// get returns the cached snapshot with the given sequence number, if it is
+// still within the window.
+func (c *snapCache) get(seq uint64) (Snapshot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.ring[seq%snapCacheSize]
+	if e.seq != seq || seq == 0 {
+		return Snapshot{}, false
+	}
+	return e.snap, true
+}
+
 // Handler returns the observability mux for a registry: Prometheus-text
-// /metrics, a JSON snapshot at /snapshot, the flight-recorder dump at
-// /flight (text) and /flight.json, and the standard net/http/pprof tree
-// under /debug/pprof/.
+// /metrics, a JSON snapshot at /snapshot (with ?since=<seq> windowed
+// diffing against a recent response), the flight-recorder dump at /flight,
+// the span tracer's /trace, and the standard net/http/pprof tree under
+// /debug/pprof/.
 func Handler(r *Registry) http.Handler {
 	mux := http.NewServeMux()
+	var sc snapCache
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.Snapshot().WritePrometheus(w)
 	})
-	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		r.Snapshot().WriteJSON(w)
+		cur := r.Snapshot()
+		seq := sc.store(cur)
+		if s := req.URL.Query().Get("since"); s != "" {
+			since, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if prev, ok := sc.get(since); ok {
+				cur.Diff(prev).WriteJSONWindow(w, seq, since, true)
+				return
+			}
+			// Unknown or aged-out seq: fall through to the full snapshot,
+			// which resets the scraper's baseline.
+		}
+		cur.WriteJSONWindow(w, seq, 0, false)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		t := r.Tracer()
+		if t == nil {
+			http.Error(w, "no tracer attached (repro.WithTracing / microbench -trace)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		t.WriteJSON(w)
 	})
 	mux.HandleFunc("/flight", func(w http.ResponseWriter, _ *http.Request) {
 		f := r.Flight()
@@ -44,7 +109,7 @@ func Handler(r *Registry) http.Handler {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "repro observability endpoint\n\n/metrics\n/snapshot\n/flight\n/debug/pprof/\n")
+		fmt.Fprint(w, "repro observability endpoint\n\n/metrics\n/snapshot\n/trace\n/flight\n/debug/pprof/\n")
 	})
 	return mux
 }
@@ -87,7 +152,7 @@ func RegisterRuntime(r *Registry) {
 		metrics.Read(samples)
 		if h := samples[0].Value; h.Kind() == metrics.KindFloat64Histogram {
 			emit(Sample{Name: "go_gc_pause_p99_ns", Kind: KindGauge,
-				Help: "p99 GC pause over the process lifetime, nanoseconds.",
+				Help:  "p99 GC pause over the process lifetime, nanoseconds.",
 				Value: float64(histQuantileNanos(h.Float64Histogram(), 0.99))})
 		}
 		if v := samples[1].Value; v.Kind() == metrics.KindUint64 {

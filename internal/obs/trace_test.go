@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerSampling(t *testing.T) {
+	var nilTr *Tracer
+	if nilTr.Sample(0) {
+		t.Fatal("nil tracer must not sample")
+	}
+	if nilTr.SampleEvery() != 0 {
+		t.Fatal("nil tracer SampleEvery should be 0")
+	}
+	nilTr.Record(1, SpanOp, OpGet, 0, 1, 0, 0) // must not panic
+	nilTr.EndOp(1, OpGet, 0, 1, 0)
+
+	every := NewTracer(1, 64)
+	for draw := uint64(0); draw < 100; draw++ {
+		if !every.Sample(draw * 0x9e3779b97f4a7c15) {
+			t.Fatal("sampleEvery=1 must sample every draw")
+		}
+	}
+
+	// 1-in-64 over xorshift draws should land near 1/64 of the stream.
+	tr := NewTracer(64, 64)
+	x := uint64(12345)
+	hits := 0
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if tr.Sample(x) {
+			hits++
+		}
+	}
+	want := n / 64
+	if hits < want/2 || hits > want*2 {
+		t.Fatalf("1-in-64 sampling hit %d of %d draws, want ~%d", hits, n, want)
+	}
+}
+
+func TestTracerNextIDNeverZero(t *testing.T) {
+	tr := NewTracer(1, 64)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		id := tr.NextID()
+		if id == 0 {
+			t.Fatal("NextID returned 0, the untraced sentinel")
+		}
+		if seen[id] {
+			t.Fatalf("NextID repeated %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceRingWraparound(t *testing.T) {
+	tr := NewTracer(1, 64) // ring is exactly 64 slots
+	const total = 300
+	for i := 1; i <= total; i++ {
+		tr.Record(uint64(i), SpanAttempt, OpInsert, int64(i), int64(i)+10, -1, 0)
+	}
+	spans := tr.Spans()
+	if len(spans) == 0 || len(spans) > 64 {
+		t.Fatalf("wrapped ring returned %d spans, want 1..64", len(spans))
+	}
+	// Oldest first, and only the newest window survives.
+	for i, sp := range spans {
+		if sp.TraceID <= total-64 {
+			t.Fatalf("span %d has lapped trace ID %d", i, sp.TraceID)
+		}
+		if i > 0 && spans[i-1].TraceID >= sp.TraceID {
+			t.Fatalf("spans out of order at %d: %d then %d", i, spans[i-1].TraceID, sp.TraceID)
+		}
+		if sp.End-sp.Start != 10 || sp.Kind != SpanAttempt || sp.Op != OpInsert || sp.A != -1 {
+			t.Fatalf("span fields torn: %+v", sp)
+		}
+	}
+}
+
+func TestTraceRingConcurrentStress(t *testing.T) {
+	tr := NewTracer(1, 256)
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers exercise the seqlock validation under -race.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, sp := range tr.Spans() {
+					// Writers encode writer ID in A and iteration in B with
+					// End = Start + A + B; a torn read breaks the identity.
+					if sp.End != sp.Start+sp.A+sp.B {
+						t.Errorf("torn span: %+v", sp)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				id := tr.NextID()
+				a, b := int64(w), int64(i)
+				start := int64(id)
+				tr.Record(id, SpanOp, OpGet, start, start+a+b, a, b)
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := tr.sampled.Load(); got != writers*perWriter {
+		t.Fatalf("sampled counter %d, want %d", got, writers*perWriter)
+	}
+	// Some spans may be dropped on slot collisions, but the survivors must
+	// be intact and the ring full.
+	if got := len(tr.Spans()); got < 200 {
+		t.Fatalf("only %d spans survived stress, want near ring size 256", got)
+	}
+}
+
+func TestTracerEndOpFeedsHistogramAndSlowTable(t *testing.T) {
+	tr := NewTracer(1, 64)
+	for i := 1; i <= 10; i++ {
+		id := tr.NextID()
+		tr.EndOp(id, OpInsert, 0, int64(i*1000), 1)
+	}
+	h := tr.OpHistogram(OpInsert).Snapshot()
+	if h.Count != 10 {
+		t.Fatalf("op histogram count %d, want 10", h.Count)
+	}
+	slow := tr.SlowOps()
+	if len(slow) != 10 {
+		t.Fatalf("slow table has %d entries, want 10", len(slow))
+	}
+	for i := 1; i < len(slow); i++ {
+		if slow[i-1].DurNs < slow[i].DurNs {
+			t.Fatal("slow ops not sorted slowest-first")
+		}
+	}
+	if slow[0].DurNs != 10000 || slow[0].Op != "insert" {
+		t.Fatalf("slowest op wrong: %+v", slow[0])
+	}
+}
+
+func TestSlowTableEviction(t *testing.T) {
+	tr := NewTracer(1, 64)
+	// Fill past capacity with increasing durations: the table must keep the
+	// slowK slowest.
+	const n = slowK * 3
+	for i := 1; i <= n; i++ {
+		tr.EndOp(tr.NextID(), OpGet, 0, int64(i), 1)
+	}
+	slow := tr.SlowOps()
+	if len(slow) != slowK {
+		t.Fatalf("slow table has %d entries, want %d", len(slow), slowK)
+	}
+	for _, e := range slow {
+		if e.DurNs <= n-slowK {
+			t.Fatalf("slow table kept fast op dur=%d, min expected %d", e.DurNs, n-slowK+1)
+		}
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer(4, 64)
+	id := tr.NextID()
+	tr.Record(id, SpanAttempt, OpMove, 100, 200, -1, 0)
+	tr.EndOp(id, OpMove, 100, 250, 1)
+	tr.Record(id, SpanWALAppend, OpNone, 150, 260, 2, 64)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		SampleEvery int `json:"sample_every"`
+		Sampled     int `json:"sampled_ops"`
+		Spans       []struct {
+			TraceID uint64 `json:"trace_id"`
+			Kind    string `json:"kind"`
+			Op      string `json:"op"`
+			DurNs   int64  `json:"dur_ns"`
+		} `json:"spans"`
+		SlowOps []SlowOp `json:"slow_ops"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("bad /trace JSON: %v\n%s", err, buf.String())
+	}
+	if doc.SampleEvery != 4 || doc.Sampled != 1 {
+		t.Fatalf("header wrong: %+v", doc)
+	}
+	kinds := map[string]bool{}
+	for _, sp := range doc.Spans {
+		kinds[sp.Kind] = true
+		if sp.Kind == "wal.append" && sp.Op != "-" {
+			t.Fatalf("WAL span op rendered %q, want -", sp.Op)
+		}
+	}
+	for _, want := range []string{"stm.attempt", "op", "wal.append"} {
+		if !kinds[want] {
+			t.Fatalf("missing span kind %q in %s", want, buf.String())
+		}
+	}
+	if len(doc.SlowOps) != 1 || doc.SlowOps[0].Op != "move" {
+		t.Fatalf("slow ops wrong: %+v", doc.SlowOps)
+	}
+}
+
+func TestTracerRegisterObs(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(2, 64)
+	tr.RegisterObs(r)
+	tr.EndOp(tr.NextID(), OpDelete, 0, 5000, 1)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"trace_sampled_ops_total 1",
+		"trace_spans_total",
+		`op_latency_nanos_count{op="delete"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `op="insert"`) {
+		t.Fatal("empty op histogram must not be exported")
+	}
+}
+
+func TestTracerRecordAllocFree(t *testing.T) {
+	tr := NewTracer(1, 64)
+	id := tr.NextID()
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Record(id, SpanAttempt, OpGet, 1, 2, -1, 0)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v per call, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		tr.EndOp(id, OpGet, 1, 2, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("EndOp allocates %v per call, want 0", allocs)
+	}
+	var nilTr *Tracer
+	allocs = testing.AllocsPerRun(1000, func() {
+		if nilTr.Sample(42) {
+			nilTr.Record(1, SpanOp, OpGet, 0, 0, 0, 0)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer fast path allocates %v per call, want 0", allocs)
+	}
+}

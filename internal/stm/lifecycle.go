@@ -1,5 +1,11 @@
 package stm
 
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
 // The transaction-lifecycle engine: drives one operation (one
 // Atomic/AtomicMode call) from its first attempt to its commit, consulting
 // the domain's ContentionManager between attempts. It was extracted from the
@@ -21,6 +27,10 @@ type lifecycle struct {
 // stall is the only wait in the loop.
 func (lc *lifecycle) run() {
 	th := lc.th
+	if th.traceID != 0 {
+		lc.runTraced()
+		return
+	}
 	tx := &th.tx
 	cm := th.stm.cm
 	for {
@@ -29,6 +39,32 @@ func (lc *lifecycle) run() {
 			cm.OnCommit(th, lc.retries)
 			return
 		}
+		lc.retries++
+		th.noteRetry()
+		cm.OnAbort(th, lc.retries)
+	}
+}
+
+// runTraced is the sampled-op variant of run: identical control flow plus
+// one SpanAttempt per attempt (A = -1 for the committing attempt, otherwise
+// the abort cause; B = the attempt index). It is a separate loop so the
+// untraced path — the overwhelmingly common one — pays exactly one branch.
+// time.Now and Tracer.Record never allocate, keeping AllocsPerRun=0 on the
+// sampled path too.
+func (lc *lifecycle) runTraced() {
+	th := lc.th
+	tx := &th.tx
+	cm := th.stm.cm
+	tr, id, op := th.tr, th.traceID, th.traceOp
+	for {
+		start := time.Now().UnixNano()
+		tx.begin(lc.mode)
+		if th.runAttempt(tx, lc.fn) {
+			tr.Record(id, obs.SpanAttempt, op, start, time.Now().UnixNano(), -1, int64(lc.retries))
+			cm.OnCommit(th, lc.retries)
+			return
+		}
+		tr.Record(id, obs.SpanAttempt, op, start, time.Now().UnixNano(), int64(th.lastCause), int64(lc.retries))
 		lc.retries++
 		th.noteRetry()
 		cm.OnAbort(th, lc.retries)

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // A Thread is the per-goroutine execution context for transactions: it owns
@@ -35,6 +37,16 @@ type Thread struct {
 	// the structural-vs-semantic split of the abort taxonomy. Set once at
 	// setup (MarkStructural), before the thread runs transactions.
 	structural bool
+
+	// Trace context: attached by the facade at op start when the op was
+	// sampled (SetTraceContext), cleared at op end. While traceID is
+	// non-zero the lifecycle engine records one SpanAttempt per attempt
+	// under it; lastCause remembers the most recent abort's cause so the
+	// traced loop can label the span. Owner-goroutine only, like stats.
+	tr        *obs.Tracer
+	traceID   uint64
+	traceOp   obs.OpKind
+	lastCause AbortCause
 
 	// snapTx is the descriptor of the thread's read-only Snapshot session
 	// (snapshot.go), distinct from tx so a session can stay open across
@@ -88,10 +100,10 @@ func (th *Thread) completeOp() {
 // liveMirror is the atomically published mirror of the live-scrapeable
 // counters (see the field comment on Thread.live).
 type liveMirror struct {
-	commits     atomic.Uint64
-	aborts      atomic.Uint64
-	retries     atomic.Uint64
-	causes      [NumAbortCauses]atomic.Uint64
+	commits       atomic.Uint64
+	aborts        atomic.Uint64
+	retries       atomic.Uint64
+	causes        [NumAbortCauses]atomic.Uint64
 	structCommits atomic.Uint64
 	structAborts  atomic.Uint64
 }
@@ -109,6 +121,7 @@ func (th *Thread) noteCommit() {
 
 // noteAbort charges one aborted attempt to the taxonomy.
 func (th *Thread) noteAbort(cause AbortCause) {
+	th.lastCause = cause
 	th.stats.Aborts++
 	th.live.aborts.Store(th.stats.Aborts)
 	th.stats.AbortCauses[cause]++
@@ -182,6 +195,16 @@ func (th *Thread) ResetStats() {
 func (th *Thread) NoteBatch(n int) {
 	th.stats.Batches++
 	th.stats.BatchedOps += uint64(n)
+}
+
+// SetTraceContext attaches a sampled operation's trace context: while id is
+// non-zero, every subsequent Atomic/AtomicMode attempt on this thread
+// records a SpanAttempt under it (op labels the spans). Pass (nil, 0, 0) to
+// clear at op end. Owner-goroutine only, like the rest of the thread state.
+func (th *Thread) SetTraceContext(tr *obs.Tracer, id uint64, op obs.OpKind) {
+	th.tr = tr
+	th.traceID = id
+	th.traceOp = op
 }
 
 // Pending reports whether the thread is currently inside an operation.

@@ -138,6 +138,7 @@ type Tree struct {
 	// without the option.
 	obsReg *obs.Registry
 	obsFR  *obs.FlightRecorder
+	obsTr  *obs.Tracer
 	obsSrv *obs.Server
 	// maintWorkers is the configured maintenance-scheduler size of the
 	// single-domain path (1 when a maintenance goroutine was started, 0
@@ -167,6 +168,7 @@ type treeCfg struct {
 	batchWait    time.Duration
 	obs          bool
 	obsAddr      string
+	trace        int // WithTracing sample-every (0 = tracing off)
 }
 
 // WithTMMode selects the TM algorithm (default CommitTimeLocking).
@@ -253,6 +255,30 @@ func WithObservability(addr string) Option {
 	return func(c *treeCfg) {
 		c.obs = true
 		c.obsAddr = addr
+	}
+}
+
+// WithTracing turns on sampled distributed-style tracing on top of the
+// observability layer (which it implies, as WithObservability("") when no
+// address was configured): one in every sampleEvery facade operations is
+// sampled at its start — one xorshift draw per op, no atomics on the
+// unsampled path — and a sampled operation records a span for each phase it
+// crosses: the facade op itself, every STM attempt with its abort cause,
+// the combiner enqueue→batch-commit wait, the cross-shard coordinator's
+// intent/prepare/finalize phases, and the WAL append→fsync completion.
+// Spans land in a fixed-size lock-free ring (newest wins) served by the
+// /trace endpoint and Tree.Tracer; per-op-kind latency histograms
+// (op_latency_nanos) and a top-K slow-op table ride along in the registry.
+// sampleEvery <= 1 samples every operation (tests and debugging).
+//
+// A traced tree always runs on the forest path, even unsharded.
+func WithTracing(sampleEvery int) Option {
+	return func(c *treeCfg) {
+		c.obs = true
+		if sampleEvery < 1 {
+			sampleEvery = 1
+		}
+		c.trace = sampleEvery
 	}
 }
 
@@ -356,7 +382,7 @@ func Open(dir string, kind Kind, opts ...Option) (*Tree, error) {
 	l.StartCheckpoints(f)
 	t := &Tree{f: f, stop: f.Close, maint: cfg.maintenance, dlog: l, recovery: *rec}
 	if cfg.obs {
-		if err := t.setupObs(cfg.obsAddr); err != nil {
+		if err := t.setupObs(cfg.obsAddr, cfg.trace); err != nil {
 			t.Close()
 			return nil, err
 		}
@@ -365,13 +391,22 @@ func Open(dir string, kind Kind, opts ...Option) (*Tree, error) {
 }
 
 // setupObs builds the observability layer for a fully constructed tree:
-// registry, flight recorder, layer registrations, and (addr != "") the
-// HTTP endpoint.
-func (t *Tree) setupObs(addr string) error {
+// registry, flight recorder, optional tracer (trace > 0 is the sample-every
+// dial), layer registrations, and (addr != "") the HTTP endpoint.
+func (t *Tree) setupObs(addr string, trace int) error {
 	r := obs.NewRegistry()
 	fr := obs.NewFlightRecorder(4096)
 	r.SetFlight(fr)
 	obs.RegisterRuntime(r)
+	if trace > 0 {
+		tr := obs.NewTracer(trace, 4096)
+		r.SetTracer(tr)
+		tr.RegisterObs(r)
+		if t.f != nil {
+			t.f.SetTracer(tr)
+		}
+		t.obsTr = tr
+	}
 	if t.f != nil {
 		t.f.RegisterObs(r)
 		t.f.SetFlightRecorder(fr)
@@ -386,6 +421,9 @@ func (t *Tree) setupObs(addr string) error {
 	if t.dlog != nil {
 		t.dlog.RegisterObs(r)
 		t.dlog.SetFlightRecorder(fr)
+		if t.obsTr != nil {
+			t.dlog.SetTracer(t.obsTr)
+		}
 		// The recovery pass ran inside Open, before a recorder existed;
 		// backfill it as the ring's first event.
 		durable.RecordRecovery(fr, &t.recovery)
@@ -409,6 +447,10 @@ func (t *Tree) Obs() *obs.Registry { return t.obsReg }
 // FlightRecorder returns the tree's flight recorder — nil without
 // WithObservability. Dump it with its WriteTo, or read Events.
 func (t *Tree) FlightRecorder() *obs.FlightRecorder { return t.obsFR }
+
+// Tracer returns the tree's span tracer — nil without WithTracing. Read
+// sampled spans with Spans/SlowOps, or scrape /trace on the HTTP endpoint.
+func (t *Tree) Tracer() *obs.Tracer { return t.obsTr }
 
 // ObsAddr returns the bound address of the observability HTTP endpoint
 // ("" when WithObservability was given an empty addr, or not at all).
@@ -501,10 +543,11 @@ func NewTree(kind Kind, opts ...Option) *Tree {
 	if cfg.dur != nil {
 		panic("repro: WithDurability requires a directory; use repro.Open(dir, kind, ...)")
 	}
-	// A batched tree runs on the forest path whatever the shard count: the
-	// combiner lives in the forest layer, and with one shard a forest is
-	// semantically identical to the bare tree.
-	if cfg.shards > 1 || cfg.batchN > 1 {
+	// A batched or traced tree runs on the forest path whatever the shard
+	// count: the combiner and the trace instrumentation live in the forest
+	// layer, and with one shard a forest is semantically identical to the
+	// bare tree.
+	if cfg.shards > 1 || cfg.batchN > 1 || cfg.trace > 0 {
 		fopts := []forest.Option{
 			forest.WithShards(cfg.shards),
 			forest.WithTMMode(cfg.mode),
@@ -525,7 +568,7 @@ func NewTree(kind Kind, opts ...Option) *Tree {
 		f := forest.New(kind, fopts...)
 		t := &Tree{f: f, stop: f.Close, maint: cfg.maintenance}
 		if cfg.obs {
-			if err := t.setupObs(cfg.obsAddr); err != nil {
+			if err := t.setupObs(cfg.obsAddr, cfg.trace); err != nil {
 				panic(err)
 			}
 		}
@@ -542,7 +585,7 @@ func NewTree(kind Kind, opts ...Option) *Tree {
 		}
 	}
 	if cfg.obs {
-		if err := t.setupObs(cfg.obsAddr); err != nil {
+		if err := t.setupObs(cfg.obsAddr, cfg.trace); err != nil {
 			panic(err)
 		}
 	}

@@ -1,0 +1,285 @@
+package repro
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/trees"
+)
+
+// traceDoc mirrors the /trace JSON shape.
+type traceDoc struct {
+	SampleEvery int    `json:"sample_every"`
+	Sampled     uint64 `json:"sampled_ops"`
+	Spans       []struct {
+		TraceID uint64 `json:"trace_id"`
+		Kind    string `json:"kind"`
+		Op      string `json:"op"`
+		DurNs   int64  `json:"dur_ns"`
+		A       int64  `json:"a"`
+		B       int64  `json:"b"`
+	} `json:"spans"`
+	SlowOps []struct {
+		TraceID uint64 `json:"trace_id"`
+		Op      string `json:"op"`
+		DurNs   int64  `json:"dur_ns"`
+	} `json:"slow_ops"`
+}
+
+// TestTraceEndpointSmoke is the `make trace-smoke` CI gate: a short durable
+// batched cross-shard benchmark with full sampling, /trace scraped in the
+// middle of the hammer phase. The scrape must prove spans from every
+// instrumented layer stitched together: an STM retry (an attempt span that
+// aborted or a follow-up attempt), a combiner batch wait, an ftx prepare
+// phase, and a WAL append that stretched to its group-commit fsync.
+func TestTraceEndpointSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live endpoint scrape; skipped in -short")
+	}
+	addrCh := make(chan string, 1)
+	docCh := make(chan traceDoc, 1)
+	errCh := make(chan string, 1)
+	go func() {
+		addr := <-addrCh
+		// Poll /trace while the hammer runs, accumulating span kinds until
+		// every layer has shown up or the run ends. Each poll sees the
+		// current ring window; the union over polls is what we assert on.
+		var acc traceDoc
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			resp, err := http.Get("http://" + addr + "/trace")
+			if err != nil {
+				break // endpoint shut down: the run is over
+			}
+			var doc traceDoc
+			derr := json.NewDecoder(resp.Body).Decode(&doc)
+			resp.Body.Close()
+			if derr != nil {
+				errCh <- "bad /trace JSON: " + derr.Error()
+				return
+			}
+			acc.SampleEvery = doc.SampleEvery
+			acc.Sampled = doc.Sampled
+			acc.Spans = append(acc.Spans, doc.Spans...)
+			acc.SlowOps = append(acc.SlowOps, doc.SlowOps...)
+			if hasAllTraceLayers(acc) {
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		docCh <- acc
+	}()
+
+	res := bench.Run(bench.Options{
+		Kind:     trees.SFOpt,
+		Threads:  4,
+		Duration: 800 * time.Millisecond,
+		Workload: bench.Workload{
+			KeyRange:      1 << 6, // tiny range: real conflicts for the retry spans
+			UpdatePercent: 50,
+			MovePercent:   60,   // moves run direct transactions that conflict with batches
+			RangeFrac:     0.05, // so do range-scan snapshots
+			RangeLen:      64,
+			XactFrac:      0.10,
+			XactKeys:      2,
+			XactCrossFrac: 1, // cross-shard transfers: 2PC prepare + intent conflicts
+		},
+		Seed:       11,
+		Shards:     2,
+		CM:         "suicide", // no backoff: aborts stay frequent
+		Batch:      16,
+		BatchWait:  20 * time.Microsecond, // linger: every op rides the combiner
+		Durable:    true,
+		TraceEvery: 1,
+		YieldEvery: 4, // force interleavings so retries reliably appear in the ring
+		ObsAddr:    "127.0.0.1:0",
+		ObsReady:   func(addr string) { addrCh <- addr },
+	})
+	if res.Ops == 0 {
+		t.Fatal("benchmark did no operations")
+	}
+
+	select {
+	case msg := <-errCh:
+		t.Fatal(msg)
+	case doc := <-docCh:
+		if doc.SampleEvery != 1 {
+			t.Errorf("sample_every = %d, want 1", doc.SampleEvery)
+		}
+		if doc.Sampled == 0 {
+			t.Error("no sampled ops reported")
+		}
+		kinds := map[string]int{}
+		retries, walFsync := 0, 0
+		for _, sp := range doc.Spans {
+			kinds[sp.Kind]++
+			if sp.Kind == "stm.attempt" && (sp.A >= 0 || sp.B > 0) {
+				retries++ // an aborted attempt, or any attempt after the first
+			}
+			if sp.Kind == "wal.append" && sp.DurNs > 0 {
+				walFsync++
+			}
+		}
+		for _, k := range []string{"op", "stm.attempt", "combiner.wait", "ftx.prepare", "wal.append"} {
+			if kinds[k] == 0 {
+				t.Errorf("mid-run /trace missing %q spans (have %v)", k, kinds)
+			}
+		}
+		if retries == 0 {
+			t.Error("no STM retry visible in attempt spans despite a contended workload")
+		}
+		if walFsync == 0 {
+			t.Error("no WAL append span stretching to a group-commit fsync")
+		}
+		if len(doc.SlowOps) == 0 {
+			t.Error("slow-op table empty despite full sampling")
+		}
+	}
+}
+
+func hasAllTraceLayers(doc traceDoc) bool {
+	var op, attempt, retry, wait, prepare, wal bool
+	for _, sp := range doc.Spans {
+		switch sp.Kind {
+		case "op":
+			op = true
+		case "stm.attempt":
+			attempt = true
+			if sp.A >= 0 || sp.B > 0 {
+				retry = true
+			}
+		case "combiner.wait":
+			wait = true
+		case "ftx.prepare":
+			prepare = true
+		case "wal.append":
+			wal = true
+		}
+	}
+	return op && attempt && retry && wait && prepare && wal
+}
+
+// TestTreeTracingFacade exercises repro.WithTracing end to end: the option
+// forces the forest path, attaches a tracer, and serves it at /trace; every
+// sampled op shows up with an op span and the per-op-kind latency
+// histograms feed op_latency_nanos in the registry.
+func TestTreeTracingFacade(t *testing.T) {
+	tr := NewTree(SpeculationFriendlyOptimized,
+		WithTracing(1), WithObservability("127.0.0.1:0"))
+	defer tr.Close()
+	if tr.Tracer() == nil {
+		t.Fatal("Tracer() nil despite WithTracing")
+	}
+	h := tr.NewHandle()
+	for i := uint64(0); i < 300; i++ {
+		h.Insert(i, i)
+		h.Get(i)
+	}
+
+	body := scrape(t, tr.ObsAddr(), "/trace")
+	var doc traceDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("bad /trace JSON: %v", err)
+	}
+	if doc.Sampled != 600 {
+		t.Errorf("sampled_ops = %d, want 600", doc.Sampled)
+	}
+	kinds := map[string]bool{}
+	for _, sp := range doc.Spans {
+		kinds[sp.Kind] = true
+	}
+	if !kinds["op"] || !kinds["stm.attempt"] {
+		t.Errorf("facade /trace missing op or attempt spans: %s", body)
+	}
+
+	if h := tr.Tracer().OpHistogram(0 /* OpInsert */).Snapshot(); h.Count != 300 {
+		t.Errorf("insert latency histogram count = %d, want 300", h.Count)
+	}
+	metrics := scrape(t, tr.ObsAddr(), "/metrics")
+	for _, f := range []string{`op_latency_nanos_count{op="insert"} 300`, "trace_sampled_ops_total 600"} {
+		if !strings.Contains(metrics, f) {
+			t.Errorf("/metrics missing %q", f)
+		}
+	}
+}
+
+// TestSnapshotSinceWindow checks /snapshot?since=<seq> windowed diffing:
+// the second scrape hands back the first's seq and must come back windowed,
+// with counter samples showing only the delta between the scrapes.
+func TestSnapshotSinceWindow(t *testing.T) {
+	tr := NewTree(SpeculationFriendlyOptimized,
+		WithShards(2), WithObservability("127.0.0.1:0"))
+	defer tr.Close()
+	h := tr.NewHandle()
+	for i := uint64(0); i < 100; i++ {
+		h.Insert(i, i)
+	}
+
+	type snapDoc struct {
+		Seq      uint64 `json:"seq"`
+		Since    uint64 `json:"since"`
+		Windowed bool   `json:"windowed"`
+		Samples  []struct {
+			Name  string  `json:"name"`
+			Label string  `json:"label"`
+			Value float64 `json:"value"`
+		} `json:"samples"`
+	}
+	commits := func(d snapDoc) float64 {
+		var v float64
+		for _, sm := range d.Samples {
+			if sm.Name == "stm_commits_total" {
+				v += sm.Value
+			}
+		}
+		return v
+	}
+
+	var first snapDoc
+	if err := json.Unmarshal([]byte(scrape(t, tr.ObsAddr(), "/snapshot")), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Seq == 0 || first.Windowed {
+		t.Fatalf("full snapshot: seq=%d windowed=%t, want seq>0 and un-windowed", first.Seq, first.Windowed)
+	}
+	base := commits(first)
+	if base < 100 {
+		t.Fatalf("first snapshot shows %.0f commits, want >= 100", base)
+	}
+
+	const extra = 50
+	for i := uint64(0); i < extra; i++ {
+		h.Insert(1000+i, i)
+	}
+	var diff snapDoc
+	if err := json.Unmarshal([]byte(scrape(t, tr.ObsAddr(), "/snapshot?since="+
+		jsonUint(first.Seq))), &diff); err != nil {
+		t.Fatal(err)
+	}
+	if !diff.Windowed || diff.Since != first.Seq || diff.Seq <= first.Seq {
+		t.Fatalf("windowed snapshot: seq=%d since=%d windowed=%t", diff.Seq, diff.Since, diff.Windowed)
+	}
+	// The window holds the delta only: the commits between the scrapes, not
+	// the lifetime total.
+	if d := commits(diff); d < extra || d >= base+extra {
+		t.Errorf("windowed commits = %.0f, want a delta in [%d, %.0f)", d, extra, base+extra)
+	}
+
+	// An aged-out or unknown seq falls back to a full snapshot.
+	var fallback snapDoc
+	if err := json.Unmarshal([]byte(scrape(t, tr.ObsAddr(), "/snapshot?since=999999")), &fallback); err != nil {
+		t.Fatal(err)
+	}
+	if fallback.Windowed {
+		t.Error("unknown since seq must fall back to a full, un-windowed snapshot")
+	}
+}
+
+func jsonUint(v uint64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
